@@ -1,0 +1,70 @@
+"""Benchmarks: the repository's extension experiments.
+
+* cache-aware co-scheduling (paper Sec. VIII future work),
+* CAT vs. page-coloring re-partitioning (paper Sec. V-A argument),
+* online CUID classification (related-work miss-ratio models).
+"""
+
+from __future__ import annotations
+
+from repro.core.online import OnlineClassifier
+from repro.experiments import (
+    ext_baselines,
+    ext_scheduling,
+    ext_skew,
+    ext_trace_validation,
+)
+from repro.operators.base import CacheUsage
+from repro.workloads.microbench import DICT_40_MIB, query1, query2
+
+
+def test_ext_scheduling(benchmark, report_figure):
+    result = benchmark(ext_scheduling.run)
+    report_figure(benchmark, result)
+    makespans = ext_scheduling.makespans(result)
+    benchmark.extra_info["speedup"] = round(
+        makespans["naive"] / makespans["cache_aware"], 3
+    )
+    assert makespans["cache_aware"] < makespans["naive"]
+
+
+def test_ext_page_coloring_baseline(benchmark, report_figure):
+    result = benchmark(ext_baselines.run)
+    report_figure(benchmark, result)
+    coloring_cost = {
+        row[0]: row[2] for row in result.rows
+        if row[1] == "page_coloring"
+    }
+    assert coloring_cost[100] > 1.0
+
+
+def test_ext_trace_validation(benchmark, report_figure):
+    result = benchmark.pedantic(
+        ext_trace_validation.run, kwargs={"fast": True},
+        rounds=2, iterations=1,
+    )
+    report_figure(benchmark, result)
+    assert max(row[5] for row in result.rows) <= 0.10
+
+
+def test_ext_skew(benchmark, report_figure):
+    result = benchmark(ext_skew.run, fast=True)
+    report_figure(benchmark, result)
+
+
+def test_ext_online_classifier(benchmark):
+    classifier = OnlineClassifier()
+    scan_profile = query1().profile(name="probe_scan")
+    agg_profile = query2(DICT_40_MIB, 10**5).profile(
+        22, name="probe_agg"
+    )
+
+    def run():
+        return (
+            classifier.classify(scan_profile).cuid,
+            classifier.classify(agg_profile).cuid,
+        )
+
+    scan_cuid, agg_cuid = benchmark(run)
+    assert scan_cuid is CacheUsage.POLLUTING
+    assert agg_cuid is CacheUsage.SENSITIVE

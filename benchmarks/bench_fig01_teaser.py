@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 1 (the OLTP/OLAP teaser)."""
+
+
+
+from repro.experiments import fig01_teaser
+
+
+def test_fig01_teaser(benchmark, report_figure):
+    result = benchmark(fig01_teaser.run)
+    report_figure(benchmark, result)
+    by_config = {row[0]: row[2] for row in result.rows}
+    assert by_config["concurrent_partitioned"] > by_config["concurrent"]

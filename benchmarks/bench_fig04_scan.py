@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 4 (column scan vs LLC size)."""
+
+
+
+from repro.experiments import fig04_scan
+
+
+def test_fig04_scan(benchmark, report_figure):
+    result = benchmark(fig04_scan.run)
+    report_figure(benchmark, result)
+    assert all(
+        normalized > 0.97
+        for normalized in result.column("normalized_throughput")
+    )

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 5 (aggregation vs LLC size, 3 panels)."""
+
+
+
+from repro.experiments import fig05_aggregation
+
+
+def test_fig05_aggregation(benchmark, report_figure):
+    result = benchmark(fig05_aggregation.run)
+    report_figure(benchmark, result)
+    assert len(result.rows) == 3 * 5 * 10  # panels x groups x sweep

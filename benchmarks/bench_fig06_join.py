@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 6 (FK join vs LLC size)."""
+
+
+
+from repro.experiments import fig06_join
+
+
+def test_fig06_join(benchmark, report_figure):
+    result = benchmark(fig06_join.run)
+    report_figure(benchmark, result)
+    sensitive = [row for row in result.rows if row[0] == 10**8]
+    assert min(row[4] for row in sensitive) < 0.85

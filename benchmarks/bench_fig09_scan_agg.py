@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 9 (scan || aggregation, 3 panels)."""
+
+
+
+from repro.experiments import fig09_scan_agg
+
+
+def test_fig09_scan_agg(benchmark, report_figure):
+    result = benchmark(fig09_scan_agg.run)
+    report_figure(benchmark, result)
+    assert len(result.rows) == 3 * 5 * 2  # panels x groups x on/off

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 10 (aggregation || join, 2 panels)."""
+
+
+
+from repro.experiments import fig10_agg_join
+
+
+def test_fig10_agg_join(benchmark, report_figure):
+    result = benchmark(fig10_agg_join.run)
+    report_figure(benchmark, result)
+    assert len(result.rows) == 2 * 5 * 3  # panels x groups x schemes

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 11 (scan || each TPC-H query)."""
+
+
+
+from repro.experiments import fig11_tpch
+
+
+def test_fig11_tpch(benchmark, report_figure):
+    result = benchmark(fig11_tpch.run)
+    report_figure(benchmark, result)
+    gains = fig11_tpch.improvements(result)
+    winners = sorted(gains, key=gains.get, reverse=True)[:4]
+    benchmark.extra_info["largest_gains"] = winners
+    assert set(winners) == {
+        "TPCH_Q01", "TPCH_Q07", "TPCH_Q08", "TPCH_Q09"
+    }

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 12 (scan || S/4HANA OLTP) + column sweep."""
+
+
+
+from repro.experiments import fig12_oltp
+
+
+def test_fig12_oltp(benchmark, report_figure):
+    result = benchmark(fig12_oltp.run)
+    report_figure(benchmark, result)
+    off_13 = result.select(panel="12a", partitioning="off")[0][3]
+    on_13 = result.select(panel="12a", partitioning="on")[0][3]
+    assert on_13 > off_13 + 0.05

@@ -1,0 +1,53 @@
+"""Benchmark: functional mixed workload through the real engine.
+
+Measures the wall-clock cost of the paper's repeat-loop methodology on
+the functional path — SQL round trips, operator execution, CAT mask
+programming — with partitioning off and on.  The on/off delta bounds
+the engine-side overhead of the integration (the paper: negligible for
+OLAP, none for OLTP thanks to the dedicated pool).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.storage.datagen import DataGenerator
+from repro.workloads.driver import MixedWorkloadDriver, Statement
+
+MIXED = (
+    Statement("scan", "SELECT COUNT(*) FROM A WHERE A.X > ?", (250,)),
+    Statement("agg", "SELECT MAX(B.V), B.G FROM B GROUP BY B.G"),
+    Statement("join", "SELECT COUNT(*) FROM R, S WHERE R.P = S.F"),
+)
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    generator = DataGenerator(41)
+    db.execute("CREATE COLUMN TABLE A ( X INT )")
+    db.load("A", {"X": generator.scan_table(20_000, 500)})
+    db.execute("CREATE COLUMN TABLE B ( V INT, G INT )")
+    db.load("B", generator.aggregation_table(20_000, 200, 16))
+    db.execute("CREATE COLUMN TABLE R ( P INT, PRIMARY KEY(P) )")
+    primary, foreign = generator.join_tables(1_000, 10_000)
+    db.load("R", {"P": primary})
+    db.execute("CREATE COLUMN TABLE S ( F INT )")
+    db.load("S", {"F": foreign})
+    return db
+
+
+def test_mixed_loop_unpartitioned(benchmark, database):
+    driver = MixedWorkloadDriver(database)
+    report = benchmark(driver.run, MIXED, 5)
+    assert report.kernel_calls == 0
+
+
+def test_mixed_loop_partitioned(benchmark, database):
+    database.enable_cache_partitioning()
+    driver = MixedWorkloadDriver(database)
+    report = benchmark(driver.run, MIXED, 5)
+    benchmark.extra_info["kernel_calls"] = report.kernel_calls
+    benchmark.extra_info["elided_calls"] = report.elided_calls
+    assert report.masks_seen["column_scan"] == {0x3}

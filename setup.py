@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 517
+editable installs are unavailable; this file enables pip's legacy
+``setup.py develop`` path.  All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""repro — reproduction of "Accelerating Concurrent Workloads with CPU
+Cache Partitioning" (Noll, Teubner, May, Böhm; ICDE 2018).
+
+The package provides, from bottom to top:
+
+* :mod:`repro.hardware` — simulated CPU substrate: set-associative
+  caches with Intel CAT way masks, DRAM bandwidth arbitration, stream
+  prefetcher, PCM-style counters,
+* :mod:`repro.resctrl` — emulated Linux resctrl interface,
+* :mod:`repro.storage` / :mod:`repro.operators` — a functional
+  dictionary-encoded column store with the paper's operators,
+* :mod:`repro.sql` / :mod:`repro.engine` — SQL front end and the
+  CAT-integrated execution engine (jobs, CUIDs, worker pools),
+* :mod:`repro.core` — the paper's contribution: partitioning schemes,
+  the micro-benchmark-driven advisor, and database integration,
+* :mod:`repro.model` — the analytic performance model used to
+  regenerate the paper's figures,
+* :mod:`repro.workloads` / :mod:`repro.experiments` — workload
+  catalogs (micro-benchmarks, TPC-H, S/4HANA) and one experiment
+  module per paper figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Database, CachePartitioning
+
+    db = Database()
+    db.execute("CREATE COLUMN TABLE A ( X INT )")
+    db.load("A", {"X": np.random.randint(1, 10**6, size=100_000)})
+    with CachePartitioning(db):
+        result = db.execute("SELECT COUNT(*) FROM A WHERE A.X > ?",
+                            [500_000])
+"""
+
+from .config import CacheSpec, DramSpec, SystemSpec, xeon_e5_2699_v4
+from .core import (
+    CachePartitioning,
+    PartitioningScheme,
+    analyze_sweep,
+    derive_policy,
+    join_restricted_scheme,
+    paper_scheme,
+    unpartitioned_scheme,
+)
+from .engine import Database
+from .errors import ReproError
+from .model import (
+    AccessProfile,
+    QueryResult,
+    QuerySpec,
+    RandomRegion,
+    SequentialStream,
+    WorkloadSimulator,
+)
+from .operators import CacheUsage
+from .workloads import ConcurrencyExperiment, WorkloadQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessProfile",
+    "CachePartitioning",
+    "CacheSpec",
+    "CacheUsage",
+    "ConcurrencyExperiment",
+    "Database",
+    "DramSpec",
+    "PartitioningScheme",
+    "QueryResult",
+    "QuerySpec",
+    "RandomRegion",
+    "ReproError",
+    "SequentialStream",
+    "SystemSpec",
+    "WorkloadQuery",
+    "WorkloadSimulator",
+    "analyze_sweep",
+    "derive_policy",
+    "join_restricted_scheme",
+    "paper_scheme",
+    "unpartitioned_scheme",
+    "xeon_e5_2699_v4",
+]

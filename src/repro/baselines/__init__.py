@@ -1,0 +1,19 @@
+"""Baseline comparators from the paper's related work.
+
+* :mod:`repro.baselines.page_coloring` — software cache partitioning
+  by OS page colors (Lee et al., MCC-DB; Zhang et al., EuroSys'09),
+  the approach the paper argues against for in-memory systems because
+  re-partitioning requires copying the data (Sec. V-A, VII).
+"""
+
+from .page_coloring import (
+    PageColoringPartitioner,
+    RepartitionEvent,
+    coloring_capacity_bytes,
+)
+
+__all__ = [
+    "PageColoringPartitioner",
+    "RepartitionEvent",
+    "coloring_capacity_bytes",
+]

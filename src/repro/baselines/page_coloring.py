@@ -1,0 +1,144 @@
+"""Page-coloring cache partitioning — the software baseline.
+
+Before CAT, shared-cache partitioning was done in software: physical
+pages whose address bits select the same cache *sets* form a "color";
+by allocating an application's memory only from certain colors, the OS
+confines it to a fraction of the cache (Lee et al. [13]; Cho & Jin
+[25]; Zhang et al. [15]).
+
+The paper dismisses page coloring for in-memory DBMSs for two reasons
+(Sec. V-A), both modelled here so the comparison can be *measured*:
+
+1. **granularity/capacity**: a color partitions sets, so the number of
+   partitions is fixed by page size x set count; capacity-wise it is
+   equivalent to way partitioning (same fraction of bytes) but also
+   partitions *DRAM pages*, constraining the allocator,
+2. **re-partitioning cost**: changing an application's colors means
+   *copying every resident page* to pages of the new colors.  For a
+   multi-GiB in-memory table this costs seconds of memory bandwidth,
+   while CAT re-partitioning is one register write (~microseconds).
+
+:func:`repro.experiments.ext_baselines.run` turns this into the
+dynamic-workload comparison the paper argues from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SystemSpec
+from ..errors import WorkloadError
+from ..units import KiB
+
+
+PAGE_BYTES = 4 * KiB
+
+
+def num_colors(spec: SystemSpec, page_bytes: int = PAGE_BYTES) -> int:
+    """Number of distinct page colors the LLC geometry offers.
+
+    A color is the set-index bits covered by a physical page:
+    sets_per_page = page / line; colors = sets / sets_per_page.
+    """
+    sets_per_page = page_bytes // spec.llc.line_bytes
+    if sets_per_page <= 0:
+        raise WorkloadError("page smaller than a cache line")
+    colors = spec.llc.sets // sets_per_page
+    return max(1, colors)
+
+
+def coloring_capacity_bytes(
+    spec: SystemSpec, colors_granted: int,
+    page_bytes: int = PAGE_BYTES,
+) -> int:
+    """LLC capacity reachable through ``colors_granted`` colors."""
+    total = num_colors(spec, page_bytes)
+    if not 1 <= colors_granted <= total:
+        raise WorkloadError(
+            f"colors_granted must be in [1, {total}]: {colors_granted}"
+        )
+    return spec.llc.size_bytes * colors_granted // total
+
+
+@dataclass(frozen=True)
+class RepartitionEvent:
+    """Cost record of one re-partitioning operation."""
+
+    mechanism: str            # "page_coloring" or "cat"
+    resident_bytes: float     # data that had to move (coloring only)
+    cost_seconds: float
+
+
+@dataclass
+class PageColoringPartitioner:
+    """Color-based partitioner with explicit re-partitioning cost.
+
+    ``assign(tenant, colors)`` grants a tenant a color set; changing an
+    existing tenant's colors charges the copy of its resident bytes at
+    the machine's DRAM bandwidth (read + write = 2x traffic), which is
+    the number the paper's flexibility argument hinges on.
+    """
+
+    spec: SystemSpec
+    page_bytes: int = PAGE_BYTES
+    _assignments: dict[str, frozenset[int]] = field(default_factory=dict)
+    events: list[RepartitionEvent] = field(default_factory=list)
+
+    @property
+    def total_colors(self) -> int:
+        return num_colors(self.spec, self.page_bytes)
+
+    def capacity_of(self, tenant: str) -> int:
+        try:
+            colors = self._assignments[tenant]
+        except KeyError:
+            raise WorkloadError(f"unknown tenant {tenant!r}") from None
+        return coloring_capacity_bytes(
+            self.spec, len(colors), self.page_bytes
+        )
+
+    def assign(
+        self, tenant: str, colors: frozenset[int],
+        resident_bytes: float = 0.0,
+    ) -> RepartitionEvent:
+        """(Re-)assign a tenant's colors; returns the cost event."""
+        if not colors:
+            raise WorkloadError("a tenant needs at least one color")
+        if max(colors) >= self.total_colors or min(colors) < 0:
+            raise WorkloadError(
+                f"colors out of range [0, {self.total_colors})"
+            )
+        if resident_bytes < 0:
+            raise WorkloadError("resident_bytes must be >= 0")
+
+        previous = self._assignments.get(tenant)
+        if previous is None or previous == colors:
+            moved = 0.0
+        else:
+            # Pages in colors no longer granted must be copied.
+            lost_fraction = (
+                len(previous - colors) / len(previous)
+                if previous else 0.0
+            )
+            moved = resident_bytes * lost_fraction
+        cost = (
+            2.0 * moved / self.spec.dram.bandwidth_bytes_per_s
+            if moved else 0.0
+        )
+        self._assignments[tenant] = colors
+        event = RepartitionEvent("page_coloring", moved, cost)
+        self.events.append(event)
+        return event
+
+    def cat_equivalent_cost(self) -> RepartitionEvent:
+        """What the same re-partition costs with CAT: one MSR write."""
+        event = RepartitionEvent("cat", 0.0, 1e-6)
+        self.events.append(event)
+        return event
+
+    def total_repartition_seconds(self, mechanism: str) -> float:
+        return sum(
+            event.cost_seconds
+            for event in self.events
+            if event.mechanism == mechanism
+        )

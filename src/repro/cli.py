@@ -1,0 +1,102 @@
+"""Command-line interface: regenerate paper figures and extensions.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run fig9             # one figure
+    python -m repro run all              # everything (the paper's eval)
+    python -m repro run fig9 --fast      # reduced sweeps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .experiments import (
+    ext_baselines,
+    ext_scheduling,
+    ext_skew,
+    ext_sort_vs_hash,
+    ext_trace_validation,
+    fig01_teaser,
+    fig04_scan,
+    fig05_aggregation,
+    fig06_join,
+    fig09_scan_agg,
+    fig10_agg_join,
+    fig11_tpch,
+    fig12_oltp,
+    summary,
+)
+
+EXPERIMENTS: dict[str, tuple[Callable[..., object], str]] = {
+    "fig1": (fig01_teaser.main, "teaser: OLTP vs OLAP scan"),
+    "fig4": (fig04_scan.main, "column scan vs LLC size"),
+    "fig5": (fig05_aggregation.main, "aggregation vs LLC size"),
+    "fig6": (fig06_join.main, "FK join vs LLC size"),
+    "fig9": (fig09_scan_agg.main, "scan || aggregation, off/on"),
+    "fig10": (fig10_agg_join.main, "aggregation || join, 3 schemes"),
+    "fig11": (fig11_tpch.main, "scan || TPC-H (SF 100)"),
+    "fig12": (fig12_oltp.main, "scan || S/4HANA OLTP"),
+    "ext-sched": (ext_scheduling.main, "cache-aware co-scheduling"),
+    "ext-coloring": (ext_baselines.main, "CAT vs page coloring"),
+    "ext-skew": (ext_skew.main, "uniform vs Zipf-skewed access"),
+    "ext-sort": (ext_sort_vs_hash.main, "hash vs sort aggregation"),
+    "ext-trace": (
+        ext_trace_validation.main,
+        "analytic model vs exact LRU simulation",
+    ),
+    "report": (
+        summary.main,
+        "run all figures, check every paper claim (PASS/FAIL)",
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Accelerating Concurrent Workloads with "
+            "CPU Cache Partitioning' (ICDE 2018)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list available experiments")
+    run = commands.add_parser("run", help="run experiments")
+    run.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id, or 'all'",
+    )
+    run.add_argument(
+        "--fast", action="store_true",
+        help="reduced sweeps for a quick look",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (_, description) in sorted(EXPERIMENTS.items()):
+            print(f"  {name.ljust(width)}  {description}")
+        return 0
+
+    names = (
+        sorted(EXPERIMENTS) if args.experiment == "all"
+        else [args.experiment]
+    )
+    for index, name in enumerate(names):
+        if index:
+            print()
+        runner, _ = EXPERIMENTS[name]
+        runner(fast=args.fast)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

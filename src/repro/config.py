@@ -1,0 +1,178 @@
+"""Hardware system specifications.
+
+The default specification reproduces the paper's test machine: a single
+socket Intel Xeon E5-2699 v4 (Broadwell-EP) with 22 physical cores, a
+shared, inclusive 55 MiB 20-way last-level cache, 64 GB/s DRAM read
+bandwidth and 80 ns DRAM access latency (Sec. III-C of the paper).
+
+All simulator components take a :class:`SystemSpec` instead of hard-coded
+constants, so experiments can be re-run on scaled-down geometries (useful
+for fast trace-driven simulation in tests) or on entirely different
+machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import CacheConfigError, ConfigError
+from .units import GB, KiB, MiB, NANOSECOND
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry of one cache level.
+
+    Attributes:
+        size_bytes: total capacity of the cache.
+        ways: associativity.  The LLC's way count also determines the
+            granularity of CAT partitioning (one bitmask bit per way).
+        line_bytes: cache-line size; 64 bytes on all modern x86 parts.
+    """
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise CacheConfigError(f"cache size must be > 0: {self.size_bytes}")
+        if self.ways <= 0:
+            raise CacheConfigError(f"ways must be > 0: {self.ways}")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise CacheConfigError(
+                f"line size must be a positive power of two: {self.line_bytes}"
+            )
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise CacheConfigError(
+                "cache size must be a multiple of ways * line size: "
+                f"{self.size_bytes} % ({self.ways} * {self.line_bytes}) != 0"
+            )
+
+    @property
+    def sets(self) -> int:
+        """Number of cache sets (size / (ways * line size))."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def way_bytes(self) -> int:
+        """Capacity of a single way — the CAT allocation granularity."""
+        return self.size_bytes // self.ways
+
+    def scaled(self, factor: float) -> "CacheSpec":
+        """Return a geometry with capacity divided by ``factor``.
+
+        Associativity and line size are preserved (they determine CAT
+        semantics and spatial locality); only the set count shrinks.
+        """
+        if factor <= 0:
+            raise CacheConfigError(f"scale factor must be > 0: {factor}")
+        sets = max(1, round(self.sets / factor))
+        return replace(self, size_bytes=sets * self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class DramSpec:
+    """DRAM characteristics as measured by Intel Memory Latency Checker."""
+
+    bandwidth_bytes_per_s: float = 64 * GB
+    latency_s: float = 80 * NANOSECOND
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigError(
+                f"DRAM bandwidth must be > 0: {self.bandwidth_bytes_per_s}"
+            )
+        if self.latency_s <= 0:
+            raise ConfigError(f"DRAM latency must be > 0: {self.latency_s}")
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Complete single-socket system description.
+
+    The CAT fields mirror the Xeon E5 v4 implementation: up to 16 classes
+    of service (CLOS) and one capacity-bitmask bit per LLC way.
+    """
+
+    cores: int = 22
+    smt_threads_per_core: int = 2
+    frequency_hz: float = 2.2e9
+    l1d: CacheSpec = field(default_factory=lambda: CacheSpec(32 * KiB, 8))
+    l2: CacheSpec = field(default_factory=lambda: CacheSpec(256 * KiB, 8))
+    llc: CacheSpec = field(default_factory=lambda: CacheSpec(55 * MiB, 20))
+    dram: DramSpec = field(default_factory=DramSpec)
+    cat_classes: int = 16
+    cat_min_bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigError(f"core count must be > 0: {self.cores}")
+        if self.smt_threads_per_core <= 0:
+            raise ConfigError(
+                f"SMT threads must be > 0: {self.smt_threads_per_core}"
+            )
+        if self.frequency_hz <= 0:
+            raise ConfigError(f"frequency must be > 0: {self.frequency_hz}")
+        if self.cat_classes <= 0:
+            raise ConfigError(f"CAT classes must be > 0: {self.cat_classes}")
+        if not 1 <= self.cat_min_bits <= self.llc.ways:
+            raise ConfigError(
+                f"CAT minimum bitmask width {self.cat_min_bits} must be in "
+                f"[1, {self.llc.ways}]"
+            )
+
+    @property
+    def hardware_threads(self) -> int:
+        """Logical CPU count (cores * SMT)."""
+        return self.cores * self.smt_threads_per_core
+
+    @property
+    def full_mask(self) -> int:
+        """Capacity bitmask granting access to the entire LLC."""
+        return (1 << self.llc.ways) - 1
+
+    @property
+    def cycle_s(self) -> float:
+        """Duration of one core cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    @property
+    def l2_total_bytes(self) -> int:
+        """Aggregate private L2 capacity across all cores."""
+        return self.l2.size_bytes * self.cores
+
+    def mask_bytes(self, mask: int) -> int:
+        """LLC capacity reachable through a capacity bitmask."""
+        if mask < 0 or mask > self.full_mask:
+            raise ConfigError(
+                f"mask {mask:#x} out of range for {self.llc.ways} ways"
+            )
+        return bin(mask).count("1") * self.llc.way_bytes
+
+    def mask_fraction(self, mask: int) -> float:
+        """Fraction of the LLC reachable through a capacity bitmask."""
+        return self.mask_bytes(mask) / self.llc.size_bytes
+
+    def scaled(self, factor: float) -> "SystemSpec":
+        """Return a system with all cache capacities divided by ``factor``.
+
+        Used by the trace-driven simulator in tests: cache-sharing
+        behaviour is approximately invariant under proportional scaling
+        of cache and working-set sizes, but a 55 MiB LLC is expensive to
+        simulate line-by-line in Python.
+        """
+        return replace(
+            self,
+            l1d=self.l1d.scaled(factor),
+            l2=self.l2.scaled(factor),
+            llc=self.llc.scaled(factor),
+        )
+
+
+def xeon_e5_2699_v4() -> SystemSpec:
+    """The paper's evaluation machine (Sec. III-C)."""
+    return SystemSpec()
+
+
+DEFAULT_SYSTEM = xeon_e5_2699_v4()

@@ -1,0 +1,48 @@
+"""The paper's primary contribution, packaged as a reusable API.
+
+Three pieces:
+
+* :mod:`repro.core.policy` — named cache-partitioning schemes expressed
+  as LLC fractions (the paper's 10 % / 60 % / 100 % scheme and the
+  alternatives it evaluates),
+* :mod:`repro.core.advisor` — derives a scheme from micro-benchmark
+  sweeps, automating the paper's Sec. IV -> Sec. V-B derivation,
+* :mod:`repro.core.integration` — attaches partitioning to a running
+  :class:`~repro.engine.database.Database`.
+"""
+
+from .advisor import CacheSensitivity, SensitivityReport, analyze_sweep, derive_policy
+from .estimator import (
+    ColumnStatistics,
+    WorkingSetEstimate,
+    WorkingSetEstimator,
+)
+from .integration import CachePartitioning
+from .online import OnlineClassification, OnlineClassifier
+from .policy import (
+    PartitioningScheme,
+    join_restricted_scheme,
+    paper_scheme,
+    unpartitioned_scheme,
+)
+from .scheduling import CacheAwareScheduler, Phase, ScheduledQuery
+
+__all__ = [
+    "CacheAwareScheduler",
+    "CachePartitioning",
+    "CacheSensitivity",
+    "ColumnStatistics",
+    "WorkingSetEstimate",
+    "WorkingSetEstimator",
+    "OnlineClassification",
+    "OnlineClassifier",
+    "PartitioningScheme",
+    "Phase",
+    "ScheduledQuery",
+    "SensitivityReport",
+    "analyze_sweep",
+    "derive_policy",
+    "join_restricted_scheme",
+    "paper_scheme",
+    "unpartitioned_scheme",
+]

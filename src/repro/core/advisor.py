@@ -1,0 +1,125 @@
+"""Deriving a partitioning scheme from micro-benchmark sweeps.
+
+The paper derives its scheme manually from Figs. 4-6: "give the column
+scan the smallest amount of cache without reducing performance" and
+"the join degrades below 35 MiB, so give it 60 %".  This module
+automates that reasoning: given (cache fraction -> normalized
+throughput) sweep points for an operator, it finds the smallest cache
+fraction that keeps throughput within a tolerance of the full-cache
+throughput, classifies the operator, and assembles a
+:class:`~repro.core.policy.PartitioningScheme`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from .policy import PartitioningScheme
+
+
+class CacheSensitivity(enum.Enum):
+    """Operator classification derived from its sweep."""
+
+    INSENSITIVE = "insensitive"       # flat curve: a polluter candidate
+    SENSITIVE = "sensitive"           # needs a large fraction
+    PARTIALLY_SENSITIVE = "partially_sensitive"  # needs a mid fraction
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Outcome of analysing one operator's cache-size sweep."""
+
+    operator: str
+    sensitivity: CacheSensitivity
+    min_safe_fraction: float
+    worst_degradation: float
+
+    @property
+    def recommended_fraction(self) -> float:
+        """Cache fraction the scheme should grant this operator."""
+        return self.min_safe_fraction
+
+
+def analyze_sweep(
+    operator: str,
+    sweep: list[tuple[float, float]],
+    tolerance: float = 0.03,
+) -> SensitivityReport:
+    """Classify an operator from (fraction, normalized throughput) points.
+
+    ``sweep`` must include the full-cache point (fraction 1.0, by
+    definition throughput 1.0).  ``tolerance`` is the accepted
+    throughput loss: the minimum safe fraction is the smallest fraction
+    whose throughput is at least ``1 - tolerance``.
+    """
+    if not sweep:
+        raise WorkloadError(f"empty sweep for operator {operator!r}")
+    points = sorted(sweep)
+    fractions = [fraction for fraction, _ in points]
+    if not any(abs(fraction - 1.0) < 1e-9 for fraction in fractions):
+        raise WorkloadError(
+            f"sweep for {operator!r} must include the full-cache point"
+        )
+    for fraction, throughput in points:
+        if not 0.0 < fraction <= 1.0:
+            raise WorkloadError(
+                f"sweep fraction out of (0, 1]: {fraction}"
+            )
+        if throughput < 0.0:
+            raise WorkloadError(
+                f"normalized throughput must be >= 0: {throughput}"
+            )
+
+    floor = 1.0 - tolerance
+    min_safe = 1.0
+    # Walk from the largest fraction down while throughput stays safe.
+    for fraction, throughput in reversed(points):
+        if throughput >= floor:
+            min_safe = fraction
+        else:
+            break
+    worst = 1.0 - min(throughput for _, throughput in points)
+
+    if min_safe <= 0.15:
+        sensitivity = CacheSensitivity.INSENSITIVE
+    elif min_safe >= 0.75:
+        sensitivity = CacheSensitivity.SENSITIVE
+    else:
+        sensitivity = CacheSensitivity.PARTIALLY_SENSITIVE
+    return SensitivityReport(operator, sensitivity, min_safe, worst)
+
+
+def derive_policy(
+    reports: list[SensitivityReport],
+    name: str = "derived",
+) -> PartitioningScheme:
+    """Assemble a scheme from per-operator sensitivity reports.
+
+    * insensitive operators define the polluter fraction (their largest
+      safe minimum, floored at 10 % — one way below that thrashes, see
+      paper Sec. V-B),
+    * sensitive operators keep 100 %,
+    * partially sensitive operators define the adaptive fraction.
+    """
+    if not reports:
+        raise WorkloadError("derive_policy needs at least one report")
+    polluter_candidates = [
+        r.min_safe_fraction
+        for r in reports
+        if r.sensitivity is CacheSensitivity.INSENSITIVE
+    ]
+    adaptive_candidates = [
+        r.min_safe_fraction
+        for r in reports
+        if r.sensitivity is CacheSensitivity.PARTIALLY_SENSITIVE
+    ]
+    polluting = max([0.10] + polluter_candidates) if polluter_candidates else 0.10
+    adaptive = max(adaptive_candidates) if adaptive_candidates else 0.60
+    return PartitioningScheme(
+        name=name,
+        polluting_fraction=polluting,
+        sensitive_fraction=1.0,
+        adaptive_sensitive_fraction=adaptive,
+    )

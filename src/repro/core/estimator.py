@@ -1,0 +1,183 @@
+"""Statistics-driven working-set estimation and mask selection.
+
+The paper's discussion (Sec. VI-F) ends on: *"Generally, the search for
+the 'best' partitioning in any given situation will depend on accurate
+result size estimates."*  This module supplies that piece: estimate an
+operator's performance-critical working sets from *catalog statistics*
+(row counts, distinct counts) **before execution**, then pick the CAT
+mask the paper's policy would assign — without building hash tables or
+bit vectors first.
+
+The estimates mirror the structures of Sec. II:
+
+* dictionary bytes        = distinct values x entry width,
+* hash-table bytes        = (workers + 1) x groups x entry width,
+* bit-vector bytes        = max primary key / 8,
+
+and the classification rules are the paper's (Sec. V-B/V-C): scans are
+polluters; aggregations are sensitive; joins flip on where their bit
+vector falls relative to aggregate L2 and the LLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemSpec
+from ..engine.cache_control import CuidPolicy
+from ..errors import WorkloadError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..operators.base import CacheUsage
+from ..operators.join import classify_join
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Catalog statistics for one column."""
+
+    name: str
+    row_count: int
+    distinct_count: int
+    max_value: int | None = None   # for dense key domains
+
+    def __post_init__(self) -> None:
+        if self.row_count <= 0:
+            raise WorkloadError(
+                f"column {self.name!r}: row_count must be > 0"
+            )
+        if not 1 <= self.distinct_count <= self.row_count:
+            raise WorkloadError(
+                f"column {self.name!r}: distinct_count must be in "
+                f"[1, {self.row_count}]"
+            )
+
+
+@dataclass(frozen=True)
+class WorkingSetEstimate:
+    """Estimated performance-critical working sets of one operator."""
+
+    operator: str
+    cuid: CacheUsage
+    dictionary_bytes: int = 0
+    hash_table_bytes: int = 0
+    bit_vector_bytes: int = 0
+    # True for operators of the paper's *adaptive* category (the FK
+    # join): when such an operator resolves to SENSITIVE it receives
+    # the 60 % grant rather than the full mask (Sec. V-B).
+    adaptive_class: bool = False
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.dictionary_bytes
+            + self.hash_table_bytes
+            + self.bit_vector_bytes
+        )
+
+
+class WorkingSetEstimator:
+    """Estimates working sets and selects CAT masks from statistics."""
+
+    def __init__(
+        self,
+        spec: SystemSpec | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        workers: int | None = None,
+    ) -> None:
+        self.spec = spec if spec is not None else SystemSpec()
+        self.calibration = calibration
+        self.workers = workers if workers is not None else self.spec.cores
+        self._policy = CuidPolicy.paper_default(self.spec)
+
+    # ------------------------------------------------------------------
+    # per-operator estimates
+    # ------------------------------------------------------------------
+
+    def estimate_scan(self, column: ColumnStatistics) -> WorkingSetEstimate:
+        """Scans keep nothing resident (paper Sec. IV-A)."""
+        return WorkingSetEstimate(
+            operator=f"scan({column.name})",
+            cuid=CacheUsage.POLLUTING,
+        )
+
+    def estimate_aggregation(
+        self,
+        value_column: ColumnStatistics,
+        group_column: ColumnStatistics,
+    ) -> WorkingSetEstimate:
+        """Dictionary + thread-local hash tables (paper Sec. IV-B)."""
+        return WorkingSetEstimate(
+            operator=(
+                f"aggregate({value_column.name} by {group_column.name})"
+            ),
+            cuid=CacheUsage.SENSITIVE,
+            dictionary_bytes=self.calibration.dictionary_bytes(
+                value_column.distinct_count
+            ),
+            hash_table_bytes=self.calibration.hash_table_bytes(
+                group_column.distinct_count, self.workers
+            ),
+        )
+
+    def estimate_join(
+        self, primary_key: ColumnStatistics
+    ) -> WorkingSetEstimate:
+        """Bit vector sized by the key domain (paper Sec. IV-C)."""
+        domain = (
+            primary_key.max_value
+            if primary_key.max_value is not None
+            else primary_key.distinct_count
+        )
+        vector_bytes = self.calibration.bit_vector_bytes(domain)
+        return WorkingSetEstimate(
+            operator=f"join(pk={primary_key.name})",
+            cuid=classify_join(vector_bytes, self.spec),
+            bit_vector_bytes=vector_bytes,
+            adaptive_class=True,
+        )
+
+    # ------------------------------------------------------------------
+    # mask selection
+    # ------------------------------------------------------------------
+
+    def mask_for(self, estimate: WorkingSetEstimate) -> int:
+        """The paper's scheme, applied to an estimate."""
+        if estimate.cuid is CacheUsage.POLLUTING:
+            return self._policy.polluting_mask
+        if estimate.adaptive_class or estimate.cuid is CacheUsage.ADAPTIVE:
+            return self._policy.adaptive_sensitive_mask
+        return self._policy.sensitive_mask
+
+    def recommended_mask(self, estimate: WorkingSetEstimate) -> int:
+        """Refined selection: size the grant to the working set.
+
+        Sensitive operators whose *entire* estimated working set fits
+        into fewer ways don't need the full LLC; granting the smallest
+        sufficient contiguous mask (with one way of headroom) leaves
+        more exclusive capacity for others — the "best partitioning
+        from result size estimates" the paper anticipates.
+        """
+        base = self.mask_for(estimate)
+        if estimate.cuid is not CacheUsage.SENSITIVE:
+            return base
+        if estimate.total_bytes <= 0:
+            return base
+        way_bytes = self.spec.llc.way_bytes
+        needed_ways = -(-estimate.total_bytes // way_bytes) + 1
+        needed_ways = max(self.spec.cat_min_bits, needed_ways)
+        if needed_ways >= self.spec.llc.ways:
+            return base
+        return (1 << needed_ways) - 1
+
+    def estimate_sensitivity_to_corunner(
+        self, estimate: WorkingSetEstimate
+    ) -> bool:
+        """True when cache pollution is expected to hurt this operator:
+        its working set is LLC-manageable (not compulsory-miss bound)
+        and exceeds the private L2s."""
+        total = estimate.total_bytes
+        return (
+            self.spec.l2_total_bytes
+            < total
+            <= 2 * self.spec.llc.size_bytes
+        )

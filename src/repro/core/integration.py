@@ -1,0 +1,56 @@
+"""Attaching cache partitioning to a database.
+
+:class:`CachePartitioning` is the deployment-facing API: point it at a
+:class:`~repro.engine.database.Database`, pick a scheme, and use it
+either imperatively (``enable()`` / ``disable()``) or as a context
+manager for scoped experiments.
+"""
+
+from __future__ import annotations
+
+from ..engine.database import Database
+from .policy import PartitioningScheme, paper_scheme
+
+
+class CachePartitioning:
+    """Scheme-level switch for a database's cache partitioning.
+
+    Example::
+
+        partitioning = CachePartitioning(db)     # paper's scheme
+        with partitioning:
+            db.execute(...)                      # partitioned
+        db.execute(...)                          # back to unpartitioned
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        scheme: PartitioningScheme | None = None,
+    ) -> None:
+        self._database = database
+        self._scheme = scheme if scheme is not None else paper_scheme()
+
+    @property
+    def scheme(self) -> PartitioningScheme:
+        return self._scheme
+
+    def apply_scheme(self, scheme: PartitioningScheme) -> None:
+        """Swap the scheme; takes effect on the next enable/job."""
+        self._scheme = scheme
+        if self._database.cache_partitioning_enabled:
+            self.enable()
+
+    def enable(self) -> None:
+        policy = self._scheme.to_cuid_policy(self._database.spec)
+        self._database.enable_cache_partitioning(policy)
+
+    def disable(self) -> None:
+        self._database.disable_cache_partitioning()
+
+    def __enter__(self) -> "CachePartitioning":
+        self.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.disable()

@@ -1,0 +1,124 @@
+"""Online CUID classification from monitoring data.
+
+The paper derives its cache-usage identifiers from an *offline*
+empirical analysis (Sec. IV) and notes in related work that miss-ratio
+models could classify operators *online* instead.  This module
+implements that extension: probe a query briefly on the performance
+model (standing in for a short monitored execution with CMT/PCM), read
+its monitoring sample, and classify it into the paper's taxonomy:
+
+* high memory traffic + negligible LLC benefit -> POLLUTING,
+* meaningful LLC occupancy whose hit ratio depends on allocation ->
+  SENSITIVE,
+* classification that flips with the data (probed per instance) is the
+  ADAPTIVE case by construction — the classifier is simply re-run.
+
+The probe compares two monitored micro-runs (full LLC vs. the polluter
+slice); an operator whose throughput is invariant under the restriction
+cannot need the cache — exactly the paper's definition of a polluter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemSpec
+from ..errors import ModelError
+from ..hardware.cat import mask_from_fraction
+from ..hardware.cmt import CmtSample
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..model.simulator import QueryResult, QuerySpec, WorkloadSimulator
+from ..model.streams import AccessProfile
+from ..operators.base import CacheUsage
+
+
+@dataclass(frozen=True)
+class OnlineClassification:
+    """Outcome of probing one operator."""
+
+    operator: str
+    cuid: CacheUsage
+    restricted_ratio: float       # throughput(10 %) / throughput(100 %)
+    full_sample: CmtSample
+    restricted_sample: CmtSample
+
+    @property
+    def cache_benefit(self) -> float:
+        """Throughput lost when confined to the polluter slice."""
+        return 1.0 - self.restricted_ratio
+
+
+class OnlineClassifier:
+    """Classifies access profiles by monitored probe runs."""
+
+    def __init__(
+        self,
+        spec: SystemSpec | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        polluter_fraction: float = 0.10,
+        sensitivity_threshold: float = 0.05,
+    ) -> None:
+        if not 0.0 < sensitivity_threshold < 1.0:
+            raise ModelError(
+                "sensitivity_threshold must be in (0, 1): "
+                f"{sensitivity_threshold}"
+            )
+        self.spec = spec if spec is not None else SystemSpec()
+        self.simulator = WorkloadSimulator(self.spec, calibration)
+        self._probe_mask = mask_from_fraction(self.spec,
+                                              polluter_fraction)
+        self._threshold = sensitivity_threshold
+
+    def _sample(self, result: QueryResult, rmid: int) -> CmtSample:
+        """Convert simulator output into a CMT-style reading."""
+        counters = result.counters
+        return CmtSample(
+            rmid=rmid,
+            llc_occupancy_bytes=self._occupancy_estimate(result),
+            llc_references=counters.llc_references_per_s,
+            llc_misses=counters.llc_misses_per_s,
+            memory_bandwidth_bytes_per_s=result.dram_bytes_per_s,
+        )
+
+    def _occupancy_estimate(self, result: QueryResult) -> float:
+        """Occupancy proxy: resident bytes across the query's regions."""
+        occupancy = 0.0
+        for name, hit_ratio in result.region_hit_ratios.items():
+            l2_fraction = result.region_l2_fractions.get(name, 0.0)
+            occupancy += hit_ratio * (1.0 - l2_fraction)
+        # Normalised to the LLC: callers only compare relative values.
+        return min(1.0, occupancy) * self.spec.llc.size_bytes
+
+    def classify(self, profile: AccessProfile) -> OnlineClassification:
+        """Probe ``profile`` with full vs. restricted LLC and classify."""
+        full = self.simulator.simulate(
+            [QuerySpec(profile.name, profile, self.spec.cores,
+                       self.spec.full_mask)]
+        )[profile.name]
+        restricted = self.simulator.simulate(
+            [QuerySpec(profile.name, profile, self.spec.cores,
+                       self._probe_mask)]
+        )[profile.name]
+        ratio = (
+            restricted.throughput_tuples_per_s
+            / full.throughput_tuples_per_s
+        )
+        cuid = (
+            CacheUsage.POLLUTING
+            if ratio >= 1.0 - self._threshold
+            else CacheUsage.SENSITIVE
+        )
+        return OnlineClassification(
+            operator=profile.name,
+            cuid=cuid,
+            restricted_ratio=ratio,
+            full_sample=self._sample(full, rmid=1),
+            restricted_sample=self._sample(restricted, rmid=1),
+        )
+
+    def classify_many(
+        self, profiles: list[AccessProfile]
+    ) -> dict[str, OnlineClassification]:
+        return {
+            profile.name: self.classify(profile) for profile in profiles
+        }

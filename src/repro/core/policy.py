@@ -1,0 +1,98 @@
+"""Cache-partitioning schemes.
+
+A :class:`PartitioningScheme` expresses the paper's policy in LLC
+*fractions* (how the paper reasons) and lowers to hardware bitmasks /
+a :class:`~repro.engine.cache_control.CuidPolicy` (how it executes).
+
+The paper's final scheme (Sec. V-B/V-C):
+
+* polluting jobs (column scan; small-bit-vector join): 10 % -> ``0x3``,
+* sensitive jobs (aggregation; default for unknown jobs): 100 %,
+* adaptive jobs resolved as sensitive (LLC-sized bit-vector join):
+  60 % -> ``0xfff``.
+
+Restricted masks use the *low* ways, so a restricted polluter shares
+its slice with full-mask queries rather than carving it out of them —
+matching Fig. 7's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemSpec
+from ..errors import CatError
+from ..hardware.cat import mask_from_fraction
+from ..engine.cache_control import CuidPolicy
+
+
+@dataclass(frozen=True)
+class PartitioningScheme:
+    """A named scheme in LLC fractions, lowerable to bitmasks."""
+
+    name: str
+    polluting_fraction: float
+    sensitive_fraction: float
+    adaptive_sensitive_fraction: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "polluting_fraction",
+            "sensitive_fraction",
+            "adaptive_sensitive_fraction",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 < value <= 1.0:
+                raise CatError(
+                    f"{field_name} must be in (0, 1], got {value}"
+                )
+
+    def to_cuid_policy(self, spec: SystemSpec) -> CuidPolicy:
+        """Lower the fractions to hardware capacity bitmasks."""
+        return CuidPolicy(
+            polluting_mask=mask_from_fraction(spec, self.polluting_fraction),
+            sensitive_mask=mask_from_fraction(spec, self.sensitive_fraction),
+            adaptive_sensitive_mask=mask_from_fraction(
+                spec, self.adaptive_sensitive_fraction
+            ),
+        )
+
+    def masks(self, spec: SystemSpec) -> dict[str, int]:
+        """The scheme's bitmasks, for reporting."""
+        policy = self.to_cuid_policy(spec)
+        return {
+            "polluting": policy.polluting_mask,
+            "sensitive": policy.sensitive_mask,
+            "adaptive_sensitive": policy.adaptive_sensitive_mask,
+        }
+
+
+def paper_scheme() -> PartitioningScheme:
+    """The scheme the paper ships (Sec. V-B): 10 % / 100 % / 60 %."""
+    return PartitioningScheme(
+        name="paper_default",
+        polluting_fraction=0.10,
+        sensitive_fraction=1.0,
+        adaptive_sensitive_fraction=0.60,
+    )
+
+
+def join_restricted_scheme() -> PartitioningScheme:
+    """The Fig. 10b counter-example: restrict even LLC-sized joins to
+    10 % — shown by the paper to *regress* the join by 15-31 %."""
+    return PartitioningScheme(
+        name="join_restricted_10pct",
+        polluting_fraction=0.10,
+        sensitive_fraction=1.0,
+        adaptive_sensitive_fraction=0.10,
+    )
+
+
+def unpartitioned_scheme() -> PartitioningScheme:
+    """Baseline: everyone gets the whole LLC."""
+    return PartitioningScheme(
+        name="unpartitioned",
+        polluting_fraction=1.0,
+        sensitive_fraction=1.0,
+        adaptive_sensitive_fraction=1.0,
+    )

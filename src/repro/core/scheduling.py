@@ -1,0 +1,200 @@
+"""Cache-aware co-scheduling (the paper's future-work proposal).
+
+The paper closes with: *"it might be advisable to co-run operators with
+high cache pollution characteristics, but let cache-sensitive queries
+rather run alone"* (Sec. VIII, following Lee et al.).  This module
+implements and evaluates that strategy on the performance model.
+
+Given a batch of queries with CUID annotations, the scheduler builds
+*phases* of at most ``max_corun`` concurrent queries:
+
+* **naive**: first-come-first-served pairing, ignoring cache usage —
+  the baseline any engine without cache-awareness implements,
+* **cache_aware**: polluters are paired with polluters; sensitive
+  queries are paired with (CAT-restricted) polluters only when no
+  polluter-polluter pairing is possible, and otherwise run together
+  with other sensitive queries (which share the LLC gracefully) —
+  never with an *unrestricted* polluter.
+
+Phases are evaluated by the workload simulator; the figure of merit is
+the batch *makespan* (sum of phase times, each phase as slow as its
+slowest member's remaining work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SystemSpec
+from ..engine.cache_control import CuidPolicy
+from ..errors import WorkloadError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..model.simulator import QuerySpec, WorkloadSimulator
+from ..model.streams import AccessProfile
+from ..operators.base import CacheUsage
+
+
+@dataclass(frozen=True)
+class ScheduledQuery:
+    """A query waiting to be scheduled."""
+
+    name: str
+    profile: AccessProfile
+    cuid: CacheUsage
+
+    def __post_init__(self) -> None:
+        if self.cuid is CacheUsage.ADAPTIVE:
+            raise WorkloadError(
+                f"query {self.name!r}: resolve ADAPTIVE to "
+                "POLLUTING/SENSITIVE before scheduling"
+            )
+
+
+@dataclass
+class Phase:
+    """One co-run phase: queries executed concurrently."""
+
+    queries: list[ScheduledQuery]
+    partitioned: bool = True
+    duration_s: float = 0.0
+    throughputs: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ScheduleOutcome:
+    """Evaluated schedule."""
+
+    strategy: str
+    phases: list[Phase]
+    makespan_s: float
+
+
+class CacheAwareScheduler:
+    """Builds and evaluates co-run schedules."""
+
+    def __init__(
+        self,
+        spec: SystemSpec | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        max_corun: int = 2,
+    ) -> None:
+        if max_corun < 1:
+            raise WorkloadError(f"max_corun must be >= 1: {max_corun}")
+        self.spec = spec if spec is not None else SystemSpec()
+        self.simulator = WorkloadSimulator(self.spec, calibration)
+        self.max_corun = max_corun
+        self._policy = CuidPolicy.paper_default(self.spec)
+
+    # ------------------------------------------------------------------
+    # schedule construction
+    # ------------------------------------------------------------------
+
+    def naive_schedule(
+        self, queries: list[ScheduledQuery]
+    ) -> list[Phase]:
+        """FCFS batching, no cache awareness, no partitioning."""
+        phases = []
+        for start in range(0, len(queries), self.max_corun):
+            phases.append(
+                Phase(
+                    queries=list(queries[start:start + self.max_corun]),
+                    partitioned=False,
+                )
+            )
+        return phases
+
+    def cache_aware_schedule(
+        self, queries: list[ScheduledQuery]
+    ) -> list[Phase]:
+        """Pair polluters together; protect sensitive queries.
+
+        Order of preference (paper Sec. VIII):
+        1. polluter + polluter (they cannot hurt each other's caches),
+        2. sensitive + sensitive (graceful LLC sharing),
+        3. sensitive + restricted polluter (CAT partitioning on),
+        4. singletons for the remainder.
+        """
+        polluters = [q for q in queries
+                     if q.cuid is CacheUsage.POLLUTING]
+        sensitive = [q for q in queries
+                     if q.cuid is CacheUsage.SENSITIVE]
+        phases: list[Phase] = []
+
+        while len(polluters) >= 2 and self.max_corun >= 2:
+            batch = [polluters.pop(0)
+                     for _ in range(min(self.max_corun, len(polluters)))]
+            phases.append(Phase(queries=batch, partitioned=False))
+
+        while len(sensitive) >= 2 and self.max_corun >= 2:
+            batch = [sensitive.pop(0)
+                     for _ in range(min(self.max_corun, len(sensitive)))]
+            phases.append(Phase(queries=batch, partitioned=True))
+
+        if sensitive and polluters and self.max_corun >= 2:
+            phases.append(
+                Phase(queries=[sensitive.pop(0), polluters.pop(0)],
+                      partitioned=True)
+            )
+        for leftover in sensitive + polluters:
+            phases.append(Phase(queries=[leftover], partitioned=False))
+        return phases
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def _mask_for(self, query: ScheduledQuery, partitioned: bool) -> int:
+        if not partitioned:
+            return self.spec.full_mask
+        if query.cuid is CacheUsage.POLLUTING:
+            return self._policy.polluting_mask
+        return self._policy.sensitive_mask
+
+    def evaluate(self, strategy: str,
+                 phases: list[Phase]) -> ScheduleOutcome:
+        """Simulate every phase; compute the batch makespan.
+
+        A phase lasts until its *slowest* member finishes its work
+        (``profile.tuples`` items at the simulated throughput); faster
+        members idle, which is what penalises bad pairings.
+        """
+        makespan = 0.0
+        for phase in phases:
+            if not phase.queries:
+                raise WorkloadError("empty phase in schedule")
+            specs = [
+                QuerySpec(
+                    query.name,
+                    query.profile,
+                    cores=self.spec.cores,
+                    mask=self._mask_for(query, phase.partitioned),
+                )
+                for query in phase.queries
+            ]
+            results = self.simulator.simulate(specs)
+            phase.throughputs = {
+                name: result.throughput_tuples_per_s
+                for name, result in results.items()
+            }
+            phase.duration_s = max(
+                query.profile.tuples
+                / results[query.name].throughput_tuples_per_s
+                for query in phase.queries
+            )
+            makespan += phase.duration_s
+        return ScheduleOutcome(strategy, phases, makespan)
+
+    def compare(
+        self, queries: list[ScheduledQuery]
+    ) -> dict[str, ScheduleOutcome]:
+        """Evaluate both strategies on the same batch."""
+        if not queries:
+            raise WorkloadError("cannot schedule an empty batch")
+        return {
+            "naive": self.evaluate(
+                "naive", self.naive_schedule(queries)
+            ),
+            "cache_aware": self.evaluate(
+                "cache_aware", self.cache_aware_schedule(queries)
+            ),
+        }

@@ -1,0 +1,29 @@
+"""Execution engine (the SAP HANA analogue).
+
+Implements the integration layer the paper contributes (Sec. V-C):
+*jobs* encapsulate operators, a pool of *job workers* executes them, and
+every job carries a *cache usage identifier* (CUID).  When cache
+partitioning is enabled, the engine maps the CUID to a CAT bitmask and
+— only when the worker's current bitmask differs — asks the (emulated)
+kernel to re-associate the worker thread, exactly mirroring the paper's
+compare-before-set optimisation.  Short-running OLTP statements run in
+a dedicated pool that always keeps full cache access.
+"""
+
+from .cache_control import CacheControlStats, CuidPolicy, CacheController
+from .database import Database
+from .job import Job, JobGraph
+from .scheduler import JobScheduler
+from .threadpool import JobWorker, JobWorkerPool
+
+__all__ = [
+    "CacheControlStats",
+    "CacheController",
+    "CuidPolicy",
+    "Database",
+    "Job",
+    "JobGraph",
+    "JobScheduler",
+    "JobWorker",
+    "JobWorkerPool",
+]

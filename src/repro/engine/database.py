@@ -1,0 +1,184 @@
+"""Database facade.
+
+The user-visible entry point: DDL, bulk load, SQL execution through the
+CAT-aware engine, and the switch that enables the paper's cache
+partitioning.  Wires together every substrate: column store, SQL front
+end, job scheduler, cache controller, emulated resctrl and the
+simulated CAT hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config import SystemSpec
+from ..errors import SqlPlanError, StorageError
+from ..hardware.cat import CatController
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..resctrl.filesystem import ResctrlFilesystem
+from ..resctrl.interface import ResctrlInterface
+from ..sql.ast import CreateTable, Select
+from ..sql.parser import parse
+from ..sql.planner import PlannedQuery, Planner
+from ..storage.table import ColumnTable, Schema, SchemaColumn
+from .cache_control import CacheController, CuidPolicy
+from .job import Job
+from .scheduler import JobScheduler
+from .threadpool import JobWorkerPool
+
+
+class Database:
+    """An in-memory column-store DBMS with CAT-integrated execution.
+
+    Example::
+
+        db = Database()
+        db.execute("CREATE COLUMN TABLE A ( X INT )")
+        db.load("A", {"X": values})
+        db.enable_cache_partitioning()
+        count = db.execute("SELECT COUNT(*) FROM A WHERE A.X > ?", [500])
+    """
+
+    def __init__(
+        self,
+        spec: SystemSpec | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        oltp_cores: int = 2,
+    ) -> None:
+        self.spec = spec if spec is not None else SystemSpec()
+        self.calibration = calibration
+        if not 1 <= oltp_cores < self.spec.cores:
+            raise StorageError(
+                f"oltp_cores must be in [1, {self.spec.cores}): {oltp_cores}"
+            )
+        self.cat = CatController(self.spec)
+        self.resctrl_fs = ResctrlFilesystem(self.cat)
+        self.resctrl = ResctrlInterface(self.resctrl_fs)
+        self.controller = CacheController(self.spec, self.resctrl)
+
+        olap_cores = list(range(self.spec.cores - oltp_cores))
+        oltp_core_ids = list(
+            range(self.spec.cores - oltp_cores, self.spec.cores)
+        )
+        self.scheduler = JobScheduler(
+            controller=self.controller,
+            olap_pool=JobWorkerPool.create("olap", olap_cores, tid_base=1000),
+            oltp_pool=JobWorkerPool.create(
+                "oltp", oltp_core_ids, tid_base=9000
+            ),
+        )
+        self.tables: dict[str, ColumnTable] = {}
+
+    # ------------------------------------------------------------------
+    # cache partitioning switch (the paper's feature)
+    # ------------------------------------------------------------------
+
+    def enable_cache_partitioning(
+        self, policy: CuidPolicy | None = None
+    ) -> None:
+        """Turn on CUID-based CAT partitioning (paper Sec. V-C)."""
+        self.controller.enable(policy)
+
+    def disable_cache_partitioning(self) -> None:
+        self.controller.disable()
+
+    @property
+    def cache_partitioning_enabled(self) -> bool:
+        return self.controller.enabled
+
+    # ------------------------------------------------------------------
+    # DDL / load
+    # ------------------------------------------------------------------
+
+    def create_table(self, schema: Schema) -> ColumnTable:
+        if schema.table_name in self.tables:
+            raise StorageError(
+                f"table {schema.table_name!r} already exists"
+            )
+        table = ColumnTable(schema)
+        self.tables[schema.table_name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self.tables:
+            raise StorageError(f"no such table: {name!r}")
+        del self.tables[name]
+
+    def load(self, table_name: str, data: dict[str, np.ndarray]) -> None:
+        """Bulk-load a table created earlier."""
+        try:
+            table = self.tables[table_name]
+        except KeyError:
+            raise StorageError(f"no such table: {table_name!r}") from None
+        table.load(data)
+
+    # ------------------------------------------------------------------
+    # SQL execution
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[object] = ()):
+        """Parse, plan and run one SQL statement.
+
+        DDL returns the created :class:`ColumnTable`; queries return the
+        operator's result object (scan/join counts, aggregation rows,
+        projected columns).
+        """
+        statement = parse(sql)
+        if isinstance(statement, CreateTable):
+            return self._execute_create(statement)
+        return self._execute_select(statement, params)
+
+    def explain(self, sql: str, params: Sequence[object] = ()) -> str:
+        """Plan a query and describe the chosen physical operator."""
+        statement = parse(sql)
+        if isinstance(statement, CreateTable):
+            return f"CreateTable({statement.name})"
+        planned = self._plan(statement, params)
+        mask = self.controller.policy.mask_for(
+            Job(planned.root.name, operator=planned.root)
+        )
+        partitioned = (
+            f", mask={mask:#x}" if self.cache_partitioning_enabled
+            else ""
+        )
+        return f"{planned.description} [kind={planned.kind}{partitioned}]"
+
+    def _execute_create(self, statement: CreateTable) -> ColumnTable:
+        columns = tuple(
+            SchemaColumn(
+                column.name,
+                column.data_type,
+                primary_key=(column.name == statement.primary_key),
+            )
+            for column in statement.columns
+        )
+        return self.create_table(Schema(statement.name, columns))
+
+    def _plan(
+        self, statement: Select, params: Sequence[object]
+    ) -> PlannedQuery:
+        planner = Planner(
+            self.tables, spec=self.spec, calibration=self.calibration
+        )
+        return planner.plan(statement, params)
+
+    def _execute_select(self, statement: Select, params: Sequence[object]):
+        planned = self._plan(statement, params)
+        pool = "oltp" if planned.kind == "point_select" else "olap"
+        job = Job(planned.root.name, operator=planned.root)
+        return self.scheduler.run_job(job, pool=pool)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> ColumnTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SqlPlanError(f"unknown table {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self.tables)

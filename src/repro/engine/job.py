@@ -1,0 +1,106 @@
+"""Jobs and job graphs.
+
+A *job* encapsulates (at most) one operator; a parallelised operator is
+a group of jobs (paper Sec. V-C).  Jobs are annotated with the cache
+usage identifier of their operator so the scheduler can program the CAT
+bitmask before running them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SchedulerError
+from ..operators.base import CacheUsage, PhysicalOperator
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One schedulable unit of work.
+
+    Either wraps a :class:`PhysicalOperator` (the normal case) or a bare
+    callable (for engine-internal work).  ``cuid`` defaults to the
+    operator's classification; jobs without an operator default to
+    SENSITIVE — the paper's regression-safe default (Sec. V-C).
+    """
+
+    name: str
+    operator: Optional[PhysicalOperator] = None
+    callable: Optional[Callable[[], object]] = None
+    cuid: Optional[CacheUsage] = None
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    result: object = None
+    completed: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.operator is None) == (self.callable is None):
+            raise SchedulerError(
+                f"job {self.name!r} needs exactly one of operator/callable"
+            )
+        if self.cuid is None:
+            if self.operator is not None:
+                self.cuid = self.operator.cache_usage()
+            else:
+                self.cuid = CacheUsage.SENSITIVE
+
+    def run(self) -> object:
+        """Execute the job's payload and record its result."""
+        if self.operator is not None:
+            self.result = self.operator.execute()
+        else:
+            self.result = self.callable()
+        self.completed = True
+        return self.result
+
+
+@dataclass
+class JobGraph:
+    """Jobs plus dependency edges (dependents run after prerequisites)."""
+
+    jobs: list[Job] = field(default_factory=list)
+    _edges: dict[int, set[int]] = field(default_factory=dict)
+
+    def add(self, job: Job, after: list[Job] | None = None) -> Job:
+        """Add a job, optionally depending on earlier jobs."""
+        known = {existing.job_id for existing in self.jobs}
+        if job.job_id in known:
+            raise SchedulerError(f"job {job.name!r} already in graph")
+        for prerequisite in after or []:
+            if prerequisite.job_id not in known:
+                raise SchedulerError(
+                    f"dependency {prerequisite.name!r} not in graph"
+                )
+            self._edges.setdefault(job.job_id, set()).add(
+                prerequisite.job_id
+            )
+        self.jobs.append(job)
+        return job
+
+    def topological_order(self) -> list[Job]:
+        """Jobs in a valid execution order; raises on cycles."""
+        by_id = {job.job_id: job for job in self.jobs}
+        in_degree = {job.job_id: 0 for job in self.jobs}
+        dependents: dict[int, list[int]] = {
+            job.job_id: [] for job in self.jobs
+        }
+        for job_id, prerequisites in self._edges.items():
+            in_degree[job_id] = len(prerequisites)
+            for prerequisite in prerequisites:
+                dependents[prerequisite].append(job_id)
+        ready = [job_id for job_id, deg in in_degree.items() if deg == 0]
+        order: list[Job] = []
+        while ready:
+            ready.sort()  # determinism
+            current = ready.pop(0)
+            order.append(by_id[current])
+            for dependent in dependents[current]:
+                in_degree[dependent] -= 1
+                if in_degree[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != len(self.jobs):
+            raise SchedulerError("job graph contains a cycle")
+        return order

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause
+while still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """Invalid hardware or system configuration."""
+
+
+class CacheConfigError(ConfigError):
+    """Invalid cache geometry (size, ways, line size)."""
+
+
+class CatError(ReproError):
+    """Invalid use of the Cache Allocation Technology model.
+
+    Raised for malformed capacity bitmasks (empty, non-contiguous,
+    out of range) or unknown classes of service, mirroring the checks
+    the real hardware / resctrl kernel interface performs.
+    """
+
+
+class ResctrlError(ReproError):
+    """Invalid operation on the emulated resctrl filesystem."""
+
+
+class StorageError(ReproError):
+    """Invalid operation on the column store."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlParseError(SqlError):
+    """The SQL text could not be tokenised or parsed."""
+
+
+class SqlPlanError(SqlError):
+    """The statement parsed but cannot be mapped to a physical plan."""
+
+
+class SchedulerError(ReproError):
+    """Invalid operation in the job scheduler / thread pool."""
+
+
+class ModelError(ReproError):
+    """The analytic performance model was given inconsistent inputs."""
+
+
+class WorkloadError(ReproError):
+    """A workload or experiment was configured inconsistently."""

@@ -1,0 +1,12 @@
+"""Experiment harness: one module per paper figure.
+
+Every module exposes ``run(spec=None, fast=False) -> FigureResult`` and
+a ``main()`` that prints the figure's rows as an aligned text table.
+``FigureResult`` rows are plain tuples so benchmarks and tests can
+assert on them directly.
+"""
+
+from .runner import ExperimentRunner, FigureResult
+from .reporting import format_table
+
+__all__ = ["ExperimentRunner", "FigureResult", "format_table"]

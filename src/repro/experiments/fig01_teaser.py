@@ -1,0 +1,64 @@
+"""Fig. 1 — the paper's teaser.
+
+Throughput of an OLTP query (queries/s) running (i) isolated, (ii)
+concurrently with an OLAP column scan, and (iii) concurrently with the
+scan restricted to 10 % of the LLC.  The partitioned configuration
+recovers a large part of the isolated throughput — the paper's
+headline picture.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemSpec
+from ..workloads.microbench import query1
+from ..workloads.s4hana import oltp_query_13_columns
+from .fig12_oltp import OLTP_CORES
+from .reporting import format_table
+from .runner import ExperimentRunner, FigureResult
+
+
+def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
+    runner = ExperimentRunner(spec)
+    scan_profile = query1().profile(runner.calibration)
+    oltp_profile = oltp_query_13_columns().profile(runner.calibration)
+    result = FigureResult(
+        figure_id="fig1",
+        title=(
+            "Fig. 1: OLTP throughput — isolated, concurrent with OLAP "
+            "scan, and concurrent with cache partitioning (p)"
+        ),
+        headers=("configuration", "oltp_queries_per_s",
+                 "normalized_to_isolated"),
+    )
+    isolated = runner.experiment.isolated(
+        oltp_profile, cores=OLTP_CORES
+    )
+    result.add("isolated", round(isolated.queries_per_s, 1), 1.0)
+
+    for label, scan_mask in (
+        ("concurrent", None),
+        ("concurrent_partitioned", runner.polluting_mask()),
+    ):
+        outcome = runner.pair(
+            scan_profile,
+            oltp_profile,
+            first_mask=scan_mask,
+            second_cores=OLTP_CORES,
+        )
+        oltp_result = outcome.results[oltp_profile.name]
+        result.add(
+            label,
+            round(oltp_result.queries_per_s, 1),
+            round(outcome.normalized[oltp_profile.name], 3),
+        )
+    return result
+
+
+def main(fast: bool = False) -> FigureResult:
+    result = run(fast=fast)
+    print(format_table(result.headers, result.rows, title=result.title))
+    return result
+
+
+if __name__ == "__main__":
+    main()

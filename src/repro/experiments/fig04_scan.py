@@ -1,0 +1,68 @@
+"""Fig. 4 — normalized throughput of Query 1 (column scan) vs LLC size.
+
+Paper finding: the scan is *hardly sensitive* to the cache size — its
+normalized throughput stays ~1.0 from 55 MiB down to 5.5 MiB, with an
+LLC hit ratio below 0.08 and ~1.9e-2 misses per instruction.  The paper
+also notes (Sec. V-B) that the single-way mask ``0x1`` degrades even
+the scan severely; we include that point as a note row.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemSpec
+from .reporting import format_table
+from .runner import ExperimentRunner, FigureResult
+from ..workloads.microbench import query1
+
+
+def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
+    runner = ExperimentRunner(spec)
+    profile = query1().profile(runner.calibration)
+    result = FigureResult(
+        figure_id="fig4",
+        title=(
+            "Fig. 4: Query 1 (column scan) normalized throughput at "
+            "varying LLC sizes"
+        ),
+        headers=("cache_mib", "ways", "normalized_throughput",
+                 "llc_hit_ratio", "mpi"),
+    )
+    baseline = runner.experiment.isolated(profile)
+    for ways in runner.sweep_ways(fast):
+        point = runner.experiment.isolated(
+            profile, mask=runner.mask_for_ways(ways)
+        )
+        result.add(
+            round(runner.cache_mib(ways), 2),
+            ways,
+            round(
+                point.throughput_tuples_per_s
+                / baseline.throughput_tuples_per_s,
+                3,
+            ),
+            round(point.counters.llc_hit_ratio, 3),
+            round(point.counters.misses_per_instruction, 4),
+        )
+
+    # The paper's 0x1 observation: one way defeats the prefetcher.
+    single_way = runner.experiment.isolated(
+        profile, mask=runner.mask_for_ways(1)
+    )
+    result.notes.append(
+        "mask 0x1 (single way): normalized throughput "
+        f"{single_way.throughput_tuples_per_s / baseline.throughput_tuples_per_s:.2f}"
+        " — severe degradation, matching the paper's Sec. V-B note"
+    )
+    return result
+
+
+def main(fast: bool = False) -> FigureResult:
+    result = run(fast=fast)
+    print(format_table(result.headers, result.rows, title=result.title))
+    for note in result.notes:
+        print(f"note: {note}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Fig. 5 — Query 2 (aggregation with grouping) vs LLC size.
+
+Three panels by dictionary size (4 / 40 / 400 MiB, i.e. 10^6 / 10^7 /
+10^8 distinct values in B.V), each sweeping the group count 10^2..10^6
+and the LLC allocation.  Paper findings reproduced here:
+
+* 4 MiB dictionary: sensitive below ~20 MiB for small groups (>46 %
+  loss at ~5 MiB); the 10^5-group curve breaks below 40 MiB with the
+  strongest loss (67 %); 10^6 groups degrade less (hash tables exceed
+  the LLC anyway),
+* 40 MiB dictionary: throughput degrades steadily for all group sizes,
+  by up to 62 % (up to 34 % for 10^6 groups),
+* 400 MiB dictionary: compulsory dictionary misses dominate; the cache
+  still matters through the hash tables (up to ~54 % at 10^5 groups).
+"""
+
+from __future__ import annotations
+
+from ..config import SystemSpec
+from ..workloads.microbench import (
+    DICT_4_MIB,
+    DICT_40_MIB,
+    DICT_400_MIB,
+    GROUP_SIZES,
+    query2,
+)
+from .reporting import format_table
+from .runner import ExperimentRunner, FigureResult
+
+PANELS = (
+    ("5a", DICT_4_MIB, "4 MiB dictionary"),
+    ("5b", DICT_40_MIB, "40 MiB dictionary"),
+    ("5c", DICT_400_MIB, "400 MiB dictionary"),
+)
+
+
+def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
+    runner = ExperimentRunner(spec)
+    result = FigureResult(
+        figure_id="fig5",
+        title=(
+            "Fig. 5: Query 2 (aggregation with grouping) normalized "
+            "throughput at varying LLC sizes"
+        ),
+        headers=("panel", "dict_mib", "groups", "cache_mib", "ways",
+                 "normalized_throughput"),
+    )
+    group_sizes = GROUP_SIZES if not fast else (
+        GROUP_SIZES[0], GROUP_SIZES[3], GROUP_SIZES[4]
+    )
+    for panel, distinct, label in PANELS:
+        dict_mib = round(
+            runner.calibration.dictionary_bytes(distinct) / (1 << 20)
+        )
+        for groups in group_sizes:
+            profile = query2(distinct, groups).profile(
+                runner.workers, runner.calibration
+            )
+            baseline = runner.experiment.isolated(profile)
+            for ways in runner.sweep_ways(fast):
+                point = runner.experiment.isolated(
+                    profile, mask=runner.mask_for_ways(ways)
+                )
+                result.add(
+                    panel,
+                    dict_mib,
+                    groups,
+                    round(runner.cache_mib(ways), 2),
+                    ways,
+                    round(
+                        point.throughput_tuples_per_s
+                        / baseline.throughput_tuples_per_s,
+                        3,
+                    ),
+                )
+        result.notes.append(f"panel {panel}: {label}")
+    return result
+
+
+def main(fast: bool = False) -> FigureResult:
+    result = run(fast=fast)
+    print(format_table(result.headers, result.rows, title=result.title))
+    for note in result.notes:
+        print(f"note: {note}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Fig. 6 — Query 3 (foreign-key join) vs LLC size.
+
+Sweeps the primary-key cardinality 10^6..10^9 (bit vectors of 0.125 MB
+to 125 MB).  Paper finding: throughput degrades only 5-14 % except for
+10^8 keys, where the 12.5 MB bit vector is comparable to the LLC and
+degradation reaches ~33 %.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemSpec
+from ..workloads.microbench import PRIMARY_KEY_SIZES, query3
+from .reporting import format_table
+from .runner import ExperimentRunner, FigureResult
+
+
+def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
+    runner = ExperimentRunner(spec)
+    result = FigureResult(
+        figure_id="fig6",
+        title=(
+            "Fig. 6: Query 3 (foreign key join) normalized throughput "
+            "at varying LLC sizes"
+        ),
+        headers=("primary_keys", "bit_vector_mb", "cache_mib", "ways",
+                 "normalized_throughput"),
+    )
+    for pk_rows in PRIMARY_KEY_SIZES:
+        config = query3(pk_rows)
+        profile = config.profile(runner.workers, runner.calibration)
+        baseline = runner.experiment.isolated(profile)
+        vector_mb = config.bit_vector_bytes(runner.calibration) / 1e6
+        for ways in runner.sweep_ways(fast):
+            point = runner.experiment.isolated(
+                profile, mask=runner.mask_for_ways(ways)
+            )
+            result.add(
+                pk_rows,
+                round(vector_mb, 3),
+                round(runner.cache_mib(ways), 2),
+                ways,
+                round(
+                    point.throughput_tuples_per_s
+                    / baseline.throughput_tuples_per_s,
+                    3,
+                ),
+            )
+    return result
+
+
+def main(fast: bool = False) -> FigureResult:
+    result = run(fast=fast)
+    print(format_table(result.headers, result.rows, title=result.title))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Fig. 11 — Query 1 (scan) concurrent with each TPC-H query (SF 100).
+
+Paper findings: unpartitioned, TPC-H queries degrade to 74-93 % and the
+scan to 65-96 %; restricting the scan to 10 % of the LLC improves
+TPC-H queries by up to ~5 %, with Q1, Q7, Q8 and Q9 profiting most
+because they aggregate through the ~29 MiB ``L_EXTENDEDPRICE``
+dictionary.  The scan itself also gains up to ~5 % with some co-runners
+(e.g. Q18) because the partitioned co-runner consumes less bandwidth.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemSpec
+from ..workloads.microbench import query1
+from ..workloads.tpch import all_queries
+from .reporting import format_table
+from .runner import ExperimentRunner, FigureResult
+
+
+def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
+    runner = ExperimentRunner(spec)
+    scan_profile = query1().profile(runner.calibration)
+    result = FigureResult(
+        figure_id="fig11",
+        title=(
+            "Fig. 11: Query 1 (scan) || TPC-H queries (SF 100), "
+            "partitioning off/on (scan -> 10% LLC)"
+        ),
+        headers=(
+            "tpch_query", "partitioning", "tpch_normalized",
+            "scan_normalized",
+        ),
+    )
+    queries = all_queries()
+    if fast:
+        queries = tuple(
+            q for q in queries if q.number in (1, 6, 7, 9, 13, 18, 22)
+        )
+    for tpch in queries:
+        tpch_profile = tpch.profile(runner.workers, runner.calibration)
+        for label, scan_mask in (
+            ("off", None),
+            ("on", runner.polluting_mask()),
+        ):
+            outcome = runner.pair(
+                scan_profile, tpch_profile, first_mask=scan_mask
+            )
+            result.add(
+                tpch.name,
+                label,
+                round(outcome.normalized[tpch_profile.name], 3),
+                round(outcome.normalized[scan_profile.name], 3),
+            )
+    return result
+
+
+def improvements(result: FigureResult) -> dict[str, float]:
+    """Per-query partitioning gain (percentage points of normalized
+    throughput), for tests and reporting."""
+    gains: dict[str, float] = {}
+    for row in result.rows:
+        name, label, tpch_norm, _ = row
+        if label == "off":
+            gains[name] = -tpch_norm
+        else:
+            gains[name] = gains.get(name, 0.0) + tpch_norm
+    return gains
+
+
+def main(fast: bool = False) -> FigureResult:
+    result = run(fast=fast)
+    print(format_table(result.headers, result.rows, title=result.title))
+    gains = improvements(result)
+    best = sorted(gains, key=gains.get, reverse=True)[:4]
+    print(f"note: largest partitioning gains: "
+          + ", ".join(f"{name} (+{gains[name]:.3f})" for name in best))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    >>> print(format_table(("a", "b"), [(1, 2.5)]))
+    a  b
+    -  -----
+    1  2.500
+    """
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

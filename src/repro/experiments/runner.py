@@ -1,0 +1,130 @@
+"""Shared experiment infrastructure.
+
+:class:`ExperimentRunner` bundles a hardware spec, the calibration, the
+concurrency harness and the paper's partitioning scheme, and provides
+the two measurement patterns every figure uses:
+
+* isolated LLC-size sweeps (Figs. 4-6),
+* concurrent pairs normalized to isolated baselines, with and without
+  partitioning (Figs. 1, 9-12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SystemSpec
+from ..core.policy import PartitioningScheme, paper_scheme
+from ..errors import WorkloadError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..model.streams import AccessProfile
+from ..workloads.mixed import (
+    ConcurrencyExperiment,
+    ConcurrentResult,
+    WorkloadQuery,
+)
+
+
+@dataclass
+class FigureResult:
+    """Rows of one reproduced figure."""
+
+    figure_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.headers):
+            raise WorkloadError(
+                f"row width {len(values)} != header width "
+                f"{len(self.headers)}"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, header: str) -> list:
+        try:
+            index = self.headers.index(header)
+        except ValueError:
+            raise WorkloadError(
+                f"no column {header!r} in {self.figure_id}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def select(self, **conditions) -> list[tuple]:
+        """Rows whose named columns equal the given values."""
+        indexes = {
+            key: self.headers.index(key) for key in conditions
+        }
+        return [
+            row
+            for row in self.rows
+            if all(row[indexes[k]] == v for k, v in conditions.items())
+        ]
+
+
+class ExperimentRunner:
+    """Common setup for all figure reproductions."""
+
+    # LLC-way sweep used by the isolated micro-benchmarks; 2 ways =
+    # 5.5 MiB ... 20 ways = 55 MiB, matching the paper's x axis.
+    SWEEP_WAYS = (2, 4, 6, 8, 10, 12, 14, 16, 18, 20)
+    FAST_SWEEP_WAYS = (2, 8, 14, 20)
+
+    def __init__(
+        self,
+        spec: SystemSpec | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        scheme: PartitioningScheme | None = None,
+    ) -> None:
+        self.spec = spec if spec is not None else SystemSpec()
+        self.calibration = calibration
+        self.scheme = scheme if scheme is not None else paper_scheme()
+        self.experiment = ConcurrencyExperiment(self.spec, calibration)
+
+    @property
+    def workers(self) -> int:
+        """Concurrency limit: the physical core count (paper Sec. III-D)."""
+        return self.spec.cores
+
+    def sweep_ways(self, fast: bool) -> tuple[int, ...]:
+        return self.FAST_SWEEP_WAYS if fast else self.SWEEP_WAYS
+
+    def mask_for_ways(self, ways: int) -> int:
+        if not 1 <= ways <= self.spec.llc.ways:
+            raise WorkloadError(
+                f"ways must be in [1, {self.spec.llc.ways}]: {ways}"
+            )
+        return (1 << ways) - 1
+
+    def cache_mib(self, ways: int) -> float:
+        """Cache size (MiB) granted by a ``ways``-way mask."""
+        return ways * self.spec.llc.way_bytes / (1024 * 1024)
+
+    # ------------------------------------------------------------------
+
+    def polluting_mask(self) -> int:
+        return self.scheme.to_cuid_policy(self.spec).polluting_mask
+
+    def adaptive_mask(self) -> int:
+        return self.scheme.to_cuid_policy(self.spec).adaptive_sensitive_mask
+
+    def pair(
+        self,
+        first: AccessProfile,
+        second: AccessProfile,
+        first_mask: int | None = None,
+        second_mask: int | None = None,
+        first_cores: int | None = None,
+        second_cores: int | None = None,
+    ) -> ConcurrentResult:
+        """Run two queries concurrently with optional CAT masks."""
+        return self.experiment.concurrent(
+            [
+                WorkloadQuery(first.name, first, first_mask, first_cores),
+                WorkloadQuery(
+                    second.name, second, second_mask, second_cores
+                ),
+            ]
+        )

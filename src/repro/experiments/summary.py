@@ -1,0 +1,224 @@
+"""Reproduction report: every paper claim, checked in one run.
+
+Runs all figure experiments and evaluates the paper's headline claims
+against the measured rows, printing a PASS/FAIL verdict per claim —
+the executable form of EXPERIMENTS.md.  Used by ``python -m repro run
+report`` and asserted wholesale in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..config import SystemSpec
+from . import (
+    fig01_teaser,
+    fig04_scan,
+    fig05_aggregation,
+    fig06_join,
+    fig09_scan_agg,
+    fig10_agg_join,
+    fig11_tpch,
+    fig12_oltp,
+)
+from .reporting import format_table
+from .runner import FigureResult
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable statement from the paper's evaluation."""
+
+    figure: str
+    text: str
+    check: Callable[[dict[str, FigureResult]], bool]
+
+
+def _rows(results, figure, **conditions):
+    return results[figure].select(**conditions)
+
+
+CLAIMS: tuple[Claim, ...] = (
+    Claim(
+        "fig1",
+        "partitioning recovers OLTP throughput lost to the OLAP scan",
+        lambda r: (
+            {row[0]: row[2] for row in r["fig1"].rows}[
+                "concurrent_partitioned"
+            ]
+            > {row[0]: row[2] for row in r["fig1"].rows}["concurrent"]
+            + 0.05
+        ),
+    ),
+    Claim(
+        "fig4",
+        "column scan insensitive to LLC size (5.5..55 MiB)",
+        lambda r: min(
+            r["fig4"].column("normalized_throughput")
+        ) > 0.97,
+    ),
+    Claim(
+        "fig4",
+        "scan LLC hit ratio < 0.08 and MPI ~ 1.9e-2",
+        lambda r: max(r["fig4"].column("llc_hit_ratio")) < 0.08
+        and abs(r["fig4"].column("mpi")[0] - 1.9e-2) < 2e-3,
+    ),
+    Claim(
+        "fig5",
+        "4 MiB dict: >46 % loss at ~5 MiB for 1e2..1e4 groups",
+        lambda r: all(
+            _rows(r, "fig5", panel="5a", groups=g, ways=2)[0][5] < 0.54
+            for g in (100, 1000, 10000)
+        ),
+    ),
+    Claim(
+        "fig5",
+        "1e5 groups is the most cache-sensitive configuration (5a)",
+        lambda r: (
+            _rows(r, "fig5", panel="5a", groups=100000, ways=2)[0][5]
+            < _rows(r, "fig5", panel="5a", groups=100, ways=2)[0][5]
+        ),
+    ),
+    Claim(
+        "fig5",
+        "400 MiB dict flattens the curves vs 40 MiB (compulsory misses)",
+        lambda r: (
+            _rows(r, "fig5", panel="5c", groups=100, ways=2)[0][5]
+            > _rows(r, "fig5", panel="5b", groups=100, ways=2)[0][5]
+        ),
+    ),
+    Claim(
+        "fig6",
+        "only the 12.5 MB bit vector (1e8 keys) is LLC-sensitive",
+        lambda r: (
+            _rows(r, "fig6", primary_keys=10**8, ways=2)[0][4] < 0.85
+            and all(
+                _rows(r, "fig6", primary_keys=pk, ways=2)[0][4] > 0.85
+                for pk in (10**6, 10**7, 10**9)
+            )
+        ),
+    ),
+    Claim(
+        "fig9",
+        "partitioning recovers the aggregation without scan regression",
+        lambda r: all(
+            _rows(r, "fig9", panel="9b", groups=g,
+                  partitioning="on")[0][5]
+            > _rows(r, "fig9", panel="9b", groups=g,
+                    partitioning="off")[0][5] + 0.1
+            and _rows(r, "fig9", panel="9b", groups=g,
+                      partitioning="on")[0][4]
+            >= _rows(r, "fig9", panel="9b", groups=g,
+                     partitioning="off")[0][4] - 0.02
+            for g in (100, 10000, 100000)
+        ),
+    ),
+    Claim(
+        "fig9",
+        "no configuration regresses under partitioning",
+        lambda r: all(
+            on[4] >= off[4] - 0.02 and on[5] >= off[5] - 0.02
+            for off, on in zip(
+                [row for row in r["fig9"].rows if row[3] == "off"],
+                [row for row in r["fig9"].rows if row[3] == "on"],
+            )
+        ),
+    ),
+    Claim(
+        "fig10",
+        "restricting the LLC-sized join to 10 % is a net loss",
+        lambda r: (
+            (lambda off, p10: (p10[4] + p10[5]) < (off[4] + off[5]))(
+                _rows(r, "fig10", panel="10b", groups=1000,
+                      scheme="off")[0],
+                _rows(r, "fig10", panel="10b", groups=1000,
+                      scheme="join_10pct")[0],
+            )
+        ),
+    ),
+    Claim(
+        "fig10",
+        "the 60 % scheme keeps the join whole and helps the aggregation",
+        lambda r: (
+            (lambda off, p60: (
+                p60[5] >= off[5] - 0.08 and p60[4] >= off[4] - 0.01
+            ))(
+                _rows(r, "fig10", panel="10b", groups=1000,
+                      scheme="off")[0],
+                _rows(r, "fig10", panel="10b", groups=1000,
+                      scheme="join_60pct")[0],
+            )
+        ),
+    ),
+    Claim(
+        "fig11",
+        "Q1/Q7/Q8/Q9 are the top partitioning beneficiaries",
+        lambda r: set(
+            sorted(
+                fig11_tpch.improvements(r["fig11"]),
+                key=fig11_tpch.improvements(r["fig11"]).get,
+                reverse=True,
+            )[:4]
+        ) == {"TPCH_Q01", "TPCH_Q07", "TPCH_Q08", "TPCH_Q09"},
+    ),
+    Claim(
+        "fig11",
+        "no TPC-H query regresses under partitioning",
+        lambda r: min(
+            fig11_tpch.improvements(r["fig11"]).values()
+        ) >= -0.02,
+    ),
+    Claim(
+        "fig12",
+        "OLTP gains grow with the projected-column count",
+        lambda r: (
+            (lambda gains: gains == sorted(gains))(
+                [
+                    _rows(r, "fig12", panel="sweep",
+                          projected_columns=c, partitioning="on")[0][3]
+                    - _rows(r, "fig12", panel="sweep",
+                            projected_columns=c,
+                            partitioning="off")[0][3]
+                    for c in (2, 7, 13)
+                ]
+            )
+        ),
+    ),
+)
+
+
+def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
+    results = {
+        "fig1": fig01_teaser.run(spec),
+        "fig4": fig04_scan.run(spec),
+        "fig5": fig05_aggregation.run(spec),
+        "fig6": fig06_join.run(spec),
+        "fig9": fig09_scan_agg.run(spec),
+        "fig10": fig10_agg_join.run(spec),
+        "fig11": fig11_tpch.run(spec),
+        "fig12": fig12_oltp.run(spec),
+    }
+    report = FigureResult(
+        figure_id="report",
+        title="Reproduction report: the paper's claims, checked",
+        headers=("figure", "claim", "verdict"),
+    )
+    for claim in CLAIMS:
+        verdict = "PASS" if claim.check(results) else "FAIL"
+        report.add(claim.figure, claim.text, verdict)
+    passed = sum(1 for row in report.rows if row[2] == "PASS")
+    report.notes.append(f"{passed}/{len(report.rows)} claims hold")
+    return report
+
+
+def main(fast: bool = False) -> FigureResult:
+    result = run(fast=fast)
+    print(format_table(result.headers, result.rows, title=result.title))
+    for note in result.notes:
+        print(f"note: {note}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Simulated hardware substrate.
+
+This package models the parts of the paper's test machine that matter for
+cache partitioning: a set-associative, inclusive last-level cache with
+per-class way masks (Intel Cache Allocation Technology), private L1/L2
+caches, a stream prefetcher, a DRAM bandwidth/latency model and
+PCM-style performance counters.
+"""
+
+from .cache import CacheStats, EvictionEvent, SetAssociativeCache
+from .cat import CatController, contiguous_mask, mask_from_fraction
+from .cmt import CmtController, CmtSample
+from .counters import CounterSample, PerfCounters
+from .cpu import Core, CpuSocket
+from .dram import BandwidthArbiter, DramModel
+from .hierarchy import CacheHierarchy, HierarchyAccessResult
+from .prefetcher import StreamPrefetcher
+from .trace import MemoryAccess, random_region_trace, sequential_trace
+
+__all__ = [
+    "BandwidthArbiter",
+    "CacheHierarchy",
+    "CacheStats",
+    "CatController",
+    "CmtController",
+    "CmtSample",
+    "Core",
+    "CounterSample",
+    "CpuSocket",
+    "DramModel",
+    "EvictionEvent",
+    "HierarchyAccessResult",
+    "MemoryAccess",
+    "PerfCounters",
+    "SetAssociativeCache",
+    "StreamPrefetcher",
+    "contiguous_mask",
+    "mask_from_fraction",
+    "random_region_trace",
+    "sequential_trace",
+]

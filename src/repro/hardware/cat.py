@@ -1,0 +1,165 @@
+"""Intel Cache Allocation Technology (CAT) model.
+
+CAT lets system software control which *ways* of the last-level cache a
+logical core may allocate (evict) into.  Each core is associated with a
+*class of service* (CLOS); each CLOS holds a *capacity bitmask* (CBM)
+with one bit per LLC way.  A core can always *hit* on any line in the
+cache, but on a miss it may only evict a victim from ways whose bit is
+set in its CLOS's bitmask (paper Sec. V-A, Fig. 7).
+
+Hardware constraints faithfully modelled here (they shape what policies
+are even expressible, and the resctrl kernel interface enforces them):
+
+* a CBM must be non-zero,
+* the set bits must be *contiguous*,
+* Broadwell-EP requires at least two bits per CBM (``cat_min_bits``),
+* at most ``cat_classes`` (16) CLOS can be active at once.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemSpec
+from ..errors import CatError
+
+
+def is_contiguous(mask: int) -> bool:
+    """Return True when the set bits of ``mask`` form one contiguous run.
+
+    >>> is_contiguous(0b0111)
+    True
+    >>> is_contiguous(0b0101)
+    False
+    """
+    if mask <= 0:
+        return False
+    # Strip trailing zeros, then a contiguous run of ones gives a
+    # power-of-two minus one.
+    shifted = mask >> (mask & -mask).bit_length() - 1
+    return (shifted & (shifted + 1)) == 0
+
+
+def contiguous_mask(num_bits: int, shift: int = 0) -> int:
+    """Build a contiguous capacity bitmask of ``num_bits`` starting at bit
+    ``shift``.
+
+    >>> hex(contiguous_mask(2))
+    '0x3'
+    >>> hex(contiguous_mask(12))
+    '0xfff'
+    """
+    if num_bits <= 0:
+        raise CatError(f"bitmask needs at least one bit, got {num_bits}")
+    if shift < 0:
+        raise CatError(f"bitmask shift must be >= 0, got {shift}")
+    return ((1 << num_bits) - 1) << shift
+
+
+def mask_from_fraction(spec: SystemSpec, fraction: float, shift: int = 0) -> int:
+    """Translate a target LLC fraction into a valid capacity bitmask.
+
+    The paper expresses its schemes as fractions ("restrict the scan to
+    10 % of the LLC"); hardware wants way bitmasks.  Rounds up to the
+    nearest whole way and respects the hardware minimum width.
+
+    >>> spec = SystemSpec()
+    >>> hex(mask_from_fraction(spec, 0.10))
+    '0x3'
+    >>> hex(mask_from_fraction(spec, 0.60))
+    '0xfff'
+    >>> hex(mask_from_fraction(spec, 1.0))
+    '0xfffff'
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise CatError(f"fraction must be in (0, 1], got {fraction}")
+    bits = max(spec.cat_min_bits, round(fraction * spec.llc.ways))
+    bits = min(bits, spec.llc.ways)
+    if shift + bits > spec.llc.ways:
+        raise CatError(
+            f"mask of {bits} bits shifted by {shift} exceeds "
+            f"{spec.llc.ways} ways"
+        )
+    return contiguous_mask(bits, shift)
+
+
+class CatController:
+    """Per-socket CLOS table and core-to-CLOS association.
+
+    This is the "specific processor register" abstraction of the paper:
+    writing a bitmask into a CLOS entry, and pointing a core's
+    ``IA32_PQR_ASSOC`` at a CLOS.
+    """
+
+    def __init__(self, spec: SystemSpec) -> None:
+        self._spec = spec
+        # CLOS 0 is the hardware default: full access for everyone.
+        self._clos_masks: dict[int, int] = {0: spec.full_mask}
+        self._core_clos: dict[int, int] = {
+            core: 0 for core in range(spec.cores)
+        }
+
+    @property
+    def spec(self) -> SystemSpec:
+        return self._spec
+
+    def validate_mask(self, mask: int) -> None:
+        """Raise :class:`CatError` unless ``mask`` is hardware-legal."""
+        if mask <= 0:
+            raise CatError(f"capacity bitmask must be non-zero: {mask:#x}")
+        if mask > self._spec.full_mask:
+            raise CatError(
+                f"capacity bitmask {mask:#x} exceeds {self._spec.llc.ways} ways"
+            )
+        if not is_contiguous(mask):
+            raise CatError(
+                f"capacity bitmask {mask:#x} must have contiguous bits"
+            )
+        if bin(mask).count("1") < self._spec.cat_min_bits:
+            raise CatError(
+                f"capacity bitmask {mask:#x} narrower than hardware minimum "
+                f"of {self._spec.cat_min_bits} bits"
+            )
+
+    def set_clos_mask(self, clos: int, mask: int) -> None:
+        """Program the capacity bitmask of a class of service."""
+        if not 0 <= clos < self._spec.cat_classes:
+            raise CatError(
+                f"CLOS {clos} out of range [0, {self._spec.cat_classes})"
+            )
+        self.validate_mask(mask)
+        self._clos_masks[clos] = mask
+
+    def clos_mask(self, clos: int) -> int:
+        """Read the capacity bitmask of a class of service."""
+        try:
+            return self._clos_masks[clos]
+        except KeyError:
+            raise CatError(f"CLOS {clos} has not been configured") from None
+
+    def configured_classes(self) -> list[int]:
+        """CLOS ids that currently hold a bitmask."""
+        return sorted(self._clos_masks)
+
+    def assign_core(self, core: int, clos: int) -> None:
+        """Associate a core with a class of service (PQR_ASSOC write)."""
+        if core not in self._core_clos:
+            raise CatError(f"core {core} does not exist")
+        if clos not in self._clos_masks:
+            raise CatError(f"CLOS {clos} has not been configured")
+        self._core_clos[core] = clos
+
+    def core_clos(self, core: int) -> int:
+        """Current class of service of a core."""
+        try:
+            return self._core_clos[core]
+        except KeyError:
+            raise CatError(f"core {core} does not exist") from None
+
+    def core_mask(self, core: int) -> int:
+        """Effective capacity bitmask of a core (via its CLOS)."""
+        return self._clos_masks[self.core_clos(core)]
+
+    def reset(self) -> None:
+        """Return to the hardware default: all cores on CLOS 0, full mask."""
+        self._clos_masks = {0: self._spec.full_mask}
+        for core in self._core_clos:
+            self._core_clos[core] = 0

@@ -1,0 +1,100 @@
+"""PCM-style performance counters.
+
+The paper reports two hardware metrics alongside throughput, sampled
+with the Intel Processor Counter Monitor (Sec. III-D):
+
+* **LLC hit ratio** — LLC hits / LLC references,
+* **LLC misses per instruction (MPI)** — LLC misses / retired instructions.
+
+:class:`PerfCounters` accumulates these per scope (a scope is a query, a
+CLOS, or the whole system) and supports snapshot/delta sampling like a
+real counter tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """An immutable counter reading."""
+
+    instructions: int = 0
+    llc_references: int = 0
+    llc_hits: int = 0
+
+    @property
+    def llc_misses(self) -> int:
+        return self.llc_references - self.llc_hits
+
+    @property
+    def llc_hit_ratio(self) -> float:
+        """LLC hits / references; 0.0 with no references."""
+        if not self.llc_references:
+            return 0.0
+        return self.llc_hits / self.llc_references
+
+    @property
+    def misses_per_instruction(self) -> float:
+        """LLC misses / instructions; 0.0 with no instructions."""
+        if not self.instructions:
+            return 0.0
+        return self.llc_misses / self.instructions
+
+    def delta(self, earlier: "CounterSample") -> "CounterSample":
+        """Counter difference since an earlier snapshot."""
+        return CounterSample(
+            instructions=self.instructions - earlier.instructions,
+            llc_references=self.llc_references - earlier.llc_references,
+            llc_hits=self.llc_hits - earlier.llc_hits,
+        )
+
+    def combined(self, other: "CounterSample") -> "CounterSample":
+        return CounterSample(
+            instructions=self.instructions + other.instructions,
+            llc_references=self.llc_references + other.llc_references,
+            llc_hits=self.llc_hits + other.llc_hits,
+        )
+
+
+@dataclass
+class PerfCounters:
+    """Mutable counter bank with named scopes plus a global aggregate."""
+
+    _scopes: dict[str, CounterSample] = field(default_factory=dict)
+
+    def record(
+        self,
+        scope: str,
+        instructions: int = 0,
+        llc_references: int = 0,
+        llc_hits: int = 0,
+    ) -> None:
+        if min(instructions, llc_references, llc_hits) < 0:
+            raise ValueError("counter increments must be non-negative")
+        if llc_hits > llc_references:
+            raise ValueError(
+                f"hits ({llc_hits}) cannot exceed references ({llc_references})"
+            )
+        current = self._scopes.get(scope, CounterSample())
+        self._scopes[scope] = current.combined(
+            CounterSample(instructions, llc_references, llc_hits)
+        )
+
+    def sample(self, scope: str) -> CounterSample:
+        """Current reading for one scope (zero sample if never recorded)."""
+        return self._scopes.get(scope, CounterSample())
+
+    def system(self) -> CounterSample:
+        """Aggregate over all scopes — what PCM reports socket-wide."""
+        total = CounterSample()
+        for sample in self._scopes.values():
+            total = total.combined(sample)
+        return total
+
+    def scopes(self) -> list[str]:
+        return sorted(self._scopes)
+
+    def reset(self) -> None:
+        self._scopes.clear()

@@ -1,0 +1,93 @@
+"""Memory-access records and synthetic trace generators.
+
+Traces bridge the functional operators and the trace-driven cache
+simulator: an operator's memory behaviour can be replayed as a sequence
+of :class:`MemoryAccess` records.  The generators below produce the two
+archetypes the paper's analysis rests on:
+
+* sequential streams (column scan; no reuse, perfect spatial locality),
+* uniform random accesses inside a bounded region (dictionary and hash
+  table probes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory reference issued by an operator."""
+
+    addr: int
+    stream: str
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ValueError(f"address must be >= 0: {self.addr}")
+
+
+def sequential_trace(
+    base_addr: int,
+    num_bytes: int,
+    stream: str,
+    step_bytes: int = 64,
+) -> Iterator[MemoryAccess]:
+    """Yield one access per ``step_bytes`` over ``[base, base+num_bytes)``.
+
+    Models a scan touching every cache line of a region exactly once.
+    """
+    if num_bytes < 0:
+        raise ValueError(f"num_bytes must be >= 0: {num_bytes}")
+    if step_bytes <= 0:
+        raise ValueError(f"step_bytes must be > 0: {step_bytes}")
+    for offset in range(0, num_bytes, step_bytes):
+        yield MemoryAccess(base_addr + offset, stream)
+
+
+def random_region_trace(
+    base_addr: int,
+    region_bytes: int,
+    num_accesses: int,
+    stream: str,
+    rng: np.random.Generator,
+    line_bytes: int = 64,
+) -> Iterator[MemoryAccess]:
+    """Yield uniform random line-granular accesses inside a region.
+
+    Models hash-table probes and dictionary lookups: the address
+    distribution is uniform over the structure, which is what makes the
+    hit ratio proportional to (cache occupancy / working-set size).
+    """
+    if region_bytes <= 0:
+        raise ValueError(f"region_bytes must be > 0: {region_bytes}")
+    if num_accesses < 0:
+        raise ValueError(f"num_accesses must be >= 0: {num_accesses}")
+    num_lines = max(1, region_bytes // line_bytes)
+    lines = rng.integers(0, num_lines, size=num_accesses)
+    for line in lines:
+        yield MemoryAccess(base_addr + int(line) * line_bytes, stream)
+
+
+def interleave(
+    *traces: Iterator[MemoryAccess],
+) -> Iterator[MemoryAccess]:
+    """Round-robin interleave traces until all are exhausted.
+
+    Concurrent queries appear to the shared LLC as an interleaving of
+    their access streams; round-robin models equal progress rates.
+    """
+    active = list(traces)
+    while active:
+        still_active = []
+        for trace in active:
+            try:
+                yield next(trace)
+            except StopIteration:
+                continue
+            still_active.append(trace)
+        active = still_active

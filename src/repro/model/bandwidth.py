@@ -1,0 +1,71 @@
+"""DRAM bandwidth accounting for the workload simulator.
+
+Each query's DRAM traffic has two components: streamed bytes (scan
+input) and LLC-miss line fills from random regions.  Total demand is
+arbitrated max-min fairly (see :class:`repro.hardware.dram.BandwidthArbiter`);
+a query whose demand exceeds its grant runs slower by ``demand/grant``,
+which feeds back into the simulator's throughput fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..hardware.dram import BandwidthArbiter
+
+
+@dataclass(frozen=True)
+class BandwidthUsage:
+    """One query's DRAM traffic at its current (tentative) throughput."""
+
+    query: str
+    stream_bytes_per_s: float
+    miss_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.stream_bytes_per_s < 0 or self.miss_bytes_per_s < 0:
+            raise ModelError(
+                f"bandwidth components for {self.query!r} must be >= 0"
+            )
+
+    @property
+    def total(self) -> float:
+        return self.stream_bytes_per_s + self.miss_bytes_per_s
+
+
+@dataclass(frozen=True)
+class BandwidthSolution:
+    """Arbitration outcome: per-query grants and slowdown factors."""
+
+    grants: dict[str, float]
+    slowdowns: dict[str, float]
+    total_demand: float
+    capacity: float
+
+    @property
+    def saturated(self) -> bool:
+        return self.total_demand > self.capacity * (1 - 1e-9)
+
+
+def solve_bandwidth(
+    usages: list[BandwidthUsage], capacity_bytes_per_s: float
+) -> BandwidthSolution:
+    """Arbitrate DRAM bandwidth among queries.
+
+    Returns each query's granted bandwidth and the slowdown factor
+    (``demand / grant``, >= 1) to apply to its memory-bound time.
+    """
+    names = [u.query for u in usages]
+    if len(names) != len(set(names)):
+        raise ModelError(f"duplicate query names in bandwidth solve: {names}")
+    arbiter = BandwidthArbiter(capacity_bytes_per_s)
+    demands = {u.query: u.total for u in usages}
+    grants = arbiter.allocate(demands)
+    slowdowns = arbiter.slowdown(demands)
+    return BandwidthSolution(
+        grants=grants,
+        slowdowns=slowdowns,
+        total_demand=sum(demands.values()),
+        capacity=capacity_bytes_per_s,
+    )

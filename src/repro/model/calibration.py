@@ -1,0 +1,114 @@
+"""Model calibration constants and their provenance.
+
+Every constant that is *not* a paper-stated hardware parameter lives
+here with a note on where it comes from.  The reproduction targets the
+*shape* of the paper's figures (who wins, by what rough factor, where
+the curves break); these constants were chosen once from public
+micro-architecture data and the paper's own in-text numbers, then left
+alone — experiments do not tune them per figure.
+
+Provenance notes:
+
+* ``dict_entry_bytes = 4``: the paper derives 4 MiB for 10^6 distinct
+  INT values (Sec. IV-B), i.e. 4 bytes per dictionary entry.
+* ``hash_entry_bytes = 16``: the paper says 10^5 groups make the hash
+  tables "occupy all of the LLC" on 22 worker threads:
+  23 * 1e5 * 16 B = 35 MiB, matching "comparable to the LLC" and
+  the Fig. 5a break of the 10^5-group curve near 40 MiB.
+* ``*_buffer_bytes_per_worker``: HANA's aggregation materialises
+  decompressed value chunks per worker; the paper's Fig. 5a break point
+  near 20 MiB with a 4 MiB dictionary implies roughly 16 MiB of hot
+  intermediate state across 22 workers (~64 Ki rows * 12 B each).
+  The join keeps less state (codes only), explaining its milder 5-14 %
+  sensitivity in Fig. 6.
+* ``per_core_stream_bandwidth``: Broadwell-EP sustains roughly 6 GB/s
+  of prefetched streaming per core, so >= 11 cores saturate the 64 GB/s
+  socket, which is why the paper calls the workloads bandwidth-limited.
+* ``software_managed_miss_discount``: OLAP joins block/partition their
+  probes once the bit vector outgrows the cache, amortising each
+  fetched line over several probes; a 4x amortisation reproduces the
+  paper's *bounded* Fig. 6 degradation (33 % at 10^8 keys, 5-14 % at
+  10^9) instead of the unbounded collapse naive random probing would
+  suffer.
+* ``smt_compute_factor``: co-running a second hyper-thread costs a
+  memory-bound thread a small slice of core issue bandwidth.
+* ``stream_llc_hit_fraction``: the paper measures an LLC hit ratio
+  below 0.08 for the pure scan (Sec. IV-A) — residual hits from
+  prefetch timing; we charge a small constant.
+* ``default_mlp``: out-of-order Broadwell sustains ~6 outstanding
+  demand misses per core on pointer-light random-access code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..units import GB, KiB
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Cost constants for the analytic model (see module docstring)."""
+
+    dict_entry_bytes: int = 4
+    hash_entry_bytes: int = 16
+    agg_buffer_bytes_per_worker: int = 768 * KiB
+    agg_buffer_accesses_per_tuple: float = 2.0
+    join_buffer_bytes_per_worker: int = 256 * KiB
+    join_buffer_accesses_per_tuple: float = 1.0
+    per_core_stream_bandwidth: float = 6 * GB
+    software_managed_miss_discount: float = 0.25
+    smt_compute_factor: float = 1.25
+    stream_llc_hit_fraction: float = 0.05
+    default_mlp: float = 6.0
+    scan_compute_cycles: float = 0.5
+    scan_instructions_per_tuple: float = 2.0
+    agg_compute_cycles: float = 10.0
+    agg_instructions_per_tuple: float = 60.0
+    join_probe_compute_cycles: float = 1.0
+    join_instructions_per_tuple: float = 8.0
+    oltp_compute_cycles: float = 18_000.0
+    oltp_instructions_per_query: float = 30_000.0
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "dict_entry_bytes",
+            "hash_entry_bytes",
+            "agg_buffer_bytes_per_worker",
+            "join_buffer_bytes_per_worker",
+            "per_core_stream_bandwidth",
+            "default_mlp",
+        )
+        for name in positive_fields:
+            if getattr(self, name) <= 0:
+                raise ModelError(f"calibration {name} must be > 0")
+        if self.smt_compute_factor < 1.0:
+            raise ModelError("smt_compute_factor must be >= 1")
+        if not 0.0 <= self.stream_llc_hit_fraction < 1.0:
+            raise ModelError("stream_llc_hit_fraction must be in [0, 1)")
+
+    def dictionary_bytes(self, distinct_values: int) -> int:
+        """Dictionary working-set size for an INT column."""
+        if distinct_values <= 0:
+            raise ModelError(
+                f"distinct_values must be > 0: {distinct_values}"
+            )
+        return distinct_values * self.dict_entry_bytes
+
+    def hash_table_bytes(self, groups: int, workers: int) -> int:
+        """Aggregate size of thread-local hash tables plus the merged one."""
+        if groups <= 0 or workers <= 0:
+            raise ModelError("groups and workers must be > 0")
+        local = workers * groups * self.hash_entry_bytes
+        merged = groups * self.hash_entry_bytes
+        return local + merged
+
+    def bit_vector_bytes(self, primary_keys: int) -> int:
+        """Bit vector size for a dense primary-key domain."""
+        if primary_keys <= 0:
+            raise ModelError(f"primary_keys must be > 0: {primary_keys}")
+        return max(1, primary_keys // 8)
+
+
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,202 @@
+"""Shared-cache occupancy via the Che characteristic-time approximation.
+
+Under LRU, a cache of ``C`` lines evicts a line that has not been
+re-referenced for the cache's *characteristic time* ``T`` — the time it
+takes the combined insertion traffic to push a line from MRU to LRU.
+Che's approximation (Che, Tung & Wang, 2002; widely validated for LRU)
+states that an object referenced as a Poisson process with rate
+``lambda`` is resident with probability ``1 - exp(-lambda * T)``, where
+``T`` solves the fill-constraint
+
+    sum_i  expected_occupancy_i(T)  =  C.
+
+We apply it per cache *actor*:
+
+* a **random region** of ``W`` lines probed uniformly at total rate
+  ``a`` has per-line rate ``lambda = a / W`` and expected occupancy
+  ``W * (1 - exp(-a/W * T))``; its hit ratio equals its resident
+  fraction,
+* a **stream** (scan) references each line exactly once at insertion
+  rate ``r``; every streamed line then lingers for ``T`` seconds, so
+  the stream occupies ``r * T`` lines and never hits.
+
+The second bullet *is* cache pollution in closed form: the higher the
+scan's insertion rate, the shorter ``T``, the smaller every region's
+resident fraction.  CAT partitioning bounds which segment a stream can
+insert into, restoring large ``T`` for the protected segment — exactly
+the mechanism the paper exploits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from .segments import Segment
+
+
+@dataclass(frozen=True)
+class RegionActor:
+    """Random-region competitor inside the LLC.
+
+    ``working_lines`` is the region's size in cache lines;
+    ``access_rate`` its uniform random reference rate (lines/second)
+    *as seen by the LLC* (accesses filtered by private caches excluded).
+    """
+
+    query: str
+    name: str
+    working_lines: float
+    access_rate: float
+
+    def __post_init__(self) -> None:
+        if self.working_lines <= 0:
+            raise ModelError(
+                f"region {self.query}/{self.name}: working_lines must be > 0"
+            )
+        if self.access_rate < 0:
+            raise ModelError(
+                f"region {self.query}/{self.name}: access_rate must be >= 0"
+            )
+
+    def occupancy(self, t_char: float) -> float:
+        """Expected resident lines at characteristic time ``t_char``."""
+        if self.access_rate == 0:
+            return 0.0
+        if math.isinf(t_char):
+            return self.working_lines
+        rate_per_line = self.access_rate / self.working_lines
+        return self.working_lines * -math.expm1(-rate_per_line * t_char)
+
+    def hit_ratio(self, t_char: float) -> float:
+        """Probability a probe finds its line resident (Che)."""
+        if self.access_rate == 0:
+            return 1.0
+        return self.occupancy(t_char) / self.working_lines
+
+
+@dataclass(frozen=True)
+class StreamActor:
+    """Streaming competitor: inserts lines, never re-references them."""
+
+    query: str
+    name: str
+    insertion_rate: float  # lines/second entering the LLC
+
+    def __post_init__(self) -> None:
+        if self.insertion_rate < 0:
+            raise ModelError(
+                f"stream {self.query}/{self.name}: insertion_rate must be >= 0"
+            )
+
+    def occupancy(self, t_char: float) -> float:
+        if math.isinf(t_char):
+            # A stream in an otherwise idle cache fills whatever is free;
+            # callers only reach t=inf when streams are absent or idle.
+            return 0.0 if self.insertion_rate == 0 else math.inf
+        return self.insertion_rate * t_char
+
+
+@dataclass
+class CacheActorSet:
+    """All LLC competitors of one workload, keyed by owning query."""
+
+    regions: list[RegionActor]
+    streams: list[StreamActor]
+
+    def for_query(self, query: str) -> "CacheActorSet":
+        return CacheActorSet(
+            regions=[r for r in self.regions if r.query == query],
+            streams=[s for s in self.streams if s.query == query],
+        )
+
+
+def _total_occupancy(
+    regions: list[RegionActor], streams: list[StreamActor], t_char: float
+) -> float:
+    return sum(r.occupancy(t_char) for r in regions) + sum(
+        s.occupancy(t_char) for s in streams
+    )
+
+
+def solve_characteristic_time(
+    regions: list[RegionActor],
+    streams: list[StreamActor],
+    capacity_lines: float,
+    tolerance: float = 1e-6,
+    max_iterations: int = 200,
+) -> float:
+    """Solve Che's fill constraint for the characteristic time.
+
+    Returns ``inf`` when all actors fit simultaneously (cache never
+    fills: every region is fully resident).
+    """
+    if capacity_lines <= 0:
+        raise ModelError(f"capacity_lines must be > 0: {capacity_lines}")
+
+    streaming = sum(s.insertion_rate for s in streams)
+    max_region_lines = sum(
+        r.working_lines for r in regions if r.access_rate > 0
+    )
+    if streaming == 0 and max_region_lines <= capacity_lines:
+        return math.inf
+
+    # Bracket the root: occupancy(T) is monotone increasing in T.
+    t_low, t_high = 0.0, 1e-9
+    for _ in range(200):
+        if _total_occupancy(regions, streams, t_high) >= capacity_lines:
+            break
+        t_high *= 4.0
+    else:
+        # Demand never reaches capacity (e.g. negligible rates): treat as
+        # an unfilled cache.
+        return math.inf
+
+    for _ in range(max_iterations):
+        t_mid = 0.5 * (t_low + t_high)
+        if _total_occupancy(regions, streams, t_mid) < capacity_lines:
+            t_low = t_mid
+        else:
+            t_high = t_mid
+        if t_high - t_low <= tolerance * max(t_high, 1e-30):
+            break
+    return 0.5 * (t_low + t_high)
+
+
+@dataclass(frozen=True)
+class SegmentSolution:
+    """Result of solving one segment: T plus per-actor hit/occupancy."""
+
+    segment: Segment
+    t_char: float
+    region_hit_ratios: dict[tuple[str, str], float]
+    region_occupancy_lines: dict[tuple[str, str], float]
+    stream_occupancy_lines: dict[tuple[str, str], float]
+
+
+def solve_segment(
+    segment: Segment,
+    regions: list[RegionActor],
+    streams: list[StreamActor],
+    way_lines: float,
+) -> SegmentSolution:
+    """Solve the Che fixed point for one way-mask segment.
+
+    ``regions``/``streams`` must already be scaled to this segment (the
+    caller distributes each query's traffic across its allowed segments
+    proportionally to capacity).
+    """
+    capacity = segment.ways * way_lines
+    t_char = solve_characteristic_time(regions, streams, capacity)
+    hit_ratios = {
+        (r.query, r.name): r.hit_ratio(t_char) for r in regions
+    }
+    region_occ = {(r.query, r.name): r.occupancy(t_char) for r in regions}
+    stream_occ = {}
+    for s in streams:
+        occupancy = s.occupancy(t_char)
+        if math.isinf(occupancy):
+            occupancy = capacity - sum(region_occ.values())
+        stream_occ[(s.query, s.name)] = max(0.0, occupancy)
+    return SegmentSolution(segment, t_char, hit_ratios, region_occ, stream_occ)

@@ -1,0 +1,82 @@
+"""Way-mask decomposition into cache segments.
+
+CAT assigns each query (via its CLOS) a capacity bitmask over the LLC's
+ways.  For the occupancy model, the cache decomposes into *segments*:
+maximal groups of ways that are reachable by exactly the same set of
+queries.  Within a segment everybody listed competes under LRU; across
+segments there is no interaction.
+
+Example (the paper's default scheme, 20 ways): scan = ``0x3``,
+aggregation = ``0xfffff`` decomposes into a 2-way segment shared by
+{scan, aggregation} and an 18-way segment exclusive to {aggregation}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A group of LLC ways reachable by the same set of queries."""
+
+    members: frozenset[str]
+    ways: int
+
+    def __post_init__(self) -> None:
+        if self.ways <= 0:
+            raise ModelError(f"segment must span >= 1 way, got {self.ways}")
+        if not self.members:
+            raise ModelError("segment must have at least one member")
+
+    def capacity_bytes(self, way_bytes: int) -> int:
+        return self.ways * way_bytes
+
+
+def decompose_masks(masks: dict[str, int], total_ways: int) -> list[Segment]:
+    """Split ``total_ways`` LLC ways into segments of identical membership.
+
+    Ways covered by no mask are dropped (capacity nobody can allocate
+    into is invisible to the model — on real hardware such ways only
+    hold stale lines).
+
+    Returns segments sorted by their lowest way for determinism.
+    """
+    if total_ways <= 0:
+        raise ModelError(f"total_ways must be > 0: {total_ways}")
+    full_mask = (1 << total_ways) - 1
+    for name, mask in masks.items():
+        if mask <= 0:
+            raise ModelError(f"mask for {name!r} must be non-zero")
+        if mask > full_mask:
+            raise ModelError(
+                f"mask {mask:#x} for {name!r} exceeds {total_ways} ways"
+            )
+
+    membership_ways: dict[frozenset[str], list[int]] = {}
+    for way in range(total_ways):
+        members = frozenset(
+            name for name, mask in masks.items() if mask >> way & 1
+        )
+        if not members:
+            continue
+        membership_ways.setdefault(members, []).append(way)
+
+    segments = [
+        Segment(members, len(ways))
+        for members, ways in sorted(
+            membership_ways.items(), key=lambda item: min(item[1])
+        )
+    ]
+    return segments
+
+
+def allowed_ways(masks: dict[str, int], name: str) -> int:
+    """Number of ways ``name`` may allocate into."""
+    try:
+        mask = masks[name]
+    except KeyError:
+        raise ModelError(f"no mask configured for {name!r}") from None
+    return bin(mask).count("1")

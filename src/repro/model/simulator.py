@@ -1,0 +1,546 @@
+"""Steady-state workload simulator.
+
+Given a set of concurrently running queries — each with an
+:class:`~repro.model.streams.AccessProfile`, a core allocation and a CAT
+capacity bitmask — the simulator solves the coupled fixed point of
+
+* per-query throughput,
+* LLC occupancy / hit ratios per way-mask segment (Che approximation),
+* DRAM bandwidth grants (max-min fair arbitration),
+
+and reports per-query throughput, time breakdowns and PCM-style
+counters.  This mirrors the paper's measurement method: queries run
+repeatedly ("for 90 seconds"), so the interesting quantity is the
+steady-state rate, not a single execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SystemSpec
+from ..errors import ModelError
+from .bandwidth import BandwidthUsage, solve_bandwidth
+from .calibration import DEFAULT_CALIBRATION, Calibration
+from .latency import LatencyModel
+from .occupancy import RegionActor, StreamActor, solve_segment
+from .segments import decompose_masks
+from .streams import AccessProfile
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A query instance participating in a simulated workload."""
+
+    name: str
+    profile: AccessProfile
+    cores: int
+    mask: int
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ModelError(f"query {self.name!r}: cores must be > 0")
+        if self.mask <= 0:
+            raise ModelError(f"query {self.name!r}: mask must be non-zero")
+
+
+@dataclass
+class CounterRates:
+    """Per-second hardware-counter rates (PCM analogue)."""
+
+    instructions_per_s: float = 0.0
+    llc_references_per_s: float = 0.0
+    llc_hits_per_s: float = 0.0
+
+    @property
+    def llc_misses_per_s(self) -> float:
+        return self.llc_references_per_s - self.llc_hits_per_s
+
+    @property
+    def llc_hit_ratio(self) -> float:
+        if self.llc_references_per_s <= 0:
+            return 0.0
+        return self.llc_hits_per_s / self.llc_references_per_s
+
+    @property
+    def misses_per_instruction(self) -> float:
+        if self.instructions_per_s <= 0:
+            return 0.0
+        return self.llc_misses_per_s / self.instructions_per_s
+
+    def combined(self, other: "CounterRates") -> "CounterRates":
+        return CounterRates(
+            self.instructions_per_s + other.instructions_per_s,
+            self.llc_references_per_s + other.llc_references_per_s,
+            self.llc_hits_per_s + other.llc_hits_per_s,
+        )
+
+
+@dataclass
+class QueryResult:
+    """Simulation outcome for one query."""
+
+    name: str
+    throughput_tuples_per_s: float
+    per_tuple_seconds: float
+    queries_per_s: float
+    region_hit_ratios: dict[str, float] = field(default_factory=dict)
+    region_l2_fractions: dict[str, float] = field(default_factory=dict)
+    time_breakdown: dict[str, float] = field(default_factory=dict)
+    dram_bytes_per_s: float = 0.0
+    bandwidth_slowdown: float = 1.0
+    counters: CounterRates = field(default_factory=CounterRates)
+
+
+def system_counters(results: dict[str, QueryResult]) -> CounterRates:
+    """Socket-wide counter rates (what PCM reports for the machine)."""
+    total = CounterRates()
+    for result in results.values():
+        total = total.combined(result.counters)
+    return total
+
+
+class WorkloadSimulator:
+    """Solves the throughput/occupancy/bandwidth fixed point."""
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        latency: LatencyModel | None = None,
+        max_iterations: int = 300,
+        damping: float = 0.4,
+        tolerance: float = 1e-6,
+    ) -> None:
+        if not 0.0 < damping <= 1.0:
+            raise ModelError(f"damping must be in (0, 1]: {damping}")
+        self.spec = spec
+        self.calibration = calibration
+        self.latency = latency if latency is not None else LatencyModel(spec)
+        self.max_iterations = max_iterations
+        self.damping = damping
+        self.tolerance = tolerance
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def simulate(self, queries: list[QuerySpec]) -> dict[str, QueryResult]:
+        """Solve the workload's steady state.
+
+        When the queries' summed core counts oversubscribe the socket
+        (the paper runs each query with the full physical-core
+        concurrency limit, so two queries time-share cores as SMT
+        siblings), a proportional compute penalty is applied; memory
+        behaviour is left to the contention models.
+        """
+        if not queries:
+            raise ModelError("simulate requires at least one query")
+        names = [q.name for q in queries]
+        if len(names) != len(set(names)):
+            raise ModelError(f"duplicate query names: {names}")
+        # SMT contention: when the workload demands more cores than the
+        # socket has, the surplus threads time-share.  A query whose
+        # threads all collide (e.g. a 2-core OLTP pool on a machine
+        # saturated by a 22-core scan) pays the full hyper-thread
+        # penalty; a query with only a few contended cores pays
+        # proportionally.
+        total_cores = sum(q.cores for q in queries)
+        surplus = max(0, total_cores - self.spec.cores)
+        smt_factors = {}
+        for q in queries:
+            contended_share = min(1.0, surplus / q.cores)
+            smt_factors[q.name] = 1.0 + (
+                self.calibration.smt_compute_factor - 1.0
+            ) * contended_share
+
+        masks = {q.name: q.mask for q in queries}
+        segments = decompose_masks(masks, self.spec.llc.ways)
+        line_bytes = self.spec.llc.line_bytes
+        way_lines = self.spec.llc.way_bytes / line_bytes
+        allowed_lines = {
+            q.name: bin(q.mask).count("1") * way_lines for q in queries
+        }
+
+        prepared = {
+            q.name: self._prepare(q, smt_factors[q.name]) for q in queries
+        }
+        throughput = {
+            q.name: q.cores / prepared[q.name]["base_tuple_seconds"]
+            for q in queries
+        }
+        hit_ratios: dict[str, dict[str, float]] = {
+            q.name: {r.name: 1.0 for r in q.profile.regions} for q in queries
+        }
+        slowdowns = {q.name: 1.0 for q in queries}
+
+        for _ in range(self.max_iterations):
+            hit_ratios = self._solve_occupancy(
+                queries, prepared, throughput, segments, allowed_lines,
+                way_lines,
+            )
+            usages = [
+                self._bandwidth_usage(q, prepared[q.name], throughput[q.name],
+                                      hit_ratios[q.name])
+                for q in queries
+            ]
+            solution = solve_bandwidth(
+                usages, self.spec.dram.bandwidth_bytes_per_s
+            )
+            slowdowns = solution.slowdowns
+
+            max_change = 0.0
+            for q in queries:
+                per_tuple, _ = self._per_tuple_time(
+                    q, prepared[q.name], hit_ratios[q.name],
+                    slowdowns[q.name],
+                )
+                target = q.cores / per_tuple
+                updated = (
+                    throughput[q.name] ** (1 - self.damping)
+                    * target ** self.damping
+                )
+                change = abs(updated - throughput[q.name]) / max(
+                    throughput[q.name], 1e-30
+                )
+                max_change = max(max_change, change)
+                throughput[q.name] = updated
+            if max_change < self.tolerance:
+                break
+
+        return self._build_results(
+            queries, prepared, throughput, hit_ratios, slowdowns
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _prepare(self, query: QuerySpec, smt_factor: float) -> dict:
+        """Precompute per-query constants that do not move in the loop."""
+        profile = query.profile
+        line_bytes = self.spec.llc.line_bytes
+        l2_fractions = {
+            region.name: self.latency.l2_hit_fraction(
+                region.total_bytes, region.shared, query.cores
+            )
+            for region in profile.regions
+        }
+        llc_accesses_per_tuple = {
+            region.name: region.accesses_per_tuple
+            * (1.0 - l2_fractions[region.name])
+            for region in profile.regions
+        }
+        stream_lines_per_tuple = profile.stream_bytes_per_tuple / line_bytes
+        compute_seconds = (
+            profile.compute_cycles_per_tuple * smt_factor * self.spec.cycle_s
+        )
+        ways = bin(query.mask).count("1")
+        base_stream_seconds = (
+            profile.stream_bytes_per_tuple
+            / self.calibration.per_core_stream_bandwidth
+        )
+        # Optimistic first guess: everything hits, no contention.
+        base_random = sum(
+            llc_accesses_per_tuple[r.name]
+            * self.latency.random_access_cycles(
+                l2_fractions[r.name], 1.0, profile.mlp
+            )
+            * self.spec.cycle_s
+            + r.accesses_per_tuple
+            * l2_fractions[r.name]
+            * self.latency.l2_cycles
+            / profile.mlp
+            * self.spec.cycle_s
+            for r in profile.regions
+        )
+        base = max(
+            compute_seconds + base_random + base_stream_seconds, 1e-15
+        )
+        return {
+            "l2_fractions": l2_fractions,
+            "llc_accesses_per_tuple": llc_accesses_per_tuple,
+            "stream_lines_per_tuple": stream_lines_per_tuple,
+            "compute_seconds": compute_seconds,
+            "ways": ways,
+            "base_tuple_seconds": base,
+        }
+
+    def _solve_occupancy(
+        self,
+        queries: list[QuerySpec],
+        prepared: dict[str, dict],
+        throughput: dict[str, float],
+        segments,
+        allowed_lines: dict[str, float],
+        way_lines: float,
+    ) -> dict[str, dict[str, float]]:
+        """Solve every way-mask segment; blend per-region hit ratios.
+
+        A region spanning several segments distributes its working set
+        and accesses across them.  Real LRU residency is not uniform:
+        lines survive where eviction pressure is low, so a region that
+        fits into a clean (e.g. exclusive) segment effectively migrates
+        there, while a region larger than the clean capacity spills the
+        remainder into contested segments.  We capture this with a
+        greedy placement iterated a few times: order the region's
+        allowed segments by their characteristic time (cleanest first)
+        and fill the working set up to each segment's capacity; any
+        overflow is spread capacity-proportionally (it misses anyway).
+        Streams have no reuse and keep capacity-proportional weights.
+        """
+        line_bytes = self.spec.llc.line_bytes
+        by_name = {q.name: q for q in queries}
+
+        # region weights: (query, region_name) -> {segment_index: weight}
+        weights: dict[tuple[str, str], dict[int, float]] = {}
+        for seg_index, segment in enumerate(segments):
+            seg_lines = segment.ways * way_lines
+            for member in segment.members:
+                base = seg_lines / allowed_lines[member]
+                for region in by_name[member].profile.regions:
+                    weights.setdefault((member, region.name), {})[
+                        seg_index
+                    ] = base
+
+        blended: dict[str, dict[str, float]] = {}
+        for _ in range(3):
+            blended = {q.name: {} for q in queries}
+            seg_times: dict[int, float] = {}
+            for seg_index, segment in enumerate(segments):
+                seg_lines = segment.ways * way_lines
+                regions: list[RegionActor] = []
+                streams: list[StreamActor] = []
+                for member in segment.members:
+                    query = by_name[member]
+                    prep = prepared[member]
+                    rate = throughput[member]
+                    stream_weight = seg_lines / allowed_lines[member]
+                    for region in query.profile.regions:
+                        weight = weights[(member, region.name)][seg_index]
+                        if weight <= 0:
+                            continue
+                        access_rate = (
+                            rate
+                            * prep["llc_accesses_per_tuple"][region.name]
+                        )
+                        working_lines = max(
+                            1.0, region.total_bytes / line_bytes
+                        )
+                        regions.append(
+                            RegionActor(
+                                member,
+                                region.name,
+                                working_lines * weight,
+                                access_rate * weight,
+                            )
+                        )
+                    insertion = rate * prep["stream_lines_per_tuple"]
+                    if insertion > 0:
+                        streams.append(
+                            StreamActor(
+                                member, "input", insertion * stream_weight
+                            )
+                        )
+                solution = solve_segment(
+                    segment, regions, streams, way_lines
+                )
+                seg_times[seg_index] = solution.t_char
+                for key, hit in solution.region_hit_ratios.items():
+                    member, region_name = key
+                    weight = weights[(member, region_name)][seg_index]
+                    blended[member][region_name] = (
+                        blended[member].get(region_name, 0.0)
+                        + weight * hit
+                    )
+
+            # Coordinated greedy re-placement: regions claim the
+            # cleanest segments first, hottest (highest per-line
+            # reference rate) regions first — mirroring which lines
+            # survive under LRU.  A shared residual per segment stops
+            # several regions from over-committing the same clean ways.
+            residual = {
+                seg_index: segment.ways * way_lines
+                for seg_index, segment in enumerate(segments)
+            }
+            hotness: list[tuple[float, tuple[str, str]]] = []
+            for (member, region_name), seg_weights in weights.items():
+                region = by_name[member].profile.region(region_name)
+                working_lines = max(1.0, region.total_bytes / line_bytes)
+                rate = (
+                    throughput[member]
+                    * prepared[member]["llc_accesses_per_tuple"][
+                        region_name
+                    ]
+                )
+                hotness.append(
+                    (rate / working_lines, (member, region_name))
+                )
+            hotness.sort(key=lambda item: -item[0])
+
+            for _, key in hotness:
+                member, region_name = key
+                seg_weights = weights[key]
+                if len(seg_weights) < 2:
+                    continue
+                region = by_name[member].profile.region(region_name)
+                working_lines = max(1.0, region.total_bytes / line_bytes)
+                order = sorted(
+                    seg_weights,
+                    key=lambda idx: -seg_times.get(idx, 0.0),
+                )
+                remaining = working_lines
+                placed: dict[int, float] = {idx: 0.0 for idx in
+                                            seg_weights}
+                for seg_index in order:
+                    take = min(remaining, residual[seg_index])
+                    placed[seg_index] = take
+                    residual[seg_index] -= take
+                    remaining -= take
+                if remaining > 0:
+                    total_capacity = sum(
+                        segments[idx].ways * way_lines
+                        for idx in seg_weights
+                    )
+                    for seg_index in seg_weights:
+                        capacity = segments[seg_index].ways * way_lines
+                        placed[seg_index] += (
+                            remaining * capacity / total_capacity
+                        )
+                for seg_index in seg_weights:
+                    seg_weights[seg_index] = (
+                        placed[seg_index] / working_lines
+                    )
+
+        for q in queries:
+            for region in q.profile.regions:
+                blended[q.name].setdefault(region.name, 1.0)
+                blended[q.name][region.name] = min(
+                    1.0, max(0.0, blended[q.name][region.name])
+                )
+        return blended
+
+    def _effective_hit(self, region, hit: float) -> float:
+        """Apply the software-blocking discount to a region's hit ratio.
+
+        Operators that partition their probes when a structure outgrows
+        the cache amortise each fetched line over several accesses; the
+        model charges only a fraction of the nominal capacity misses.
+        """
+        if not region.software_managed:
+            return hit
+        discount = self.calibration.software_managed_miss_discount
+        return 1.0 - (1.0 - hit) * discount
+
+    def _bandwidth_usage(
+        self,
+        query: QuerySpec,
+        prep: dict,
+        throughput: float,
+        hits: dict[str, float],
+    ) -> BandwidthUsage:
+        line_bytes = self.spec.llc.line_bytes
+        stream_bytes = throughput * query.profile.stream_bytes_per_tuple
+        miss_bytes = sum(
+            throughput
+            * prep["llc_accesses_per_tuple"][region.name]
+            * (1.0 - self._effective_hit(region, hits[region.name]))
+            * line_bytes
+            for region in query.profile.regions
+        )
+        return BandwidthUsage(query.name, stream_bytes, miss_bytes)
+
+    def _per_tuple_time(
+        self,
+        query: QuerySpec,
+        prep: dict,
+        hits: dict[str, float],
+        slowdown: float,
+    ) -> tuple[float, dict[str, float]]:
+        profile = query.profile
+        cycle_s = self.spec.cycle_s
+        random_seconds = 0.0
+        for region in profile.regions:
+            l2_fraction = prep["l2_fractions"][region.name]
+            hit = self._effective_hit(region, hits[region.name])
+            cycles = self.latency.random_access_cycles(
+                l2_fraction, hit, profile.mlp, max(1.0, slowdown)
+            )
+            random_seconds += region.accesses_per_tuple * cycles * cycle_s
+
+        stream_seconds = (
+            profile.stream_bytes_per_tuple
+            / self.calibration.per_core_stream_bandwidth
+            * max(1.0, slowdown)
+        )
+        # Single-way masks defeat the prefetcher (paper Sec. V-B): add a
+        # demand-latency charge per streamed line.
+        stream_seconds += (
+            prep["stream_lines_per_tuple"]
+            * self.latency.streaming_cycles_per_line(
+                prep["ways"], max(1.0, slowdown)
+            )
+            * cycle_s
+        )
+
+        breakdown = {
+            "compute": prep["compute_seconds"],
+            "random": random_seconds,
+            "stream": stream_seconds,
+        }
+        total = max(sum(breakdown.values()), 1e-15)
+        return total, breakdown
+
+    def _build_results(
+        self,
+        queries: list[QuerySpec],
+        prepared: dict[str, dict],
+        throughput: dict[str, float],
+        hit_ratios: dict[str, dict[str, float]],
+        slowdowns: dict[str, float],
+    ) -> dict[str, QueryResult]:
+        line_bytes = self.spec.llc.line_bytes
+        results: dict[str, QueryResult] = {}
+        for query in queries:
+            prep = prepared[query.name]
+            rate = throughput[query.name]
+            per_tuple, breakdown = self._per_tuple_time(
+                query, prep, hit_ratios[query.name], slowdowns[query.name]
+            )
+            usage = self._bandwidth_usage(
+                query, prep, rate, hit_ratios[query.name]
+            )
+            stream_refs = rate * prep["stream_lines_per_tuple"]
+            region_refs = sum(
+                rate * prep["llc_accesses_per_tuple"][r.name]
+                for r in query.profile.regions
+            )
+            region_hits = sum(
+                rate
+                * prep["llc_accesses_per_tuple"][r.name]
+                * self._effective_hit(r, hit_ratios[query.name][r.name])
+                for r in query.profile.regions
+            )
+            counters = CounterRates(
+                instructions_per_s=rate * query.profile.instructions_per_tuple,
+                llc_references_per_s=region_refs + stream_refs,
+                llc_hits_per_s=region_hits
+                + stream_refs * self.calibration.stream_llc_hit_fraction,
+            )
+            results[query.name] = QueryResult(
+                name=query.name,
+                throughput_tuples_per_s=rate,
+                per_tuple_seconds=per_tuple,
+                queries_per_s=rate / query.profile.tuples,
+                region_hit_ratios=dict(hit_ratios[query.name]),
+                region_l2_fractions=dict(prep["l2_fractions"]),
+                time_breakdown=breakdown,
+                # Delivered traffic: demand scaled back by the queueing
+                # slowdown (grants cap what actually crosses the bus).
+                dram_bytes_per_s=(
+                    usage.total / max(1.0, slowdowns[query.name])
+                ),
+                bandwidth_slowdown=slowdowns[query.name],
+                counters=counters,
+            )
+        return results

@@ -1,0 +1,164 @@
+"""Access-profile descriptors.
+
+An :class:`AccessProfile` is the model-facing summary of an operator or
+query: how much it computes per tuple, which memory regions it probes
+randomly (dictionaries, hash tables, bit vectors, indexes) and which it
+streams through sequentially (column codes).  Physical operators in
+:mod:`repro.operators` emit these; the simulator consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class RandomRegion:
+    """A bounded memory region accessed uniformly at random.
+
+    Attributes:
+        name: label for reporting ("dictionary", "hash_table", ...).
+        total_bytes: working-set size at LLC level.
+        accesses_per_tuple: random references issued per processed tuple.
+        shared: True when all worker threads probe the *same* structure
+            (dictionary, bit vector); False for thread-local structures
+            (per-worker hash tables), where each core's private-cache
+            slice only sees ``total_bytes / workers``.
+        software_managed: True for structures the operator probes in a
+            blocking/partitioned fashion when they outgrow the cache
+            (e.g. the FK join radix-partitions its probes): capacity
+            misses are then amortised over a batch, which bounds the
+            operator's DRAM exposure.  Modelled as a constant discount
+            on the miss ratio (see ``Calibration``).
+    """
+
+    name: str
+    total_bytes: float
+    accesses_per_tuple: float
+    shared: bool = True
+    software_managed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0:
+            raise ModelError(
+                f"region {self.name!r}: total_bytes must be > 0, "
+                f"got {self.total_bytes}"
+            )
+        if self.accesses_per_tuple < 0:
+            raise ModelError(
+                f"region {self.name!r}: accesses_per_tuple must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class SequentialStream:
+    """Sequentially streamed data with no reuse (column scan input)."""
+
+    name: str
+    bytes_per_tuple: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_tuple < 0:
+            raise ModelError(
+                f"stream {self.name!r}: bytes_per_tuple must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """Complete memory/compute footprint of one query (or operator).
+
+    ``tuples`` is the number of work items a single query execution
+    processes; throughput is reported in tuples/s and, divided by
+    ``tuples``, in queries/s.
+    """
+
+    name: str
+    tuples: float
+    compute_cycles_per_tuple: float
+    instructions_per_tuple: float
+    regions: tuple[RandomRegion, ...] = ()
+    streams: tuple[SequentialStream, ...] = ()
+    mlp: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.tuples <= 0:
+            raise ModelError(f"profile {self.name!r}: tuples must be > 0")
+        if self.compute_cycles_per_tuple < 0:
+            raise ModelError(
+                f"profile {self.name!r}: compute cycles must be >= 0"
+            )
+        if self.instructions_per_tuple <= 0:
+            raise ModelError(
+                f"profile {self.name!r}: instructions per tuple must be > 0"
+            )
+        if self.mlp < 1:
+            raise ModelError(f"profile {self.name!r}: mlp must be >= 1")
+        names = [r.name for r in self.regions] + [s.name for s in self.streams]
+        if len(names) != len(set(names)):
+            raise ModelError(
+                f"profile {self.name!r}: region/stream names must be unique: "
+                f"{names}"
+            )
+
+    @property
+    def stream_bytes_per_tuple(self) -> float:
+        """Total sequential traffic per tuple."""
+        return sum(s.bytes_per_tuple for s in self.streams)
+
+    def with_name(self, name: str) -> "AccessProfile":
+        return replace(self, name=name)
+
+    def region(self, name: str) -> RandomRegion:
+        for candidate in self.regions:
+            if candidate.name == name:
+                return candidate
+        raise ModelError(f"profile {self.name!r} has no region {name!r}")
+
+
+def skewed_regions(
+    name: str,
+    total_bytes: float,
+    accesses_per_tuple: float,
+    hot_fraction: float = 0.2,
+    hot_access_share: float = 0.8,
+    shared: bool = True,
+) -> tuple[RandomRegion, RandomRegion]:
+    """Two-point approximation of a Zipf-skewed region.
+
+    The paper's data sets are uniform; real dictionaries and group
+    distributions are usually skewed, which concentrates accesses on a
+    small hot set that survives in the cache.  The classic 80/20 split
+    (``hot_access_share`` of the accesses hit ``hot_fraction`` of the
+    bytes) turns one skewed region into two uniform ones that the Che
+    model handles exactly.
+
+    >>> hot, cold = skewed_regions("dict", 100.0, 1.0)
+    >>> (hot.total_bytes, hot.accesses_per_tuple)
+    (20.0, 0.8)
+    >>> (cold.total_bytes, round(cold.accesses_per_tuple, 6))
+    (80.0, 0.2)
+    """
+    if not 0.0 < hot_fraction < 1.0:
+        raise ModelError(f"hot_fraction must be in (0, 1): {hot_fraction}")
+    if not 0.0 < hot_access_share < 1.0:
+        raise ModelError(
+            f"hot_access_share must be in (0, 1): {hot_access_share}"
+        )
+    if total_bytes <= 0 or accesses_per_tuple < 0:
+        raise ModelError("total_bytes must be > 0, accesses >= 0")
+    hot = RandomRegion(
+        f"{name}_hot",
+        total_bytes * hot_fraction,
+        accesses_per_tuple * hot_access_share,
+        shared=shared,
+    )
+    cold = RandomRegion(
+        f"{name}_cold",
+        total_bytes * (1.0 - hot_fraction),
+        accesses_per_tuple * (1.0 - hot_access_share),
+        shared=shared,
+    )
+    return hot, cold

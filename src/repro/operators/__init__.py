@@ -1,0 +1,41 @@
+"""Physical query operators.
+
+Each operator does two things:
+
+* **execute** for real on the functional column store (results are
+  checked against numpy ground truth in the test suite), and
+* **describe** its memory behaviour as an
+  :class:`~repro.model.streams.AccessProfile` — either from the data it
+  actually ran on or from full-scale statistics (``profile_from_stats``)
+  so experiments can model the paper's 10^9-row configurations without
+  materialising them.
+
+Operators also carry the paper's cache-usage taxonomy (Sec. V-C):
+polluting (i), sensitive (ii) or adaptive (iii).
+"""
+
+from .aggregate import AggregationResult, GroupedAggregation
+from .base import CacheUsage, OperatorStats, PhysicalOperator
+from .index_lookup import IndexLookup
+from .join import ForeignKeyJoin, JoinResult, classify_join
+from .point_select import PointSelect
+from .project import DictProjection
+from .scan import ColumnScan, ScanResult
+from .sort_aggregate import SortAggregation
+
+__all__ = [
+    "AggregationResult",
+    "CacheUsage",
+    "ColumnScan",
+    "DictProjection",
+    "ForeignKeyJoin",
+    "GroupedAggregation",
+    "IndexLookup",
+    "JoinResult",
+    "OperatorStats",
+    "PhysicalOperator",
+    "PointSelect",
+    "ScanResult",
+    "SortAggregation",
+    "classify_join",
+]

@@ -1,0 +1,64 @@
+"""Operator base classes and the cache-usage taxonomy.
+
+The paper annotates every job with a *cache usage identifier* (CUID)
+distinguishing three categories (Sec. V-C):
+
+* ``POLLUTING`` — no data reuse, evicts everyone else's lines
+  (column scan),
+* ``SENSITIVE`` — profits from the whole LLC (grouped aggregation);
+  also the *default* for unknown operators, to avoid regressions,
+* ``ADAPTIVE`` — polluting or sensitive depending on data
+  characteristics (foreign-key join, by bit-vector size).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+
+from ..model.streams import AccessProfile
+
+
+class CacheUsage(enum.Enum):
+    """The paper's three-way operator classification (Sec. V-C)."""
+
+    POLLUTING = "polluting"
+    SENSITIVE = "sensitive"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass
+class OperatorStats:
+    """Bookkeeping filled in by ``execute`` for tests and reporting."""
+
+    rows_processed: int = 0
+    dictionary_accesses: int = 0
+    hash_table_accesses: int = 0
+    bit_vector_probes: int = 0
+    index_lookups: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+class PhysicalOperator(abc.ABC):
+    """Interface every physical operator implements."""
+
+    def __init__(self) -> None:
+        self.stats = OperatorStats()
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Human-readable operator name."""
+
+    @abc.abstractmethod
+    def execute(self):
+        """Run the operator on its bound data; returns its result."""
+
+    @abc.abstractmethod
+    def cache_usage(self) -> CacheUsage:
+        """CUID category for the engine's partitioning policy."""
+
+    @abc.abstractmethod
+    def access_profile(self, workers: int) -> AccessProfile:
+        """Model-facing memory profile of this operator instance."""

@@ -1,0 +1,77 @@
+"""Inverted-index point lookup.
+
+The access path of the paper's S/4HANA OLTP query (Sec. VI-E): the
+engine intersects the inverted indexes of the primary-key columns to
+find qualifying rows, then hands the row ids to a projection.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+import numpy as np
+
+from ..errors import StorageError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..model.streams import AccessProfile, RandomRegion
+from ..storage.table import ColumnTable
+from .base import CacheUsage, PhysicalOperator
+
+
+class IndexLookup(PhysicalOperator):
+    """Equality lookups on indexed columns, intersected."""
+
+    def __init__(
+        self,
+        table: ColumnTable,
+        predicates: dict[str, object],
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        super().__init__()
+        if not predicates:
+            raise StorageError("index lookup needs at least one predicate")
+        self._table = table
+        self._predicates = dict(predicates)
+        self._calibration = calibration
+        for column in self._predicates:
+            if not table.has_index(column):
+                table.create_index(column)
+
+    @property
+    def name(self) -> str:
+        return "index_lookup"
+
+    def execute(self) -> np.ndarray:
+        """Row ids satisfying all equality predicates."""
+        row_sets = []
+        for column, value in self._predicates.items():
+            rows = self._table.index(column).lookup(value)
+            row_sets.append(rows)
+            self.stats.index_lookups += 1
+        result = reduce(np.intersect1d, row_sets)
+        self.stats.rows_processed = int(result.size)
+        return result
+
+    def cache_usage(self) -> CacheUsage:
+        """Index structures want to stay resident: cache-sensitive."""
+        return CacheUsage.SENSITIVE
+
+    def access_profile(self, workers: int) -> AccessProfile:
+        regions = tuple(
+            RandomRegion(
+                f"index_{column}",
+                self._table.index(column).size_bytes,
+                accesses_per_tuple=3.0,  # search + postings walk
+                shared=True,
+            )
+            for column in self._predicates
+        )
+        return AccessProfile(
+            name=self.name,
+            tuples=1.0,
+            compute_cycles_per_tuple=2_000.0,
+            instructions_per_tuple=3_000.0,
+            regions=regions,
+            streams=(),
+            mlp=self._calibration.default_mlp,
+        )

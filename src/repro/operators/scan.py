@@ -1,0 +1,140 @@
+"""Column scan operator (Query 1).
+
+Evaluates a range predicate directly on the packed dictionary codes:
+because the dictionary is order-preserving, ``X > bound`` is rewritten
+to ``code >= encode_upper_bound(bound)`` once, and the scan never
+touches the dictionary (paper Sec. IV-A).  The scan streams the packed
+code vector exactly once — no reuse, strong spatial locality — which
+makes it the paper's canonical *cache polluter*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import StorageError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..model.streams import AccessProfile, SequentialStream
+from ..storage.bitpack import packed_bytes, required_bits
+from ..storage.table import ColumnTable
+from .base import CacheUsage, PhysicalOperator
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of a counting scan."""
+
+    matches: int
+    rows_scanned: int
+
+    @property
+    def selectivity(self) -> float:
+        if not self.rows_scanned:
+            return 0.0
+        return self.matches / self.rows_scanned
+
+
+class ColumnScan(PhysicalOperator):
+    """``SELECT COUNT(*) FROM t WHERE t.col > bound`` on packed codes."""
+
+    SUPPORTED_OPS = {">", ">=", "<", "<=", "="}
+
+    def __init__(
+        self,
+        table: ColumnTable,
+        column: str,
+        op: str,
+        bound,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        super().__init__()
+        if op not in self.SUPPORTED_OPS:
+            raise StorageError(f"unsupported scan predicate: {op!r}")
+        self._table = table
+        self._column = table.column(column)
+        self._op = op
+        self._bound = bound
+        self._calibration = calibration
+
+    @property
+    def name(self) -> str:
+        return "column_scan"
+
+    def execute(self) -> ScanResult:
+        """Count matching rows entirely on compressed codes."""
+        codes = self._column.codes()
+        dictionary = self._column.dictionary
+        if self._op == ">":
+            threshold = dictionary.encode_upper_bound(self._bound)
+            mask = codes >= threshold
+        elif self._op == ">=":
+            threshold = dictionary.encode_lower_bound(self._bound)
+            mask = codes >= threshold
+        elif self._op == "<":
+            threshold = dictionary.encode_lower_bound(self._bound)
+            mask = codes < threshold
+        elif self._op == "<=":
+            threshold = dictionary.encode_upper_bound(self._bound)
+            mask = codes < threshold
+        else:  # "="
+            low = dictionary.encode_lower_bound(self._bound)
+            high = dictionary.encode_upper_bound(self._bound)
+            mask = (codes >= low) & (codes < high)
+        matches = int(np.count_nonzero(mask))
+        self.stats.rows_processed = len(self._column)
+        return ScanResult(matches, len(self._column))
+
+    def matching_rows(self) -> np.ndarray:
+        """Row ids of matching tuples (used when feeding projections)."""
+        codes = self._column.codes()
+        dictionary = self._column.dictionary
+        if self._op == "=":
+            low = dictionary.encode_lower_bound(self._bound)
+            high = dictionary.encode_upper_bound(self._bound)
+            mask = (codes >= low) & (codes < high)
+        elif self._op == ">":
+            mask = codes >= dictionary.encode_upper_bound(self._bound)
+        elif self._op == ">=":
+            mask = codes >= dictionary.encode_lower_bound(self._bound)
+        elif self._op == "<":
+            mask = codes < dictionary.encode_lower_bound(self._bound)
+        else:  # "<="
+            mask = codes < dictionary.encode_upper_bound(self._bound)
+        return np.nonzero(mask)[0]
+
+    def cache_usage(self) -> CacheUsage:
+        """Scans never reuse data: always polluting (CUID category i)."""
+        return CacheUsage.POLLUTING
+
+    def access_profile(self, workers: int) -> AccessProfile:
+        return self.profile_from_stats(
+            rows=len(self._column),
+            distinct=self._column.dictionary.cardinality,
+            calibration=self._calibration,
+        )
+
+    @staticmethod
+    def profile_from_stats(
+        rows: float,
+        distinct: int,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        name: str = "column_scan",
+    ) -> AccessProfile:
+        """Profile from full-scale statistics (no data required).
+
+        The streamed bytes per tuple follow from the packed code width:
+        10^6 distinct values -> 20 bits -> 2.5 B/tuple (paper Sec. III-B).
+        """
+        bits = required_bits(distinct)
+        bytes_per_tuple = packed_bytes(int(rows), bits) / rows
+        return AccessProfile(
+            name=name,
+            tuples=rows,
+            compute_cycles_per_tuple=calibration.scan_compute_cycles,
+            instructions_per_tuple=calibration.scan_instructions_per_tuple,
+            regions=(),
+            streams=(SequentialStream("input_codes", bytes_per_tuple),),
+            mlp=calibration.default_mlp,
+        )

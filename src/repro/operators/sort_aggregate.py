@@ -1,0 +1,165 @@
+"""Sort-based grouped aggregation — the algorithmic comparator.
+
+The paper's related work contrasts hash-based aggregation with
+cache-efficient sort-based aggregation (Müller et al., SIGMOD'15 [20])
+and notes that *both* families remain sensitive to cache pollution.
+This operator lets the repository test that claim:
+
+* functionally: sort the group codes, then segmented-reduce — no hash
+  tables at all,
+* performance-wise: run generation works in L2-sized buffers and the
+  merge streams sequentially, so the operator trades the hash table's
+  random LLC accesses for extra *bandwidth* (multiple passes over the
+  data).  It is therefore far less sensitive to LLC capacity but more
+  sensitive to bandwidth contention — the crossover explored in
+  ``experiments/ext_sort_vs_hash.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import StorageError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..model.streams import AccessProfile, RandomRegion, SequentialStream
+from ..storage.bitpack import packed_bytes, required_bits
+from ..storage.table import ColumnTable
+from .aggregate import AggregationResult
+from .base import CacheUsage, PhysicalOperator
+
+_AGG_FUNCTIONS = {"MAX", "MIN", "SUM", "COUNT"}
+
+
+class SortAggregation(PhysicalOperator):
+    """``SELECT f(v), g FROM t GROUP BY g`` via sort + segmented reduce."""
+
+    def __init__(
+        self,
+        table: ColumnTable,
+        value_column: str,
+        group_column: str,
+        function: str = "MAX",
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        super().__init__()
+        function = function.upper()
+        if function not in _AGG_FUNCTIONS:
+            raise StorageError(f"unsupported aggregate: {function!r}")
+        self._table = table
+        self._value = table.column(value_column)
+        self._group = table.column(group_column)
+        self._function = function
+        self._calibration = calibration
+
+    @property
+    def name(self) -> str:
+        return "sort_aggregation"
+
+    def execute(self) -> AggregationResult:
+        """Sort by group code, reduce each run — no hash tables."""
+        group_codes = self._group.codes()
+        values = self._value.dictionary.decode(self._value.codes())
+        order = np.argsort(group_codes, kind="stable")
+        sorted_groups = group_codes[order]
+        sorted_values = values[order]
+        self.stats.rows_processed = int(values.size)
+
+        boundaries = np.nonzero(np.diff(sorted_groups))[0] + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [sorted_groups.size]])
+
+        aggregates = np.empty(starts.size, dtype=sorted_values.dtype)
+        for index, (start, end) in enumerate(zip(starts, ends)):
+            segment = sorted_values[start:end]
+            if self._function == "MAX":
+                aggregates[index] = segment.max()
+            elif self._function == "MIN":
+                aggregates[index] = segment.min()
+            elif self._function == "SUM":
+                aggregates[index] = segment.sum()
+            else:  # COUNT
+                aggregates[index] = segment.size
+        group_values = self._group.dictionary.decode(
+            sorted_groups[starts]
+        )
+        return AggregationResult(group_values, aggregates)
+
+    def cache_usage(self) -> CacheUsage:
+        """Sorting streams; run buffers live in L2: a polluter."""
+        return CacheUsage.POLLUTING
+
+    def access_profile(self, workers: int) -> AccessProfile:
+        return self.profile_from_stats(
+            rows=len(self._value),
+            value_distinct=self._value.dictionary.cardinality,
+            group_distinct=self._group.dictionary.cardinality,
+            workers=workers,
+            calibration=self._calibration,
+        )
+
+    @staticmethod
+    def merge_passes(
+        rows: float, workers: int, fan_in: int = 64,
+        run_rows: int = 64 * 1024,
+    ) -> int:
+        """Multiway-merge passes needed after L2-sized run generation."""
+        runs = max(1.0, rows / workers / run_rows)
+        return max(1, math.ceil(math.log(runs, fan_in)))
+
+    @staticmethod
+    def profile_from_stats(
+        rows: float,
+        value_distinct: int,
+        group_distinct: int,
+        workers: int,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        name: str = "sort_aggregation",
+    ) -> AccessProfile:
+        """Profile: multiple sequential passes, tiny random regions.
+
+        Per tuple: the input codes are read once for run generation and
+        once per merge pass (read + write ~ 2x traffic per pass); the
+        dictionary is probed once, like the hash variant, to decode the
+        aggregated value.
+        """
+        value_bits = required_bits(value_distinct)
+        group_bits = required_bits(group_distinct)
+        input_bytes = (
+            packed_bytes(int(rows), value_bits)
+            + packed_bytes(int(rows), group_bits)
+        ) / rows
+        passes = SortAggregation.merge_passes(rows, workers)
+        # run payload: (group code, value) pairs of ~12 B.
+        pass_bytes = 2.0 * passes * 12.0
+        regions = (
+            RandomRegion(
+                "dictionary",
+                calibration.dictionary_bytes(value_distinct),
+                accesses_per_tuple=1.0,
+                shared=True,
+            ),
+            RandomRegion(
+                "run_buffers",
+                workers * 256 * 1024,  # L2-sized run generation
+                accesses_per_tuple=1.0,
+                shared=False,
+            ),
+        )
+        return AccessProfile(
+            name=name,
+            tuples=rows,
+            compute_cycles_per_tuple=(
+                calibration.agg_compute_cycles + 6.0 * passes
+            ),
+            instructions_per_tuple=(
+                calibration.agg_instructions_per_tuple + 20.0 * passes
+            ),
+            regions=regions,
+            streams=(
+                SequentialStream("input_codes", input_bytes),
+                SequentialStream("merge_traffic", pass_bytes),
+            ),
+            mlp=calibration.default_mlp,
+        )

@@ -1,0 +1,25 @@
+"""Emulated Linux resctrl interface (kernel >= 4.10).
+
+The paper integrates CAT through the kernel's ``/sys/fs/resctrl``
+pseudo-filesystem rather than raw MSRs, so that thread migration keeps
+working (Sec. V-A, V-C).  This package reproduces that interface on top
+of the simulated :class:`~repro.hardware.cat.CatController`:
+
+* :mod:`repro.resctrl.schemata` — parse/format ``L3:0=fffff`` lines,
+* :mod:`repro.resctrl.filesystem` — groups with ``schemata`` / ``tasks``
+  / ``cpus`` files and the kernel's context-switch hook,
+* :mod:`repro.resctrl.interface` — the thin, syscall-counting API the
+  DBMS engine links against.
+"""
+
+from .filesystem import ResctrlFilesystem, ResctrlGroup
+from .interface import ResctrlInterface
+from .schemata import format_schemata, parse_schemata
+
+__all__ = [
+    "ResctrlFilesystem",
+    "ResctrlGroup",
+    "ResctrlInterface",
+    "format_schemata",
+    "parse_schemata",
+]

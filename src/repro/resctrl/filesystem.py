@@ -1,0 +1,162 @@
+"""Emulated ``/sys/fs/resctrl`` pseudo-filesystem.
+
+Reproduces the kernel behaviour the paper's integration relies on:
+
+* the root group exists with a full-access schemata; ``mkdir`` creates
+  allocation groups (bounded by the hardware CLOS count),
+* writing a hex bitmask line to a group's ``schemata`` file programs
+  the group's CLOS (the kernel validates contiguity and width),
+* writing a thread id to a group's ``tasks`` file moves that thread
+  into the group — a thread belongs to exactly one group,
+* on every context switch the kernel programs the scheduled-in thread's
+  CLOS into the core's PQR register (:meth:`ResctrlFilesystem.on_context_switch`).
+
+The engine talks to this class only through file-style ``read``/
+``write``/``mkdir``/``rmdir`` calls plus the scheduler hook, so the
+integration layer stays faithful to what runs on real Linux.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CatError, ResctrlError
+from ..hardware.cat import CatController
+from .schemata import format_schemata, parse_schemata
+
+ROOT_GROUP = ""
+
+
+@dataclass
+class ResctrlGroup:
+    """One allocation group (a directory under /sys/fs/resctrl)."""
+
+    name: str
+    clos: int
+    tasks: set[int] = field(default_factory=set)
+    cpus: set[int] = field(default_factory=set)
+
+
+class ResctrlFilesystem:
+    """The kernel-side state of the resctrl interface for one socket."""
+
+    def __init__(self, cat: CatController) -> None:
+        self._cat = cat
+        spec = cat.spec
+        self._groups: dict[str, ResctrlGroup] = {
+            ROOT_GROUP: ResctrlGroup(
+                ROOT_GROUP, clos=0, cpus=set(range(spec.cores))
+            )
+        }
+        self._task_group: dict[int, str] = {}
+        self._free_clos = list(range(1, spec.cat_classes))
+
+    @property
+    def cat(self) -> CatController:
+        return self._cat
+
+    # ------------------------------------------------------------------
+    # directory operations
+    # ------------------------------------------------------------------
+
+    def mkdir(self, name: str) -> ResctrlGroup:
+        """Create an allocation group; allocates a hardware CLOS."""
+        if not name or "/" in name:
+            raise ResctrlError(f"invalid group name: {name!r}")
+        if name in self._groups:
+            raise ResctrlError(f"group {name!r} already exists")
+        if not self._free_clos:
+            raise ResctrlError(
+                "out of hardware CLOS "
+                f"(limit {self._cat.spec.cat_classes})"
+            )
+        clos = self._free_clos.pop(0)
+        # A fresh group starts with full access, like the kernel.
+        self._cat.set_clos_mask(clos, self._cat.spec.full_mask)
+        group = ResctrlGroup(name, clos)
+        self._groups[name] = group
+        return group
+
+    def rmdir(self, name: str) -> None:
+        """Remove a group; its tasks fall back to the root group."""
+        if name == ROOT_GROUP:
+            raise ResctrlError("cannot remove the root group")
+        group = self._group(name)
+        for tid in list(group.tasks):
+            self._task_group[tid] = ROOT_GROUP
+            self._groups[ROOT_GROUP].tasks.add(tid)
+        self._free_clos.append(group.clos)
+        self._free_clos.sort()
+        del self._groups[name]
+
+    def groups(self) -> list[str]:
+        return sorted(self._groups)
+
+    def _group(self, name: str) -> ResctrlGroup:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise ResctrlError(f"no such group: {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # file operations
+    # ------------------------------------------------------------------
+
+    def write_schemata(self, name: str, line: str) -> None:
+        """Program a group's L3 bitmask (kernel validates via CAT rules)."""
+        group = self._group(name)
+        masks = parse_schemata(line)
+        if set(masks) != {0}:
+            raise ResctrlError(
+                f"single-socket system only has cache domain 0: {line!r}"
+            )
+        try:
+            self._cat.set_clos_mask(group.clos, masks[0])
+        except CatError as exc:
+            raise ResctrlError(f"schemata rejected: {exc}") from exc
+
+    def read_schemata(self, name: str) -> str:
+        group = self._group(name)
+        return format_schemata({0: self._cat.clos_mask(group.clos)})
+
+    def write_tasks(self, name: str, tid: int) -> None:
+        """Move a thread into a group (one group per thread)."""
+        if tid < 0:
+            raise ResctrlError(f"thread id must be >= 0: {tid}")
+        group = self._group(name)
+        previous = self._task_group.get(tid)
+        if previous is not None:
+            self._groups[previous].tasks.discard(tid)
+        group.tasks.add(tid)
+        self._task_group[tid] = name
+
+    def read_tasks(self, name: str) -> list[int]:
+        return sorted(self._group(name).tasks)
+
+    def write_cpus(self, name: str, cpus: set[int]) -> None:
+        """Pin cores to a group (used for core-based partitioning)."""
+        group = self._group(name)
+        for cpu in cpus:
+            if not 0 <= cpu < self._cat.spec.cores:
+                raise ResctrlError(f"cpu {cpu} does not exist")
+        group.cpus = set(cpus)
+
+    def read_cpus(self, name: str) -> set[int]:
+        return set(self._group(name).cpus)
+
+    def group_of_task(self, tid: int) -> str:
+        """Group a thread currently belongs to (root if never moved)."""
+        return self._task_group.get(tid, ROOT_GROUP)
+
+    # ------------------------------------------------------------------
+    # kernel scheduler hook
+    # ------------------------------------------------------------------
+
+    def on_context_switch(self, core: int, tid: int) -> None:
+        """Program the core's CLOS for the scheduled-in thread.
+
+        This is what the Linux scheduler does on every context switch
+        when resctrl task groups are in use (paper Sec. V-A).
+        """
+        group = self._groups[self.group_of_task(tid)]
+        self._cat.assign_core(core, group.clos)

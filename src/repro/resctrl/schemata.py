@@ -1,0 +1,74 @@
+"""Parsing and formatting of resctrl ``schemata`` lines.
+
+A resctrl group's ``schemata`` file holds one line per resource; for L3
+cache allocation the format is ``L3:<domain>=<cbm>[;<domain>=<cbm>...]``
+with hexadecimal capacity bitmasks, e.g. ``L3:0=fffff`` for full access
+to the LLC of cache domain (socket) 0.  See the kernel documentation
+referenced by the paper (intel_rdt_ui.txt).
+"""
+
+from __future__ import annotations
+
+from ..errors import ResctrlError
+
+
+def parse_schemata(text: str) -> dict[int, int]:
+    """Parse an ``L3:...`` schemata line into ``{domain: bitmask}``.
+
+    >>> parse_schemata("L3:0=fffff")
+    {0: 1048575}
+    >>> parse_schemata("L3:0=3;1=ff")
+    {0: 3, 1: 255}
+    """
+    line = text.strip()
+    if not line:
+        raise ResctrlError("empty schemata line")
+    prefix, _, body = line.partition(":")
+    if prefix.strip().upper() != "L3" or not body:
+        raise ResctrlError(
+            f"schemata line must look like 'L3:<dom>=<mask>': {text!r}"
+        )
+    masks: dict[int, int] = {}
+    for entry in body.split(";"):
+        domain_text, _, mask_text = entry.partition("=")
+        if not mask_text:
+            raise ResctrlError(f"malformed schemata entry: {entry!r}")
+        try:
+            domain = int(domain_text.strip())
+        except ValueError:
+            raise ResctrlError(
+                f"invalid cache domain {domain_text!r} in {text!r}"
+            ) from None
+        try:
+            mask = int(mask_text.strip(), 16)
+        except ValueError:
+            raise ResctrlError(
+                f"invalid bitmask {mask_text!r} in {text!r}"
+            ) from None
+        if domain in masks:
+            raise ResctrlError(f"duplicate domain {domain} in {text!r}")
+        if domain < 0:
+            raise ResctrlError(f"cache domain must be >= 0: {domain}")
+        if mask <= 0:
+            raise ResctrlError(f"bitmask must be non-zero in {text!r}")
+        masks[domain] = mask
+    return masks
+
+
+def format_schemata(masks: dict[int, int]) -> str:
+    """Format ``{domain: bitmask}`` as an ``L3:`` schemata line.
+
+    >>> format_schemata({0: 0xfffff})
+    'L3:0=fffff'
+    """
+    if not masks:
+        raise ResctrlError("schemata requires at least one domain")
+    for domain, mask in masks.items():
+        if domain < 0:
+            raise ResctrlError(f"cache domain must be >= 0: {domain}")
+        if mask <= 0:
+            raise ResctrlError(f"bitmask must be non-zero for domain {domain}")
+    body = ";".join(
+        f"{domain}={mask:x}" for domain, mask in sorted(masks.items())
+    )
+    return f"L3:{body}"

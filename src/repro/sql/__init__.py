@@ -1,0 +1,40 @@
+"""SQL front end.
+
+A small, real SQL layer covering the statement shapes of the paper's
+experiments (Figs. 2 and 3): ``CREATE COLUMN TABLE`` DDL, counting
+scans with range predicates, grouped aggregation, foreign-key joins and
+OLTP point-select projections.  Statements are lexed, parsed into an
+AST and planned onto the physical operators of :mod:`repro.operators`.
+"""
+
+from .ast import (
+    Aggregate,
+    ColumnDef,
+    ColumnRef,
+    Comparison,
+    CountStar,
+    CreateTable,
+    Literal,
+    Parameter,
+    Select,
+)
+from .lexer import Token, tokenize
+from .parser import parse
+from .planner import Planner, PlannedQuery
+
+__all__ = [
+    "Aggregate",
+    "ColumnDef",
+    "ColumnRef",
+    "Comparison",
+    "CountStar",
+    "CreateTable",
+    "Literal",
+    "Parameter",
+    "PlannedQuery",
+    "Planner",
+    "Select",
+    "Token",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,87 @@
+"""Abstract syntax tree for the supported SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly table-qualified column reference."""
+
+    column: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.column}"
+        return self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric literal."""
+
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A positional ``?`` placeholder (0-based index)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class CountStar:
+    """``COUNT(*)``."""
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``MAX(col)`` / ``MIN(col)`` / ``SUM(col)`` / ``AVG(col)``."""
+
+    function: str
+    column: ColumnRef
+
+
+SelectItem = Union[CountStar, Aggregate, ColumnRef]
+Operand = Union[ColumnRef, Literal, Parameter]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left <op> right`` in a WHERE conjunction."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+
+@dataclass(frozen=True)
+class Select:
+    """A SELECT statement (single conjunctive WHERE, optional GROUP BY)."""
+
+    items: tuple[SelectItem, ...]
+    tables: tuple[str, ...]
+    where: tuple[Comparison, ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """A column declaration in CREATE COLUMN TABLE."""
+
+    name: str
+    data_type: str
+    primary_key: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    """``CREATE COLUMN TABLE`` statement."""
+
+    name: str
+    columns: tuple[ColumnDef, ...]
+    primary_key: Optional[str] = None

@@ -1,0 +1,80 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SqlParseError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND",
+    "CREATE", "COLUMN", "TABLE", "PRIMARY", "KEY",
+    "COUNT", "MAX", "MIN", "SUM", "AVG",
+    "INT", "BIGINT", "DECIMAL", "NVARCHAR",
+}
+
+_SYMBOLS = {"(", ")", ",", "*", ".", ";", "?"}
+_OPERATORS = {">", "<", "=", ">=", "<=", "<>"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is 'keyword', 'ident', 'number', 'op',
+    'symbol' or 'param'."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL text into tokens; raises :class:`SqlParseError`."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            # Line comment.
+            end = text.find("\n", i)
+            i = length if end < 0 else end + 1
+            continue
+        if ch in "<>=":
+            two = text[i : i + 2]
+            if two in _OPERATORS:
+                tokens.append(Token("op", two, i))
+                i += 2
+            else:
+                tokens.append(Token("op", ch, i))
+                i += 1
+            continue
+        if ch == "?":
+            tokens.append(Token("param", "?", i))
+            i += 1
+            continue
+        if ch in _SYMBOLS:
+            tokens.append(Token("symbol", ch, i))
+            i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < length and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "keyword" if word.upper() in KEYWORDS else "ident"
+            value = word.upper() if kind == "keyword" else word
+            tokens.append(Token(kind, value, i))
+            i = j
+            continue
+        raise SqlParseError(f"unexpected character {ch!r} at position {i}")
+    return tokens

@@ -1,0 +1,227 @@
+"""Recursive-descent parser for the supported SQL dialect.
+
+Covers exactly the statement shapes the paper's experiments use
+(Figs. 2 and 3) plus the OLTP point-select projection of Sec. VI-E:
+
+* ``CREATE COLUMN TABLE t (c INT, ..., PRIMARY KEY(c))``
+* ``SELECT COUNT(*) FROM t WHERE t.c > ?``
+* ``SELECT MAX(t.v), t.g FROM t GROUP BY t.g``
+* ``SELECT COUNT(*) FROM r, s WHERE r.p = s.f``
+* ``SELECT c1, c2 FROM t WHERE k1 = ? AND k2 = ?``
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..errors import SqlParseError
+from .ast import (
+    Aggregate,
+    ColumnDef,
+    ColumnRef,
+    Comparison,
+    CountStar,
+    CreateTable,
+    Literal,
+    Parameter,
+    Select,
+    SelectItem,
+)
+from .lexer import Token, tokenize
+
+_AGG_KEYWORDS = {"MAX", "MIN", "SUM", "AVG"}
+_TYPE_KEYWORDS = {"INT", "BIGINT", "DECIMAL", "NVARCHAR"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._param_count = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SqlParseError("unexpected end of statement")
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (value is not None and token.value != value):
+            expected = value if value is not None else kind
+            raise SqlParseError(
+                f"expected {expected!r} but found {token.value!r} at "
+                f"position {token.position}"
+            )
+        return token
+
+    def _accept(self, kind: str, value: str | None = None) -> bool:
+        token = self._peek()
+        if (
+            token is not None
+            and token.kind == kind
+            and (value is None or token.value == value)
+        ):
+            self._pos += 1
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------
+
+    def parse_statement(self) -> Union[Select, CreateTable]:
+        token = self._peek()
+        if token is None:
+            raise SqlParseError("empty statement")
+        if token.kind == "keyword" and token.value == "SELECT":
+            statement = self._select()
+        elif token.kind == "keyword" and token.value == "CREATE":
+            statement = self._create_table()
+        else:
+            raise SqlParseError(
+                f"statement must start with SELECT or CREATE, found "
+                f"{token.value!r}"
+            )
+        self._accept("symbol", ";")
+        trailing = self._peek()
+        if trailing is not None:
+            raise SqlParseError(
+                f"unexpected trailing token {trailing.value!r} at position "
+                f"{trailing.position}"
+            )
+        return statement
+
+    def _create_table(self) -> CreateTable:
+        self._expect("keyword", "CREATE")
+        self._expect("keyword", "COLUMN")
+        self._expect("keyword", "TABLE")
+        name = self._expect("ident").value
+        self._expect("symbol", "(")
+        columns: list[ColumnDef] = []
+        primary_key: str | None = None
+        while True:
+            if self._accept("keyword", "PRIMARY"):
+                self._expect("keyword", "KEY")
+                self._expect("symbol", "(")
+                pk_column = self._expect("ident").value
+                self._expect("symbol", ")")
+                if primary_key is not None:
+                    raise SqlParseError("duplicate PRIMARY KEY clause")
+                primary_key = pk_column
+            else:
+                column_name = self._expect("ident").value
+                type_token = self._next()
+                if (
+                    type_token.kind != "keyword"
+                    or type_token.value not in _TYPE_KEYWORDS
+                ):
+                    raise SqlParseError(
+                        f"unknown column type {type_token.value!r}"
+                    )
+                is_pk = False
+                if self._accept("keyword", "PRIMARY"):
+                    self._expect("keyword", "KEY")
+                    is_pk = True
+                columns.append(
+                    ColumnDef(column_name, type_token.value, is_pk)
+                )
+            if self._accept("symbol", ","):
+                continue
+            self._expect("symbol", ")")
+            break
+        inline_pks = [c.name for c in columns if c.primary_key]
+        if inline_pks and primary_key:
+            raise SqlParseError("PRIMARY KEY declared twice")
+        if inline_pks:
+            primary_key = inline_pks[0]
+        if primary_key is not None and primary_key not in {
+            c.name for c in columns
+        }:
+            raise SqlParseError(
+                f"PRIMARY KEY references unknown column {primary_key!r}"
+            )
+        return CreateTable(name, tuple(columns), primary_key)
+
+    def _select(self) -> Select:
+        self._expect("keyword", "SELECT")
+        items = [self._select_item()]
+        while self._accept("symbol", ","):
+            items.append(self._select_item())
+        self._expect("keyword", "FROM")
+        tables = [self._expect("ident").value]
+        while self._accept("symbol", ","):
+            tables.append(self._expect("ident").value)
+        where: list[Comparison] = []
+        if self._accept("keyword", "WHERE"):
+            where.append(self._comparison())
+            while self._accept("keyword", "AND"):
+                where.append(self._comparison())
+        group_by: list[ColumnRef] = []
+        if self._accept("keyword", "GROUP"):
+            self._expect("keyword", "BY")
+            group_by.append(self._column_ref())
+            while self._accept("symbol", ","):
+                group_by.append(self._column_ref())
+        return Select(tuple(items), tuple(tables), tuple(where),
+                      tuple(group_by))
+
+    def _select_item(self) -> SelectItem:
+        token = self._peek()
+        if token is not None and token.kind == "keyword":
+            if token.value == "COUNT":
+                self._next()
+                self._expect("symbol", "(")
+                self._expect("symbol", "*")
+                self._expect("symbol", ")")
+                return CountStar()
+            if token.value in _AGG_KEYWORDS:
+                self._next()
+                self._expect("symbol", "(")
+                column = self._column_ref()
+                self._expect("symbol", ")")
+                return Aggregate(token.value, column)
+        return self._column_ref()
+
+    def _column_ref(self) -> ColumnRef:
+        first = self._expect("ident").value
+        if self._accept("symbol", "."):
+            second = self._expect("ident").value
+            return ColumnRef(second, table=first)
+        return ColumnRef(first)
+
+    def _operand(self):
+        token = self._peek()
+        if token is None:
+            raise SqlParseError("expected an operand")
+        if token.kind == "param":
+            self._next()
+            parameter = Parameter(self._param_count)
+            self._param_count += 1
+            return parameter
+        if token.kind == "number":
+            self._next()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        return self._column_ref()
+
+    def _comparison(self) -> Comparison:
+        left = self._operand()
+        op_token = self._next()
+        if op_token.kind != "op":
+            raise SqlParseError(
+                f"expected a comparison operator, found {op_token.value!r}"
+            )
+        right = self._operand()
+        return Comparison(left, op_token.value, right)
+
+
+def parse(text: str) -> Union[Select, CreateTable]:
+    """Parse one SQL statement."""
+    return _Parser(tokenize(text)).parse_statement()

@@ -1,0 +1,278 @@
+"""Query planner: AST -> physical operator.
+
+Recognises the plan shapes of the paper's workload:
+
+* counting scan with a single range/equality predicate -> ``ColumnScan``,
+* aggregate + GROUP BY -> ``GroupedAggregation``,
+* two-table COUNT(*) with a PK = FK equality -> ``ForeignKeyJoin``,
+* plain column projection with equality predicates -> ``PointSelect``.
+
+The planner resolves positional ``?`` parameters against the supplied
+argument list and validates column/table references against the loaded
+schema, raising :class:`~repro.errors.SqlPlanError` with a precise
+message otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..config import SystemSpec
+from ..errors import SqlPlanError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..operators import (
+    ColumnScan,
+    ForeignKeyJoin,
+    GroupedAggregation,
+    PhysicalOperator,
+    PointSelect,
+)
+from ..storage.table import ColumnTable
+from .ast import (
+    Aggregate,
+    ColumnRef,
+    CountStar,
+    Literal,
+    Parameter,
+    Select,
+)
+
+
+@dataclass
+class PlannedQuery:
+    """A physical plan: the root operator plus plan metadata."""
+
+    kind: str
+    root: PhysicalOperator
+    description: str
+
+    def execute(self):
+        return self.root.execute()
+
+
+class Planner:
+    """Plans SELECT statements against a table registry."""
+
+    def __init__(
+        self,
+        tables: dict[str, ColumnTable],
+        spec: SystemSpec | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        default_workers: int = 4,
+    ) -> None:
+        self._tables = tables
+        self._spec = spec if spec is not None else SystemSpec()
+        self._calibration = calibration
+        self._default_workers = default_workers
+
+    # ------------------------------------------------------------------
+
+    def plan(
+        self, select: Select, params: Sequence[object] = ()
+    ) -> PlannedQuery:
+        """Map a SELECT AST onto a physical operator."""
+        resolve = self._make_resolver(params, select)
+        if len(select.tables) == 2:
+            return self._plan_join(select)
+        if len(select.tables) != 1:
+            raise SqlPlanError(
+                f"queries over {len(select.tables)} tables are not supported"
+            )
+        table = self._table(select.tables[0])
+        if select.group_by:
+            return self._plan_aggregation(select, table)
+        if len(select.items) == 1 and isinstance(select.items[0], CountStar):
+            return self._plan_scan(select, table, resolve)
+        if all(isinstance(item, ColumnRef) for item in select.items):
+            return self._plan_point_select(select, table, resolve)
+        raise SqlPlanError(
+            "unsupported SELECT shape: expected COUNT(*), GROUP BY "
+            "aggregation, or a plain projection"
+        )
+
+    # ------------------------------------------------------------------
+
+    def _table(self, name: str) -> ColumnTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SqlPlanError(f"unknown table {name!r}") from None
+
+    def _make_resolver(
+        self, params: Sequence[object], select: Select
+    ) -> Callable[[object], object]:
+        needed = sum(
+            isinstance(operand, Parameter)
+            for comparison in select.where
+            for operand in (comparison.left, comparison.right)
+        )
+        if needed != len(params):
+            raise SqlPlanError(
+                f"statement has {needed} parameter(s) but {len(params)} "
+                "value(s) were supplied"
+            )
+
+        def resolve(operand):
+            if isinstance(operand, Parameter):
+                return params[operand.index]
+            if isinstance(operand, Literal):
+                return operand.value
+            raise SqlPlanError(
+                f"expected a literal or parameter, found {operand}"
+            )
+
+        return resolve
+
+    def _check_column(self, table: ColumnTable, ref: ColumnRef) -> str:
+        if ref.table is not None and ref.table != table.name:
+            raise SqlPlanError(
+                f"column {ref} does not belong to table {table.name!r}"
+            )
+        table.schema.column(ref.column)  # raises StorageError if missing
+        return ref.column
+
+    # ------------------------------------------------------------------
+
+    def _plan_scan(self, select: Select, table, resolve) -> PlannedQuery:
+        if len(select.where) != 1:
+            raise SqlPlanError(
+                "counting scan expects exactly one WHERE predicate"
+            )
+        predicate = select.where[0]
+        if not isinstance(predicate.left, ColumnRef):
+            raise SqlPlanError("scan predicate must compare a column")
+        column = self._check_column(table, predicate.left)
+        bound = resolve(predicate.right)
+        operator = ColumnScan(
+            table, column, predicate.op, bound, self._calibration
+        )
+        return PlannedQuery(
+            kind="column_scan",
+            root=operator,
+            description=(
+                f"ColumnScan({table.name}.{column} {predicate.op} {bound})"
+            ),
+        )
+
+    def _plan_aggregation(self, select: Select, table) -> PlannedQuery:
+        aggregates = [i for i in select.items if isinstance(i, Aggregate)]
+        if len(aggregates) != 1:
+            raise SqlPlanError(
+                "grouped aggregation expects exactly one aggregate function"
+            )
+        if len(select.group_by) != 1:
+            raise SqlPlanError("exactly one GROUP BY column is supported")
+        if select.where:
+            raise SqlPlanError(
+                "WHERE on grouped aggregation is not supported"
+            )
+        value_column = self._check_column(table, aggregates[0].column)
+        group_column = self._check_column(table, select.group_by[0])
+        non_agg = [i for i in select.items if isinstance(i, ColumnRef)]
+        for item in non_agg:
+            if self._check_column(table, item) != group_column:
+                raise SqlPlanError(
+                    f"projected column {item} must be the GROUP BY column"
+                )
+        operator = GroupedAggregation(
+            table,
+            value_column,
+            group_column,
+            aggregates[0].function,
+            workers=self._default_workers,
+            calibration=self._calibration,
+        )
+        return PlannedQuery(
+            kind="grouped_aggregation",
+            root=operator,
+            description=(
+                f"GroupedAggregation({aggregates[0].function}"
+                f"({table.name}.{value_column}) BY {group_column})"
+            ),
+        )
+
+    def _plan_join(self, select: Select) -> PlannedQuery:
+        if len(select.items) != 1 or not isinstance(
+            select.items[0], CountStar
+        ):
+            raise SqlPlanError("joins support COUNT(*) only")
+        if len(select.where) != 1 or select.where[0].op != "=":
+            raise SqlPlanError(
+                "join expects exactly one equality WHERE predicate"
+            )
+        predicate = select.where[0]
+        if not isinstance(predicate.left, ColumnRef) or not isinstance(
+            predicate.right, ColumnRef
+        ):
+            raise SqlPlanError("join predicate must compare two columns")
+
+        left_table = self._table(select.tables[0])
+        right_table = self._table(select.tables[1])
+        sides = {}
+        for ref in (predicate.left, predicate.right):
+            if ref.table == left_table.name:
+                sides[left_table.name] = self._check_column(left_table, ref)
+            elif ref.table == right_table.name:
+                sides[right_table.name] = self._check_column(right_table, ref)
+            else:
+                raise SqlPlanError(
+                    f"join column {ref} must be table-qualified with one of "
+                    f"{select.tables}"
+                )
+        if len(sides) != 2:
+            raise SqlPlanError("join predicate must reference both tables")
+
+        # Identify the primary-key side.
+        if left_table.schema.primary_key == sides[left_table.name]:
+            pk_table, fk_table = left_table, right_table
+        elif right_table.schema.primary_key == sides[right_table.name]:
+            pk_table, fk_table = right_table, left_table
+        else:
+            raise SqlPlanError(
+                "foreign-key join requires one side to be a primary key"
+            )
+        operator = ForeignKeyJoin(
+            pk_table,
+            sides[pk_table.name],
+            fk_table,
+            sides[fk_table.name],
+            spec=self._spec,
+            calibration=self._calibration,
+        )
+        return PlannedQuery(
+            kind="foreign_key_join",
+            root=operator,
+            description=(
+                f"ForeignKeyJoin({pk_table.name}.{sides[pk_table.name]} = "
+                f"{fk_table.name}.{sides[fk_table.name]})"
+            ),
+        )
+
+    def _plan_point_select(self, select, table, resolve) -> PlannedQuery:
+        if not select.where:
+            raise SqlPlanError("point select requires WHERE predicates")
+        predicates: dict[str, object] = {}
+        for comparison in select.where:
+            if comparison.op != "=" or not isinstance(
+                comparison.left, ColumnRef
+            ):
+                raise SqlPlanError(
+                    "point select supports equality predicates on columns"
+                )
+            column = self._check_column(table, comparison.left)
+            predicates[column] = resolve(comparison.right)
+        projected = [
+            self._check_column(table, item) for item in select.items
+        ]
+        operator = PointSelect(
+            table, projected, predicates, self._calibration
+        )
+        return PlannedQuery(
+            kind="point_select",
+            root=operator,
+            description=(
+                f"PointSelect({table.name}: {projected} WHERE "
+                f"{sorted(predicates)})"
+            ),
+        )

@@ -1,0 +1,31 @@
+"""Functional in-memory column store.
+
+A working (small-scale) implementation of the SAP HANA storage concepts
+the paper describes in Sec. II: order-preserving dictionary encoding
+with bit-packed code vectors, column tables, bit vectors for foreign-key
+joins and inverted indexes for OLTP point access.  The physical
+operators in :mod:`repro.operators` execute on these structures for
+real, while their cache behaviour is summarised for the analytic model.
+"""
+
+from .bitpack import pack_codes, required_bits, unpack_codes
+from .bitvector import BitVector
+from .column import DictEncodedColumn
+from .datagen import DataGenerator
+from .dictionary import OrderedDictionary
+from .index import InvertedIndex
+from .table import ColumnTable, Schema, SchemaColumn
+
+__all__ = [
+    "BitVector",
+    "ColumnTable",
+    "DataGenerator",
+    "DictEncodedColumn",
+    "InvertedIndex",
+    "OrderedDictionary",
+    "Schema",
+    "SchemaColumn",
+    "pack_codes",
+    "required_bits",
+    "unpack_codes",
+]

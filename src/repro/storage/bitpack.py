@@ -1,0 +1,99 @@
+"""Bit-width compression of dictionary codes.
+
+HANA stores the code vector of a column packed to
+``ceil(log2(cardinality))`` bits per value (paper Sec. III-B: 10^6
+distinct values are stored in 20 bits each).  The packed width is what
+determines a scan's streamed bytes per tuple, so the compression is
+functionally real here: codes are physically packed into a uint64 word
+array and unpacked on demand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StorageError
+
+_WORD_BITS = 64
+
+
+def required_bits(cardinality: int) -> int:
+    """Bits needed to store codes ``0 .. cardinality-1``.
+
+    >>> required_bits(10**6)
+    20
+    >>> required_bits(1)
+    1
+    """
+    if cardinality <= 0:
+        raise StorageError(f"cardinality must be > 0: {cardinality}")
+    return max(1, int(cardinality - 1).bit_length())
+
+
+def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack unsigned codes into a dense little-endian uint64 array."""
+    if not 1 <= bits <= 32:
+        raise StorageError(f"bits must be in [1, 32]: {bits}")
+    array = np.ascontiguousarray(codes, dtype=np.uint64)
+    if array.ndim != 1:
+        raise StorageError("codes must be one-dimensional")
+    if array.size and int(array.max()) >= (1 << bits):
+        raise StorageError(
+            f"code {int(array.max())} does not fit in {bits} bits"
+        )
+    total_bits = array.size * bits
+    words = np.zeros((total_bits + _WORD_BITS - 1) // _WORD_BITS or 1,
+                     dtype=np.uint64)
+    positions = np.arange(array.size, dtype=np.uint64) * np.uint64(bits)
+    word_index = positions // np.uint64(_WORD_BITS)
+    bit_offset = positions % np.uint64(_WORD_BITS)
+
+    # Low part of each value lands in word_index at bit_offset...
+    np.bitwise_or.at(words, word_index, array << bit_offset)
+    # ...and values straddling a word boundary spill into the next word.
+    spill = bit_offset + np.uint64(bits) > np.uint64(_WORD_BITS)
+    if np.any(spill):
+        high = array[spill] >> (np.uint64(_WORD_BITS) - bit_offset[spill])
+        np.bitwise_or.at(words, word_index[spill] + np.uint64(1), high)
+    return words
+
+
+def unpack_codes(words: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Unpack ``count`` codes from a packed uint64 array."""
+    if not 1 <= bits <= 32:
+        raise StorageError(f"bits must be in [1, 32]: {bits}")
+    if count < 0:
+        raise StorageError(f"count must be >= 0: {count}")
+    if count == 0:
+        return np.zeros(0, dtype=np.uint32)
+    total_bits = count * bits
+    needed_words = (total_bits + _WORD_BITS - 1) // _WORD_BITS
+    if words.size < needed_words:
+        raise StorageError(
+            f"packed array too small: {words.size} words for {count} "
+            f"codes of {bits} bits"
+        )
+    positions = np.arange(count, dtype=np.uint64) * np.uint64(bits)
+    word_index = positions // np.uint64(_WORD_BITS)
+    bit_offset = positions % np.uint64(_WORD_BITS)
+    mask = np.uint64((1 << bits) - 1)
+
+    values = words[word_index] >> bit_offset
+    spill = bit_offset + np.uint64(bits) > np.uint64(_WORD_BITS)
+    if np.any(spill):
+        high = words[word_index[spill] + np.uint64(1)] << (
+            np.uint64(_WORD_BITS) - bit_offset[spill]
+        )
+        values[spill] |= high
+    return (values & mask).astype(np.uint32)
+
+
+def packed_bytes(count: int, bits: int) -> int:
+    """Size in bytes of ``count`` codes packed at ``bits`` bits each."""
+    if count < 0:
+        raise StorageError(f"count must be >= 0: {count}")
+    if not 1 <= bits <= 32:
+        raise StorageError(f"bits must be in [1, 32]: {bits}")
+    total_bits = count * bits
+    words = (total_bits + _WORD_BITS - 1) // _WORD_BITS
+    return words * 8

@@ -1,0 +1,83 @@
+"""Bit vector over a dense primary-key domain.
+
+The paper's OLAP join builds a bit vector of length ``N`` over primary
+keys ``1..N`` and probes it once per foreign key (Sec. II, III-A).  Its
+size — ``N/8`` bytes — is what decides whether the join is cache-
+polluting (small vector) or cache-sensitive (vector comparable to the
+LLC), the distinction behind the paper's adaptive CUID category.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StorageError
+
+
+class BitVector:
+    """Fixed-length bit set backed by a numpy uint64 array."""
+
+    def __init__(self, length: int) -> None:
+        if length <= 0:
+            raise StorageError(f"bit vector length must be > 0: {length}")
+        self._length = length
+        self._words = np.zeros((length + 63) // 64, dtype=np.uint64)
+
+    @classmethod
+    def from_positions(
+        cls, length: int, positions: np.ndarray
+    ) -> "BitVector":
+        """Build a vector with the given positions set."""
+        vector = cls(length)
+        vector.set_many(positions)
+        return vector
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def size_bytes(self) -> int:
+        return int(self._words.nbytes)
+
+    def _check(self, positions: np.ndarray) -> np.ndarray:
+        array = np.asarray(positions, dtype=np.int64)
+        if array.size and (array.min() < 0 or array.max() >= self._length):
+            raise StorageError(
+                f"bit position out of range [0, {self._length})"
+            )
+        return array
+
+    def set_many(self, positions: np.ndarray) -> None:
+        array = self._check(positions)
+        words = array // 64
+        bits = np.uint64(1) << (array % 64).astype(np.uint64)
+        np.bitwise_or.at(self._words, words, bits)
+
+    def clear_many(self, positions: np.ndarray) -> None:
+        array = self._check(positions)
+        words = array // 64
+        bits = ~(np.uint64(1) << (array % 64).astype(np.uint64))
+        np.bitwise_and.at(self._words, words, bits)
+
+    def test_many(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorised membership probe — the join's inner loop."""
+        array = self._check(positions)
+        words = self._words[array // 64]
+        bits = (array % 64).astype(np.uint64)
+        return (words >> bits & np.uint64(1)).astype(bool)
+
+    def set(self, position: int) -> None:
+        self.set_many(np.asarray([position]))
+
+    def test(self, position: int) -> bool:
+        return bool(self.test_many(np.asarray([position]))[0])
+
+    def count(self) -> int:
+        """Population count."""
+        return int(np.sum(np.bitwise_count(self._words)))
+
+    def __repr__(self) -> str:
+        return (
+            f"BitVector(length={self._length}, set={self.count()}, "
+            f"bytes={self.size_bytes})"
+        )

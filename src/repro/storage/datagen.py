@@ -1,0 +1,88 @@
+"""Data generators for the paper's experimental data sets (Sec. III-B).
+
+All generators are seeded for reproducibility.  The paper's tables hold
+10^9 rows; functional runs use a scaled-down row count while the
+*statistical* parameters (distinct counts, key ranges) that drive the
+performance model stay at paper scale via the workload catalogs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StorageError
+
+
+class DataGenerator:
+    """Seeded generator for the micro-benchmark tables of Fig. 3."""
+
+    def __init__(self, seed: int = 0x5CA1AB1E) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def uniform_ints(
+        self, rows: int, distinct: int, low: int = 1
+    ) -> np.ndarray:
+        """Uniform integers in ``[low, low + distinct)`` — Fig. 3 data.
+
+        The paper draws column values uniformly between 1 and N.
+        """
+        if rows <= 0:
+            raise StorageError(f"rows must be > 0: {rows}")
+        if distinct <= 0:
+            raise StorageError(f"distinct must be > 0: {distinct}")
+        return self._rng.integers(low, low + distinct, size=rows,
+                                  dtype=np.int64)
+
+    def zipf_ints(
+        self, rows: int, distinct: int, skew: float = 1.1, low: int = 1
+    ) -> np.ndarray:
+        """Zipf-skewed integers (for skew-sensitivity extensions)."""
+        if rows <= 0 or distinct <= 0:
+            raise StorageError("rows and distinct must be > 0")
+        if skew <= 1.0:
+            raise StorageError(f"zipf skew must be > 1: {skew}")
+        draws = self._rng.zipf(skew, size=rows)
+        return low + (draws - 1) % distinct
+
+    def scan_table(self, rows: int, distinct: int = 10**6) -> np.ndarray:
+        """Column A.X for Query 1: uniform ints in [1, distinct]."""
+        return self.uniform_ints(rows, distinct)
+
+    def aggregation_table(
+        self, rows: int, value_distinct: int, group_distinct: int
+    ) -> dict[str, np.ndarray]:
+        """Columns B.V / B.G for Query 2."""
+        return {
+            "V": self.uniform_ints(rows, value_distinct),
+            "G": self.uniform_ints(rows, group_distinct),
+        }
+
+    def join_tables(
+        self, pk_rows: int, fk_rows: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columns R.P and S.F for Query 3.
+
+        R.P is a permutation of ``1..pk_rows`` (distinct primary keys);
+        S.F references uniformly random primary keys.
+        """
+        if pk_rows <= 0 or fk_rows <= 0:
+            raise StorageError("pk_rows and fk_rows must be > 0")
+        primary = self._rng.permutation(np.arange(1, pk_rows + 1))
+        foreign = self._rng.integers(1, pk_rows + 1, size=fk_rows,
+                                     dtype=np.int64)
+        return primary, foreign
+
+    def wide_table(
+        self, rows: int, columns: dict[str, int]
+    ) -> dict[str, np.ndarray]:
+        """A wide table with per-column distinct counts (ACDOCA-like)."""
+        if rows <= 0:
+            raise StorageError(f"rows must be > 0: {rows}")
+        return {
+            name: self.uniform_ints(rows, distinct)
+            for name, distinct in columns.items()
+        }

@@ -1,0 +1,104 @@
+"""Order-preserving dictionary encoding.
+
+SAP HANA's column store replaces each value with its position in a
+sorted dictionary of the column's distinct values (paper Sec. II).
+Because the dictionary is *ordered*, range predicates can be evaluated
+directly on the integer codes: ``value > bound`` becomes
+``code > encode_bound(bound)`` — the mechanism that lets the column
+scan run entirely on compressed data without touching the dictionary
+(paper Sec. IV-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StorageError
+
+
+class OrderedDictionary:
+    """Sorted distinct values; code = rank of the value.
+
+    Codes are dense integers ``0 .. cardinality-1`` assigned in value
+    order, so value order and code order coincide.
+    """
+
+    def __init__(self, sorted_values: np.ndarray) -> None:
+        if sorted_values.ndim != 1:
+            raise StorageError("dictionary values must be one-dimensional")
+        if sorted_values.size == 0:
+            raise StorageError("dictionary must not be empty")
+        if sorted_values.size > 1 and np.any(np.diff(sorted_values) <= 0):
+            raise StorageError("dictionary values must be strictly increasing")
+        self._values = sorted_values
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "OrderedDictionary":
+        """Build the dictionary from a raw (unsorted) column."""
+        array = np.asarray(values)
+        if array.size == 0:
+            raise StorageError("cannot build a dictionary from no values")
+        return cls(np.unique(array))
+
+    @property
+    def cardinality(self) -> int:
+        return int(self._values.size)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The sorted distinct values (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def size_bytes(self) -> int:
+        """In-memory footprint of the dictionary payload."""
+        return int(self._values.nbytes)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Map values to codes; raises on values absent from the domain."""
+        array = np.asarray(values)
+        codes = np.searchsorted(self._values, array)
+        in_range = codes < self.cardinality
+        valid = np.zeros(array.shape, dtype=bool)
+        valid[in_range] = (
+            self._values[codes[in_range]] == array[in_range]
+        )
+        if not np.all(valid):
+            missing = np.asarray(array)[~valid]
+            raise StorageError(
+                f"values not in dictionary domain: {missing[:5].tolist()}..."
+            )
+        return codes.astype(np.uint32)
+
+    def encode_lower_bound(self, value) -> int:
+        """Smallest code whose value is >= ``value``.
+
+        Used to rewrite range predicates onto codes.  Returns
+        ``cardinality`` when every dictionary value is smaller.
+        """
+        return int(np.searchsorted(self._values, value, side="left"))
+
+    def encode_upper_bound(self, value) -> int:
+        """Smallest code whose value is > ``value``."""
+        return int(np.searchsorted(self._values, value, side="right"))
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Map codes back to values (the random-access hot path)."""
+        array = np.asarray(codes)
+        if array.size and (array.min() < 0 or array.max() >= self.cardinality):
+            raise StorageError(
+                f"code out of range [0, {self.cardinality}): "
+                f"min={array.min()}, max={array.max()}"
+            )
+        return self._values[array]
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __repr__(self) -> str:
+        return (
+            f"OrderedDictionary(cardinality={self.cardinality}, "
+            f"bytes={self.size_bytes})"
+        )

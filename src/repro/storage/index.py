@@ -1,0 +1,75 @@
+"""Inverted index for point access.
+
+The S/4HANA OLTP query in the paper's evaluation (Sec. VI-E) locates
+rows through the inverted indexes of five primary-key columns before
+projecting.  An inverted index maps each distinct value to the sorted
+list of row ids holding it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StorageError
+
+
+class InvertedIndex:
+    """value -> sorted row ids, stored CSR-style for compactness."""
+
+    def __init__(
+        self, values: np.ndarray, offsets: np.ndarray, row_ids: np.ndarray
+    ) -> None:
+        if values.ndim != 1 or offsets.ndim != 1 or row_ids.ndim != 1:
+            raise StorageError("index arrays must be one-dimensional")
+        if offsets.size != values.size + 1:
+            raise StorageError("offsets must have one more entry than values")
+        self._values = values
+        self._offsets = offsets
+        self._row_ids = row_ids
+
+    @classmethod
+    def build(cls, column_values: np.ndarray) -> "InvertedIndex":
+        """Build the index from a raw column."""
+        array = np.asarray(column_values)
+        if array.size == 0:
+            raise StorageError("cannot index an empty column")
+        order = np.argsort(array, kind="stable")
+        sorted_values = array[order]
+        distinct, first = np.unique(sorted_values, return_index=True)
+        offsets = np.concatenate([first, [array.size]]).astype(np.int64)
+        return cls(distinct, offsets, order.astype(np.int64))
+
+    @property
+    def cardinality(self) -> int:
+        return int(self._values.size)
+
+    @property
+    def size_bytes(self) -> int:
+        return int(
+            self._values.nbytes + self._offsets.nbytes + self._row_ids.nbytes
+        )
+
+    def lookup(self, value) -> np.ndarray:
+        """Row ids holding ``value`` (empty array when absent)."""
+        position = int(np.searchsorted(self._values, value))
+        if (
+            position >= self.cardinality
+            or self._values[position] != value
+        ):
+            return np.zeros(0, dtype=np.int64)
+        start = int(self._offsets[position])
+        end = int(self._offsets[position + 1])
+        return np.sort(self._row_ids[start:end])
+
+    def lookup_many(self, values: np.ndarray) -> np.ndarray:
+        """Union of row ids for several values (sorted, deduplicated)."""
+        parts = [self.lookup(value) for value in np.asarray(values).ravel()]
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedIndex(cardinality={self.cardinality}, "
+            f"rows={self._row_ids.size})"
+        )

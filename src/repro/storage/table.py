@@ -1,0 +1,148 @@
+"""Column tables and schemas.
+
+Implements the ``CREATE COLUMN TABLE`` DDL surface of the paper's
+experiments (Fig. 3): integer columns, optional primary key, bulk load
+with dictionary encoding, and per-column storage statistics that feed
+the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import StorageError
+from .column import DictEncodedColumn
+from .index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class SchemaColumn:
+    """One column declaration."""
+
+    name: str
+    data_type: str = "INT"
+    primary_key: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StorageError("column name must be non-empty")
+        if self.data_type.upper() not in {"INT", "BIGINT", "DECIMAL",
+                                          "NVARCHAR"}:
+            raise StorageError(f"unsupported data type: {self.data_type}")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A table declaration."""
+
+    table_name: str
+    columns: tuple[SchemaColumn, ...]
+
+    def __post_init__(self) -> None:
+        if not self.table_name:
+            raise StorageError("table name must be non-empty")
+        if not self.columns:
+            raise StorageError(f"table {self.table_name!r} needs columns")
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise StorageError(
+                f"duplicate column names in {self.table_name!r}: {names}"
+            )
+        if sum(c.primary_key for c in self.columns) > 1:
+            raise StorageError(
+                f"table {self.table_name!r}: at most one primary-key column "
+                "is supported"
+            )
+
+    @property
+    def primary_key(self) -> str | None:
+        for column in self.columns:
+            if column.primary_key:
+                return column.name
+        return None
+
+    def column(self, name: str) -> SchemaColumn:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise StorageError(
+            f"table {self.table_name!r} has no column {name!r}"
+        )
+
+
+class ColumnTable:
+    """A loaded column table: encoded columns plus optional PK index."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._columns: dict[str, DictEncodedColumn] = {}
+        self._indexes: dict[str, InvertedIndex] = {}
+        self._num_rows = 0
+
+    @property
+    def name(self) -> str:
+        return self.schema.table_name
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def load(self, data: dict[str, np.ndarray]) -> None:
+        """Bulk-load the table, replacing any previous contents."""
+        expected = {c.name for c in self.schema.columns}
+        if set(data) != expected:
+            raise StorageError(
+                f"load data columns {sorted(data)} do not match schema "
+                f"columns {sorted(expected)}"
+            )
+        lengths = {name: len(values) for name, values in data.items()}
+        if len(set(lengths.values())) != 1:
+            raise StorageError(f"column lengths differ: {lengths}")
+        self._num_rows = next(iter(lengths.values()))
+        self._columns = {
+            name: DictEncodedColumn.from_values(name, np.asarray(values))
+            for name, values in data.items()
+        }
+        self._indexes = {}
+        pk = self.schema.primary_key
+        if pk is not None:
+            values = np.asarray(data[pk])
+            if np.unique(values).size != values.size:
+                raise StorageError(
+                    f"primary key column {pk!r} contains duplicates"
+                )
+            self._indexes[pk] = InvertedIndex.build(values)
+
+    def column(self, name: str) -> DictEncodedColumn:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise StorageError(
+                f"table {self.name!r} has no loaded column {name!r}"
+            ) from None
+
+    def has_index(self, name: str) -> bool:
+        return name in self._indexes
+
+    def index(self, name: str) -> InvertedIndex:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise StorageError(
+                f"table {self.name!r} has no index on {name!r}"
+            ) from None
+
+    def create_index(self, name: str) -> InvertedIndex:
+        """Build an inverted index on a column (OLTP access path)."""
+        column = self.column(name)
+        index = InvertedIndex.build(column.materialize())
+        self._indexes[name] = index
+        return index
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.schema.columns]
+
+    def __repr__(self) -> str:
+        return f"ColumnTable(name={self.name!r}, rows={self._num_rows})"

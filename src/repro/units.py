@@ -1,0 +1,56 @@
+"""Byte- and time-unit helpers used across the simulator.
+
+The paper states hardware parameters in mixed units (MiB caches, GB/s
+bandwidth, ns latency).  Centralising the constants avoids the classic
+``MB`` / ``MiB`` confusion: cache sizes are binary (powers of two), DRAM
+bandwidth is decimal (as reported by Intel MLC).
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+NANOSECOND = 1e-9
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count in a human-readable binary unit.
+
+    >>> format_bytes(55 * MiB)
+    '55.0 MiB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    if num_bytes < KiB:
+        return f"{int(num_bytes)} B"
+    for unit, name in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if num_bytes >= unit:
+            return f"{num_bytes / unit:.1f} {name}"
+    raise AssertionError("unreachable")
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a bandwidth in decimal GB/s (matching Intel MLC output).
+
+    >>> format_rate(64 * GB)
+    '64.0 GB/s'
+    """
+    if bytes_per_second < 0:
+        raise ValueError(
+            f"bandwidth must be non-negative, got {bytes_per_second}"
+        )
+    if bytes_per_second >= GB:
+        return f"{bytes_per_second / GB:.1f} GB/s"
+    if bytes_per_second >= MB:
+        return f"{bytes_per_second / MB:.1f} MB/s"
+    return f"{bytes_per_second:.0f} B/s"

@@ -1,0 +1,43 @@
+"""Workload definitions.
+
+* :mod:`repro.workloads.microbench` — the paper's Queries 1-3 and data
+  sets (Sec. III), at paper scale for the model and at reduced scale
+  for functional execution,
+* :mod:`repro.workloads.tpch` — TPC-H SF 100 statistical catalog and
+  per-query profiles (Fig. 11),
+* :mod:`repro.workloads.s4hana` — the ACDOCA-based OLTP workload
+  (Figs. 1 and 12),
+* :mod:`repro.workloads.mixed` — the concurrent-execution harness that
+  mirrors the paper's 90-second repeat-loop measurement method.
+"""
+
+from .microbench import (
+    AggregationConfig,
+    JoinConfig,
+    ScanConfig,
+    DICT_4_MIB,
+    DICT_40_MIB,
+    DICT_400_MIB,
+    GROUP_SIZES,
+    PRIMARY_KEY_SIZES,
+    query1,
+    query2,
+    query3,
+)
+from .mixed import ConcurrencyExperiment, WorkloadQuery
+
+__all__ = [
+    "AggregationConfig",
+    "ConcurrencyExperiment",
+    "DICT_400_MIB",
+    "DICT_40_MIB",
+    "DICT_4_MIB",
+    "GROUP_SIZES",
+    "JoinConfig",
+    "PRIMARY_KEY_SIZES",
+    "ScanConfig",
+    "WorkloadQuery",
+    "query1",
+    "query2",
+    "query3",
+]

@@ -1,0 +1,147 @@
+"""Functional mixed-workload driver.
+
+The paper measures concurrent workloads by executing every query
+"repeatedly for 90 seconds" (Sec. VI-A).  This driver is the
+functional analogue for the real engine: statements execute in an
+interleaved repeat loop against a :class:`~repro.engine.database.Database`,
+and the driver reports per-statement execution counts, result
+checksums (to prove partitioning never changes results) and the
+engine's CAT bookkeeping.
+
+It is used by the HTAP example, the integration tests and the
+functional benchmarks; performance *numbers* for the paper's figures
+come from the analytic model, not from here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..engine.database import Database
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One statement of the mixed workload."""
+
+    name: str
+    sql: str
+    params: tuple = ()
+
+
+def _checksum(result) -> int:
+    """Stable checksum over any supported result object."""
+    if hasattr(result, "matches"):
+        return int(result.matches)
+    if hasattr(result, "aggregates"):
+        return int(np.sum(result.aggregates)) + int(
+            np.sum(result.groups)
+        )
+    if isinstance(result, dict):
+        return int(
+            sum(int(np.sum(column)) for column in result.values())
+        )
+    raise WorkloadError(f"cannot checksum result {type(result)!r}")
+
+
+@dataclass
+class StatementOutcome:
+    """Aggregated outcome of one statement across the loop."""
+
+    name: str
+    executions: int = 0
+    checksum: int | None = None
+
+    def record(self, result) -> None:
+        checksum = _checksum(result)
+        if self.checksum is None:
+            self.checksum = checksum
+        elif self.checksum != checksum:
+            raise WorkloadError(
+                f"statement {self.name!r} returned different results "
+                "across iterations"
+            )
+        self.executions += 1
+
+
+@dataclass
+class DriverReport:
+    """Everything a driver run observed."""
+
+    outcomes: dict[str, StatementOutcome]
+    iterations: int
+    elapsed_seconds: float
+    kernel_calls: int
+    elided_calls: int
+    masks_seen: dict[str, set[int]] = field(default_factory=dict)
+
+    def checksum(self, name: str) -> int:
+        outcome = self.outcomes[name]
+        if outcome.checksum is None:
+            raise WorkloadError(f"statement {name!r} never executed")
+        return outcome.checksum
+
+
+class MixedWorkloadDriver:
+    """Interleaves statements against a database in a repeat loop."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    def run(
+        self,
+        statements: Sequence[Statement],
+        iterations: int = 10,
+    ) -> DriverReport:
+        """Round-robin the statements ``iterations`` times."""
+        if not statements:
+            raise WorkloadError("driver needs at least one statement")
+        if iterations <= 0:
+            raise WorkloadError(f"iterations must be > 0: {iterations}")
+        names = [statement.name for statement in statements]
+        if len(names) != len(set(names)):
+            raise WorkloadError(f"duplicate statement names: {names}")
+
+        controller_stats = self.database.controller.stats
+        kernel_before = controller_stats.kernel_calls
+        requested_before = controller_stats.associations_requested
+        log_start = len(self.database.scheduler.dispatch_log)
+
+        outcomes = {
+            statement.name: StatementOutcome(statement.name)
+            for statement in statements
+        }
+        started = time.perf_counter()
+        for _ in range(iterations):
+            for statement in statements:
+                result = self.database.execute(
+                    statement.sql, list(statement.params)
+                )
+                outcomes[statement.name].record(result)
+        elapsed = time.perf_counter() - started
+
+        masks_seen: dict[str, set[int]] = {}
+        dispatch_slice = self.database.scheduler.dispatch_log[log_start:]
+        for record in dispatch_slice:
+            masks_seen.setdefault(record.job_name, set()).add(
+                record.mask
+            )
+        return DriverReport(
+            outcomes=outcomes,
+            iterations=iterations,
+            elapsed_seconds=elapsed,
+            kernel_calls=(
+                controller_stats.kernel_calls - kernel_before
+            ),
+            elided_calls=(
+                (controller_stats.associations_requested
+                 - requested_before)
+                - (controller_stats.kernel_calls - kernel_before)
+            ),
+            masks_seen=masks_seen,
+        )

@@ -1,0 +1,166 @@
+"""The paper's micro-benchmark queries and data sets (Sec. III).
+
+Each config captures one of the three queries of Fig. 2 with the data
+parameters of Sec. III-B, and produces
+
+* a **model profile** at full paper scale (10^9 rows) for the analytic
+  simulator, and
+* a **functional data set** at reduced scale for actually executing the
+  operators (examples and tests).
+
+Paper data-parameter summary:
+
+* Query 1 (scan): 10^9 rows, values uniform in [1, 10^6] -> 20-bit codes.
+* Query 2 (aggregation): 10^9 rows; B.V distinct in {10^6, 10^7, 10^8}
+  (dictionaries of 4/40/400 MiB), B.G distinct in {10^2 .. 10^6}.
+* Query 3 (join): R.P distinct keys 1..N with N in {10^6 .. 10^9}
+  (bit vectors of 0.125/1.25/12.5/125 MB), S.F 10^9 rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..model.streams import AccessProfile
+from ..operators.aggregate import GroupedAggregation
+from ..operators.join import ForeignKeyJoin
+from ..operators.scan import ColumnScan
+from ..storage.datagen import DataGenerator
+
+# Dictionary-size configurations of Sec. IV-B (distinct values of B.V).
+DICT_4_MIB = 10**6
+DICT_40_MIB = 10**7
+DICT_400_MIB = 10**8
+
+# Group counts swept in Figs. 5 and 9.
+GROUP_SIZES = (10**2, 10**3, 10**4, 10**5, 10**6)
+
+# Primary-key counts swept in Figs. 6 and 10.
+PRIMARY_KEY_SIZES = (10**6, 10**7, 10**8, 10**9)
+
+PAPER_ROWS = 10**9
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """Query 1: ``SELECT COUNT(*) FROM A WHERE A.X > ?``."""
+
+    rows: int = PAPER_ROWS
+    distinct: int = 10**6
+
+    def profile(
+        self, calibration: Calibration = DEFAULT_CALIBRATION,
+        name: str = "Q1_scan",
+    ) -> AccessProfile:
+        return ColumnScan.profile_from_stats(
+            rows=self.rows,
+            distinct=self.distinct,
+            calibration=calibration,
+            name=name,
+        )
+
+    def generate(
+        self, generator: DataGenerator, scale_rows: int
+    ) -> dict[str, np.ndarray]:
+        """Functional data set with ``scale_rows`` rows."""
+        if scale_rows <= 0:
+            raise WorkloadError(f"scale_rows must be > 0: {scale_rows}")
+        distinct = min(self.distinct, max(2, scale_rows // 10))
+        return {"X": generator.scan_table(scale_rows, distinct)}
+
+
+@dataclass(frozen=True)
+class AggregationConfig:
+    """Query 2: ``SELECT MAX(B.V), B.G FROM B GROUP BY B.G``."""
+
+    value_distinct: int
+    group_distinct: int
+    rows: int = PAPER_ROWS
+
+    def __post_init__(self) -> None:
+        if self.value_distinct <= 0 or self.group_distinct <= 0:
+            raise WorkloadError("distinct counts must be > 0")
+
+    def profile(
+        self,
+        workers: int,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        name: str = "Q2_aggregation",
+    ) -> AccessProfile:
+        return GroupedAggregation.profile_from_stats(
+            rows=self.rows,
+            value_distinct=self.value_distinct,
+            group_distinct=self.group_distinct,
+            workers=workers,
+            calibration=calibration,
+            name=name,
+        )
+
+    def generate(
+        self, generator: DataGenerator, scale_rows: int
+    ) -> dict[str, np.ndarray]:
+        if scale_rows <= 0:
+            raise WorkloadError(f"scale_rows must be > 0: {scale_rows}")
+        return generator.aggregation_table(
+            scale_rows,
+            min(self.value_distinct, max(2, scale_rows // 10)),
+            min(self.group_distinct, max(2, scale_rows // 100)),
+        )
+
+
+@dataclass(frozen=True)
+class JoinConfig:
+    """Query 3: ``SELECT COUNT(*) FROM R, S WHERE R.P = S.F``."""
+
+    pk_rows: int
+    fk_rows: int = PAPER_ROWS
+
+    def __post_init__(self) -> None:
+        if self.pk_rows <= 0 or self.fk_rows <= 0:
+            raise WorkloadError("row counts must be > 0")
+
+    def profile(
+        self,
+        workers: int,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        name: str = "Q3_join",
+    ) -> AccessProfile:
+        return ForeignKeyJoin.profile_from_stats(
+            pk_rows=self.pk_rows,
+            fk_rows=self.fk_rows,
+            workers=workers,
+            calibration=calibration,
+            name=name,
+        )
+
+    def bit_vector_bytes(
+        self, calibration: Calibration = DEFAULT_CALIBRATION
+    ) -> int:
+        return calibration.bit_vector_bytes(self.pk_rows)
+
+    def generate(
+        self, generator: DataGenerator, scale_pk_rows: int,
+        scale_fk_rows: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if scale_pk_rows <= 0 or scale_fk_rows <= 0:
+            raise WorkloadError("scaled row counts must be > 0")
+        return generator.join_tables(scale_pk_rows, scale_fk_rows)
+
+
+def query1() -> ScanConfig:
+    """The paper's Query 1 configuration."""
+    return ScanConfig()
+
+
+def query2(value_distinct: int, group_distinct: int) -> AggregationConfig:
+    """The paper's Query 2 with a chosen dictionary/group configuration."""
+    return AggregationConfig(value_distinct, group_distinct)
+
+
+def query3(pk_rows: int) -> JoinConfig:
+    """The paper's Query 3 with a chosen primary-key cardinality."""
+    return JoinConfig(pk_rows)

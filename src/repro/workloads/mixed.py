@@ -1,0 +1,165 @@
+"""Concurrent-workload harness.
+
+Implements the paper's measurement method (Sec. VI-A): queries run
+repeatedly and concurrently; each query's throughput is reported
+*normalized to its isolated throughput* (same query alone on the
+machine with the full LLC).  Concurrency is modelled as steady-state
+co-residency: each query keeps its full physical-core concurrency limit
+(the queries time-share cores as SMT siblings) while the LLC and DRAM
+bandwidth contention models do the heavy lifting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import SystemSpec
+from ..errors import WorkloadError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..model.simulator import (
+    CounterRates,
+    QueryResult,
+    QuerySpec,
+    WorkloadSimulator,
+    system_counters,
+)
+from ..model.streams import AccessProfile
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One participant in a concurrent workload."""
+
+    name: str
+    profile: AccessProfile
+    mask: int | None = None  # None = full LLC access
+    cores: int | None = None  # None = all physical cores
+
+
+@dataclass
+class ConcurrentResult:
+    """Per-query results plus workload-level counters."""
+
+    results: dict[str, QueryResult]
+    normalized: dict[str, float]
+    counters: CounterRates
+
+    def throughput(self, name: str) -> float:
+        return self.results[name].throughput_tuples_per_s
+
+
+class ConcurrencyExperiment:
+    """Runs isolated baselines and concurrent workloads on the model."""
+
+    def __init__(
+        self,
+        spec: SystemSpec | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.spec = spec if spec is not None else SystemSpec()
+        self.calibration = calibration
+        self.simulator = WorkloadSimulator(self.spec, calibration)
+        self._isolated_cache: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def isolated(
+        self,
+        profile: AccessProfile,
+        mask: int | None = None,
+        cores: int | None = None,
+    ) -> QueryResult:
+        """Run one query alone (full machine unless overridden)."""
+        spec = QuerySpec(
+            name=profile.name,
+            profile=profile,
+            cores=cores if cores is not None else self.spec.cores,
+            mask=mask if mask is not None else self.spec.full_mask,
+        )
+        return self.simulator.simulate([spec])[profile.name]
+
+    def isolated_throughput(
+        self, profile: AccessProfile, cores: int | None = None
+    ) -> float:
+        """Cached isolated full-cache throughput (the paper's baseline)."""
+        key = f"{profile.name}/{cores}/{hash(profile)}"
+        if key not in self._isolated_cache:
+            self._isolated_cache[key] = self.isolated(
+                profile, cores=cores
+            ).throughput_tuples_per_s
+        return self._isolated_cache[key]
+
+    # ------------------------------------------------------------------
+
+    def llc_sweep(
+        self,
+        profile: AccessProfile,
+        ways_list: list[int] | None = None,
+    ) -> list[tuple[float, float]]:
+        """(cache fraction, normalized throughput) sweep for one query.
+
+        This is the paper's Sec. IV methodology: restrict the whole
+        instance to ``k`` ways via CAT and measure throughput relative
+        to the full cache.
+        """
+        total_ways = self.spec.llc.ways
+        if ways_list is None:
+            ways_list = list(range(1, total_ways + 1))
+        if any(not 1 <= w <= total_ways for w in ways_list):
+            raise WorkloadError(
+                f"ways must lie in [1, {total_ways}]: {ways_list}"
+            )
+        baseline = self.isolated_throughput(profile)
+        points = []
+        for ways in sorted(set(ways_list)):
+            mask = (1 << ways) - 1
+            result = self.isolated(profile, mask=mask)
+            points.append(
+                (ways / total_ways,
+                 result.throughput_tuples_per_s / baseline)
+            )
+        return points
+
+    # ------------------------------------------------------------------
+
+    def concurrent(self, queries: list[WorkloadQuery]) -> ConcurrentResult:
+        """Run queries concurrently; normalize each to its isolated run."""
+        if len(queries) < 2:
+            raise WorkloadError(
+                "a concurrent workload needs at least two queries"
+            )
+        specs = []
+        for query in queries:
+            profile = query.profile
+            if profile.name != query.name:
+                profile = replace(profile, name=query.name)
+            specs.append(
+                QuerySpec(
+                    name=query.name,
+                    profile=profile,
+                    cores=(
+                        query.cores
+                        if query.cores is not None
+                        else self.spec.cores
+                    ),
+                    mask=(
+                        query.mask
+                        if query.mask is not None
+                        else self.spec.full_mask
+                    ),
+                )
+            )
+        results = self.simulator.simulate(specs)
+        normalized = {}
+        for query, spec in zip(queries, specs):
+            baseline = self.isolated_throughput(
+                spec.profile, cores=query.cores
+            )
+            normalized[query.name] = (
+                results[query.name].throughput_tuples_per_s / baseline
+            )
+        return ConcurrentResult(
+            results=results,
+            normalized=normalized,
+            counters=system_counters(results),
+        )

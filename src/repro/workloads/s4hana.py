@@ -1,0 +1,191 @@
+"""S/4HANA ACDOCA workload (Figs. 1 and 12).
+
+The paper's HTAP experiment runs the most frequent OLTP query of a real
+customer system against the "Universal Journal Entry Line Items" table
+ACDOCA (336 columns, 151 M rows) while the column-scan Query 1 pollutes
+the cache.  The customer data set is proprietary; following the
+substitution rule we model an ACDOCA-like catalog with the properties
+the paper reports:
+
+* a wide table (285 NVARCHAR + 51 DECIMAL columns, 151 M rows),
+* the OLTP query touches the inverted indexes of five primary-key
+  columns, then projects either 13 columns with the *largest*
+  dictionaries (modified query, Fig. 12a) or 6 columns with smaller
+  dictionaries (original query, Fig. 12b),
+* the hot working set — indexes plus projected dictionaries — is
+  LLC-sized, which is exactly why the OLAP scan's pollution hurts.
+
+Dictionary sizes are synthetic but ordered and LLC-calibrated;
+:func:`acdoca_catalog` documents them.  A reduced-scale functional
+table for really executing the OLTP query is provided by
+:func:`build_functional_acdoca`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..model.streams import AccessProfile, RandomRegion
+from ..storage.datagen import DataGenerator
+from ..storage.table import ColumnTable, Schema, SchemaColumn
+from ..units import MiB
+
+ACDOCA_ROWS = 151_000_000
+ACDOCA_COLUMNS = 336
+
+# Hot-portion sizes of the five primary-key inverted indexes (bytes).
+# Point lookups touch the index search structures and posting heads;
+# the hot fraction of each index is a few MiB.
+INDEX_HOT_BYTES = 15 * MiB
+
+# The 13 largest dictionaries of the table (modified query, Fig. 12a),
+# descending, in bytes.  NVARCHAR dictionaries dominate.
+LARGE_DICTIONARIES = tuple(
+    int(size * MiB)
+    for size in (6.0, 5.0, 4.5, 4.0, 3.5, 3.0, 2.8, 2.5, 2.2, 2.0, 1.8,
+                 1.5, 1.2)
+)
+
+# The 6 (smaller-dictionary) columns of the unmodified query, Fig. 12b.
+SMALL_DICTIONARIES = tuple(
+    int(size * MiB) for size in (1.2, 1.0, 0.9, 0.8, 0.7, 0.6)
+)
+
+# Rows a single OLTP execution returns and projects.
+ROWS_PER_QUERY = 16
+INDEX_ACCESSES_PER_LOOKUP = 4
+KEY_COLUMNS = 5
+
+
+@dataclass(frozen=True)
+class OltpQueryConfig:
+    """One OLTP query variant: which dictionaries it projects through."""
+
+    name: str
+    dictionary_sizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dictionary_sizes:
+            raise WorkloadError("OLTP query must project >= 1 column")
+
+    @property
+    def projected_columns(self) -> int:
+        return len(self.dictionary_sizes)
+
+    @property
+    def working_set_bytes(self) -> int:
+        return INDEX_HOT_BYTES + sum(self.dictionary_sizes)
+
+    def profile(
+        self, calibration: Calibration = DEFAULT_CALIBRATION
+    ) -> AccessProfile:
+        """Model profile: one tuple == one OLTP query execution."""
+        regions = [
+            RandomRegion(
+                "pk_indexes",
+                INDEX_HOT_BYTES,
+                accesses_per_tuple=(
+                    KEY_COLUMNS * INDEX_ACCESSES_PER_LOOKUP
+                ),
+                shared=True,
+            )
+        ]
+        for position, size in enumerate(self.dictionary_sizes):
+            regions.append(
+                RandomRegion(
+                    f"dict_col{position:02d}",
+                    size,
+                    accesses_per_tuple=float(ROWS_PER_QUERY),
+                    shared=True,
+                )
+            )
+        return AccessProfile(
+            name=self.name,
+            tuples=1.0,
+            compute_cycles_per_tuple=calibration.oltp_compute_cycles,
+            instructions_per_tuple=(
+                calibration.oltp_instructions_per_query
+            ),
+            regions=tuple(regions),
+            streams=(),
+            mlp=calibration.default_mlp,
+        )
+
+
+def oltp_query_13_columns() -> OltpQueryConfig:
+    """Modified OLTP query: 13 biggest dictionaries (Fig. 12a)."""
+    return OltpQueryConfig("OLTP_13col", LARGE_DICTIONARIES)
+
+
+def oltp_query_6_columns() -> OltpQueryConfig:
+    """Unmodified OLTP query: 6 smaller dictionaries (Fig. 12b)."""
+    return OltpQueryConfig("OLTP_6col", SMALL_DICTIONARIES)
+
+
+def oltp_query_n_columns(num_columns: int) -> OltpQueryConfig:
+    """Projection of the ``num_columns`` biggest dictionaries.
+
+    Used for the paper's additional experiment (Sec. VI-E): sweeping
+    the projected-column count from 2 to 13.
+    """
+    if not 1 <= num_columns <= len(LARGE_DICTIONARIES):
+        raise WorkloadError(
+            f"num_columns must be in [1, {len(LARGE_DICTIONARIES)}]: "
+            f"{num_columns}"
+        )
+    return OltpQueryConfig(
+        f"OLTP_{num_columns}col", LARGE_DICTIONARIES[:num_columns]
+    )
+
+
+def acdoca_catalog() -> dict[str, int]:
+    """Summary statistics of the modelled ACDOCA table."""
+    return {
+        "rows": ACDOCA_ROWS,
+        "columns": ACDOCA_COLUMNS,
+        "key_columns": KEY_COLUMNS,
+        "index_hot_bytes": INDEX_HOT_BYTES,
+        "largest_dictionary_bytes": LARGE_DICTIONARIES[0],
+        "large_projection_working_set": (
+            oltp_query_13_columns().working_set_bytes
+        ),
+        "small_projection_working_set": (
+            oltp_query_6_columns().working_set_bytes
+        ),
+    }
+
+
+def build_functional_acdoca(
+    rows: int = 50_000,
+    key_columns: int = KEY_COLUMNS,
+    payload_columns: int = 13,
+    seed: int = 2024,
+) -> tuple[ColumnTable, dict[str, np.ndarray]]:
+    """A reduced-scale ACDOCA-like table for functional execution.
+
+    Returns the loaded table and the raw data (for ground truth).  Key
+    columns get high cardinality (point lookups select few rows);
+    payload columns get varying dictionary sizes.
+    """
+    if rows <= 0:
+        raise WorkloadError(f"rows must be > 0: {rows}")
+    generator = DataGenerator(seed)
+    column_specs: dict[str, int] = {}
+    for key in range(key_columns):
+        column_specs[f"K{key}"] = max(2, rows // 8)
+    for payload in range(payload_columns):
+        column_specs[f"C{payload:02d}"] = max(2, rows // (2 + payload))
+    data = generator.wide_table(rows, column_specs)
+    schema = Schema(
+        "ACDOCA",
+        tuple(SchemaColumn(name) for name in column_specs),
+    )
+    table = ColumnTable(schema)
+    table.load(data)
+    for key in range(key_columns):
+        table.create_index(f"K{key}")
+    return table, data

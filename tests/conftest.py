@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CacheSpec, SystemSpec
+from repro.units import KiB, MiB
+
+
+@pytest.fixture
+def spec() -> SystemSpec:
+    """The paper's machine (Xeon E5-2699 v4)."""
+    return SystemSpec()
+
+
+@pytest.fixture
+def small_spec() -> SystemSpec:
+    """A scaled-down machine for fast trace-driven simulation.
+
+    Keeps the LLC's 20-way associativity (CAT semantics) but shrinks
+    capacities ~256x, so traces of a few hundred thousand accesses
+    exercise the same capacity ratios as the real machine.
+    """
+    return SystemSpec(
+        cores=4,
+        l1d=CacheSpec(4 * KiB, 4),
+        l2=CacheSpec(16 * KiB, 8),
+        llc=CacheSpec(220 * KiB, 20),
+    )
+
+
+@pytest.fixture
+def tiny_cache_spec() -> CacheSpec:
+    """A minimal cache for exact, hand-checkable LRU behaviour."""
+    return CacheSpec(size_bytes=8 * 64 * 4, ways=4, line_bytes=64)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)

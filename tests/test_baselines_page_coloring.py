@@ -1,0 +1,120 @@
+"""Tests for the page-coloring baseline."""
+
+import pytest
+
+from repro.baselines.page_coloring import (
+    PAGE_BYTES,
+    PageColoringPartitioner,
+    coloring_capacity_bytes,
+    num_colors,
+)
+from repro.errors import WorkloadError
+from repro.units import GiB, MiB
+
+
+class TestGeometry:
+    def test_paper_machine_colors(self, spec):
+        # 45056 sets, 64 sets per 4 KiB page -> 704 colors.
+        assert num_colors(spec) == 704
+
+    def test_capacity_matches_cat_fraction(self, spec):
+        """Capacity-wise, coloring and CAT grant the same bytes for the
+        same fraction — the difference is re-partitioning, not size."""
+        colors = num_colors(spec)
+        ten_percent = coloring_capacity_bytes(spec, colors // 10)
+        assert ten_percent == pytest.approx(spec.mask_bytes(0x3),
+                                            rel=0.02)
+
+    def test_full_grant_is_whole_llc(self, spec):
+        assert coloring_capacity_bytes(spec, num_colors(spec)) == (
+            spec.llc.size_bytes
+        )
+
+    def test_validation(self, spec):
+        with pytest.raises(WorkloadError):
+            coloring_capacity_bytes(spec, 0)
+        with pytest.raises(WorkloadError):
+            coloring_capacity_bytes(spec, num_colors(spec) + 1)
+
+
+class TestRepartitioning:
+    def test_initial_assignment_is_free(self, spec):
+        partitioner = PageColoringPartitioner(spec)
+        event = partitioner.assign("t", frozenset({0, 1}),
+                                   resident_bytes=GiB)
+        assert event.cost_seconds == 0.0
+
+    def test_unchanged_assignment_is_free(self, spec):
+        partitioner = PageColoringPartitioner(spec)
+        partitioner.assign("t", frozenset({0, 1}), resident_bytes=GiB)
+        event = partitioner.assign("t", frozenset({0, 1}),
+                                   resident_bytes=GiB)
+        assert event.cost_seconds == 0.0
+
+    def test_shrinking_colors_costs_copies(self, spec):
+        """Losing half the colors moves half the resident bytes at
+        2x DRAM bandwidth (read + write)."""
+        partitioner = PageColoringPartitioner(spec)
+        partitioner.assign("t", frozenset({0, 1}),
+                           resident_bytes=8 * GiB)
+        event = partitioner.assign("t", frozenset({0}),
+                                   resident_bytes=8 * GiB)
+        expected = 2 * 4 * GiB / spec.dram.bandwidth_bytes_per_s
+        assert event.resident_bytes == pytest.approx(4 * GiB)
+        assert event.cost_seconds == pytest.approx(expected)
+
+    def test_growing_colors_is_free(self, spec):
+        # Pages in still-granted colors stay put; new colors are empty.
+        partitioner = PageColoringPartitioner(spec)
+        partitioner.assign("t", frozenset({0}), resident_bytes=GiB)
+        event = partitioner.assign("t", frozenset({0, 1, 2}),
+                                   resident_bytes=GiB)
+        assert event.cost_seconds == 0.0
+
+    def test_cat_equivalent_is_microseconds(self, spec):
+        partitioner = PageColoringPartitioner(spec)
+        event = partitioner.cat_equivalent_cost()
+        assert event.cost_seconds < 1e-5
+
+    def test_cost_accounting_by_mechanism(self, spec):
+        partitioner = PageColoringPartitioner(spec)
+        partitioner.assign("t", frozenset(range(10)),
+                           resident_bytes=GiB)
+        partitioner.assign("t", frozenset(range(5)),
+                           resident_bytes=GiB)
+        partitioner.cat_equivalent_cost()
+        coloring = partitioner.total_repartition_seconds("page_coloring")
+        cat = partitioner.total_repartition_seconds("cat")
+        assert coloring > 1000 * cat
+
+    def test_capacity_of(self, spec):
+        partitioner = PageColoringPartitioner(spec)
+        partitioner.assign("t", frozenset(range(70)))
+        assert partitioner.capacity_of("t") == pytest.approx(
+            coloring_capacity_bytes(spec, 70)
+        )
+        with pytest.raises(WorkloadError):
+            partitioner.capacity_of("nobody")
+
+    def test_validation(self, spec):
+        partitioner = PageColoringPartitioner(spec)
+        with pytest.raises(WorkloadError):
+            partitioner.assign("t", frozenset())
+        with pytest.raises(WorkloadError):
+            partitioner.assign("t", frozenset({num_colors(spec)}))
+        with pytest.raises(WorkloadError):
+            partitioner.assign("t", frozenset({0}), resident_bytes=-1)
+
+
+class TestExperiment:
+    def test_extension_experiment_shape(self):
+        from repro.experiments import ext_baselines
+        result = ext_baselines.run()
+        by_key = {
+            (row[0], row[1]): row[2] for row in result.rows
+        }
+        # Coloring cost grows with re-partition frequency; CAT stays
+        # negligible.
+        assert by_key[(100, "page_coloring")] > by_key[(10, "page_coloring")]
+        assert by_key[(100, "cat")] < 0.01
+        assert by_key[(100, "page_coloring")] > 1.0

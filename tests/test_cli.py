@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "fig4", "--fast"])
+        assert args.experiment == "fig4"
+        assert args.fast
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_run_single_figure(self, capsys):
+        assert main(["run", "fig4", "--fast"]) == 0
+        output = capsys.readouterr().out
+        assert "column scan" in output
+        assert "normalized_throughput" in output
+
+    def test_all_figures_registered(self):
+        expected = {
+            "fig1", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11",
+            "fig12", "ext-sched", "ext-coloring", "ext-sort",
+            "ext-trace", "ext-skew", "report",
+        }
+        assert set(EXPERIMENTS) == expected

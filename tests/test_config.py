@@ -1,0 +1,105 @@
+"""Tests for repro.config (hardware specifications)."""
+
+import pytest
+
+from repro.config import CacheSpec, DramSpec, SystemSpec, xeon_e5_2699_v4
+from repro.errors import CacheConfigError, ConfigError
+from repro.units import GB, KiB, MiB, NANOSECOND
+
+
+class TestCacheSpec:
+    def test_paper_llc_geometry(self):
+        llc = CacheSpec(55 * MiB, 20)
+        assert llc.sets == 45056
+        assert llc.way_bytes == 55 * MiB // 20  # 2.75 MiB per way
+
+    def test_way_bytes_matches_paper(self):
+        # The paper: 55 MiB / 20 = 2.75 MiB per bitmask bit (Sec. V-A).
+        llc = CacheSpec(55 * MiB, 20)
+        assert llc.way_bytes == int(2.75 * MiB)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(CacheConfigError):
+            CacheSpec(0, 8)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(CacheConfigError):
+            CacheSpec(32 * KiB, 0)
+
+    def test_rejects_non_power_of_two_lines(self):
+        with pytest.raises(CacheConfigError):
+            CacheSpec(32 * KiB, 8, line_bytes=48)
+
+    def test_rejects_misaligned_size(self):
+        with pytest.raises(CacheConfigError):
+            CacheSpec(1000, 8, line_bytes=64)
+
+    def test_scaled_preserves_ways_and_lines(self):
+        llc = CacheSpec(55 * MiB, 20)
+        scaled = llc.scaled(256)
+        assert scaled.ways == 20
+        assert scaled.line_bytes == 64
+        assert scaled.size_bytes < llc.size_bytes
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(CacheConfigError):
+            CacheSpec(55 * MiB, 20).scaled(0)
+
+
+class TestDramSpec:
+    def test_paper_defaults(self):
+        dram = DramSpec()
+        assert dram.bandwidth_bytes_per_s == 64 * GB
+        assert dram.latency_s == pytest.approx(80 * NANOSECOND)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ConfigError):
+            DramSpec(bandwidth_bytes_per_s=0)
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ConfigError):
+            DramSpec(latency_s=-1)
+
+
+class TestSystemSpec:
+    def test_paper_machine(self):
+        spec = xeon_e5_2699_v4()
+        assert spec.cores == 22
+        assert spec.hardware_threads == 44
+        assert spec.llc.size_bytes == 55 * MiB
+        assert spec.llc.ways == 20
+        assert spec.cat_classes == 16
+
+    def test_full_mask_is_20_bits(self, spec):
+        assert spec.full_mask == 0xFFFFF
+
+    def test_mask_bytes(self, spec):
+        # 0x3 = 2 ways = 5.5 MiB = 10 % of the LLC (paper Sec. V-B).
+        assert spec.mask_bytes(0x3) == int(5.5 * MiB)
+        assert spec.mask_fraction(0x3) == pytest.approx(0.10)
+        # 0xfff = 12 ways = 60 %.
+        assert spec.mask_fraction(0xFFF) == pytest.approx(0.60)
+
+    def test_mask_bytes_rejects_out_of_range(self, spec):
+        with pytest.raises(ConfigError):
+            spec.mask_bytes(1 << 20)
+
+    def test_l2_total(self, spec):
+        assert spec.l2_total_bytes == 22 * 256 * KiB
+
+    def test_cycle_time(self, spec):
+        assert spec.cycle_s == pytest.approx(1 / 2.2e9)
+
+    def test_scaled_system(self, spec):
+        scaled = spec.scaled(64)
+        assert scaled.cores == spec.cores
+        assert scaled.llc.ways == 20
+        assert scaled.llc.size_bytes < spec.llc.size_bytes
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            SystemSpec(cores=0)
+
+    def test_rejects_bad_cat_min_bits(self):
+        with pytest.raises(ConfigError):
+            SystemSpec(cat_min_bits=0)

@@ -1,0 +1,91 @@
+"""Tests for the sensitivity advisor (Sec. IV -> Sec. V-B automation)."""
+
+import pytest
+
+from repro.core.advisor import (
+    CacheSensitivity,
+    analyze_sweep,
+    derive_policy,
+)
+from repro.errors import WorkloadError
+
+
+def flat_sweep():
+    """A scan-like sweep: throughput independent of the cache."""
+    return [(w / 20, 1.0) for w in range(2, 21, 2)]
+
+
+def sensitive_sweep():
+    """An aggregation-like sweep: throughput tracks cache size."""
+    return [(w / 20, 0.35 + 0.65 * (w / 20)) for w in range(2, 21, 2)]
+
+
+def partial_sweep():
+    """A join-like sweep: safe above ~60 %, degrading below."""
+    points = []
+    for w in range(2, 21, 2):
+        fraction = w / 20
+        throughput = 1.0 if fraction >= 0.6 else 0.5 + 0.8 * fraction
+        points.append((fraction, min(1.0, throughput)))
+    return points
+
+
+class TestAnalyzeSweep:
+    def test_flat_curve_is_insensitive(self):
+        report = analyze_sweep("scan", flat_sweep())
+        assert report.sensitivity is CacheSensitivity.INSENSITIVE
+        assert report.min_safe_fraction <= 0.15
+        assert report.worst_degradation == pytest.approx(0.0)
+
+    def test_linear_curve_is_sensitive(self):
+        report = analyze_sweep("aggregation", sensitive_sweep())
+        assert report.sensitivity is CacheSensitivity.SENSITIVE
+        assert report.min_safe_fraction >= 0.75
+
+    def test_partial_curve(self):
+        report = analyze_sweep("join", partial_sweep())
+        assert report.sensitivity is CacheSensitivity.PARTIALLY_SENSITIVE
+        assert 0.5 <= report.min_safe_fraction <= 0.7
+
+    def test_worst_degradation_reported(self):
+        report = analyze_sweep("aggregation", sensitive_sweep())
+        assert report.worst_degradation == pytest.approx(
+            1 - (0.35 + 0.65 * 0.1), rel=0.05
+        )
+
+    def test_requires_full_cache_point(self):
+        with pytest.raises(WorkloadError):
+            analyze_sweep("x", [(0.5, 0.9)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            analyze_sweep("x", [])
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(WorkloadError):
+            analyze_sweep("x", [(1.0, 1.0), (1.5, 1.0)])
+
+
+class TestDerivePolicy:
+    def test_recovers_paper_scheme_structure(self):
+        reports = [
+            analyze_sweep("scan", flat_sweep()),
+            analyze_sweep("aggregation", sensitive_sweep()),
+            analyze_sweep("join", partial_sweep()),
+        ]
+        scheme = derive_policy(reports)
+        # Scan-like operators -> ~10 %; sensitive -> 100 %;
+        # join-like -> ~60 %: the paper's scheme, derived automatically.
+        assert scheme.polluting_fraction == pytest.approx(0.10, abs=0.05)
+        assert scheme.sensitive_fraction == 1.0
+        assert 0.5 <= scheme.adaptive_sensitive_fraction <= 0.7
+
+    def test_polluter_floor_at_10_percent(self):
+        # Even a perfectly flat curve never drops below 10 % — the
+        # paper's 0x1 observation (one way thrashes).
+        scheme = derive_policy([analyze_sweep("scan", flat_sweep())])
+        assert scheme.polluting_fraction >= 0.10
+
+    def test_requires_reports(self):
+        with pytest.raises(WorkloadError):
+            derive_policy([])

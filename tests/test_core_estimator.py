@@ -1,0 +1,134 @@
+"""Tests for the statistics-driven working-set estimator."""
+
+import pytest
+
+from repro.core.estimator import (
+    ColumnStatistics,
+    WorkingSetEstimate,
+    WorkingSetEstimator,
+)
+from repro.errors import WorkloadError
+from repro.operators.base import CacheUsage
+from repro.units import MiB
+
+
+@pytest.fixture
+def estimator():
+    return WorkingSetEstimator(workers=22)
+
+
+def stats(name, rows, distinct, max_value=None):
+    return ColumnStatistics(name, rows, distinct, max_value)
+
+
+class TestColumnStatistics:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ColumnStatistics("x", 0, 1)
+        with pytest.raises(WorkloadError):
+            ColumnStatistics("x", 10, 0)
+        with pytest.raises(WorkloadError):
+            ColumnStatistics("x", 10, 11)
+
+
+class TestEstimates:
+    def test_scan_keeps_nothing(self, estimator):
+        estimate = estimator.estimate_scan(stats("X", 10**9, 10**6))
+        assert estimate.cuid is CacheUsage.POLLUTING
+        assert estimate.total_bytes == 0
+
+    def test_aggregation_matches_paper_sizes(self, estimator):
+        estimate = estimator.estimate_aggregation(
+            stats("V", 10**9, 10**7),  # 40 MiB dictionary
+            stats("G", 10**9, 10**5),  # LLC-sized hash tables
+        )
+        assert estimate.cuid is CacheUsage.SENSITIVE
+        assert estimate.dictionary_bytes == pytest.approx(
+            40 * MiB, rel=0.05
+        )
+        assert estimate.hash_table_bytes > 30 * MiB
+
+    def test_join_classification_follows_bit_vector(self, estimator):
+        tiny = estimator.estimate_join(
+            stats("P", 10**6, 10**6, max_value=10**6)
+        )
+        llc_sized = estimator.estimate_join(
+            stats("P", 10**8, 10**8, max_value=10**8)
+        )
+        huge = estimator.estimate_join(
+            stats("P", 10**9, 10**9, max_value=10**9)
+        )
+        assert tiny.cuid is CacheUsage.POLLUTING
+        assert llc_sized.cuid is CacheUsage.SENSITIVE
+        assert huge.cuid is CacheUsage.POLLUTING
+
+    def test_join_uses_max_value_for_sparse_domains(self, estimator):
+        # 10^6 distinct keys spread over a 10^8 domain still need a
+        # 12.5 MB bit vector.
+        sparse = estimator.estimate_join(
+            stats("P", 10**6, 10**6, max_value=10**8)
+        )
+        assert sparse.bit_vector_bytes == 12_500_000
+        assert sparse.cuid is CacheUsage.SENSITIVE
+
+
+class TestMaskSelection:
+    def test_paper_masks(self, estimator):
+        scan = estimator.estimate_scan(stats("X", 10**9, 10**6))
+        assert estimator.mask_for(scan) == 0x3
+        agg = estimator.estimate_aggregation(
+            stats("V", 10**9, 10**7), stats("G", 10**9, 10**5)
+        )
+        assert estimator.mask_for(agg) == 0xFFFFF
+
+    def test_adaptive_join_gets_60_percent(self, estimator):
+        join = estimator.estimate_join(
+            stats("P", 10**8, 10**8, max_value=10**8)
+        )
+        assert estimator.mask_for(join) == 0xFFF
+
+    def test_recommended_mask_shrinks_small_sensitive(self, estimator):
+        """A 4 MiB-dictionary aggregation with tiny groups fits in a
+        few ways; the estimator grants just enough + headroom."""
+        small = estimator.estimate_aggregation(
+            stats("V", 10**9, 10**6),   # 4 MiB dictionary
+            stats("G", 10**9, 10**2),   # tiny tables
+        )
+        mask = estimator.recommended_mask(small)
+        ways = bin(mask).count("1")
+        assert 2 <= ways <= 4  # ~4 MiB needs 2 ways, +1 headroom
+
+    def test_recommended_mask_keeps_full_for_large(self, estimator):
+        large = estimator.estimate_aggregation(
+            stats("V", 10**9, 10**8),   # 400 MiB dictionary
+            stats("G", 10**9, 10**6),
+        )
+        assert estimator.recommended_mask(large) == 0xFFFFF
+
+    def test_recommended_mask_never_below_hw_min(self, estimator):
+        scan = estimator.estimate_scan(stats("X", 10**9, 10**6))
+        mask = estimator.recommended_mask(scan)
+        assert bin(mask).count("1") >= estimator.spec.cat_min_bits
+
+
+class TestSensitivityPrediction:
+    def test_llc_sized_working_set_is_pollution_sensitive(
+        self, estimator
+    ):
+        agg = estimator.estimate_aggregation(
+            stats("V", 10**9, 10**7), stats("G", 10**9, 10**5)
+        )
+        assert estimator.estimate_sensitivity_to_corunner(agg)
+
+    def test_l2_resident_working_set_is_safe(self, estimator):
+        tiny = WorkingSetEstimate(
+            "tiny", CacheUsage.SENSITIVE, dictionary_bytes=1 * MiB
+        )
+        assert not estimator.estimate_sensitivity_to_corunner(tiny)
+
+    def test_compulsory_miss_working_set_is_safe(self, estimator):
+        huge = WorkingSetEstimate(
+            "huge", CacheUsage.SENSITIVE,
+            dictionary_bytes=400 * MiB,
+        )
+        assert not estimator.estimate_sensitivity_to_corunner(huge)

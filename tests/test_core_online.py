@@ -1,0 +1,81 @@
+"""Tests for the online CUID classifier (CMT-based extension)."""
+
+import pytest
+
+from repro.core.online import OnlineClassifier
+from repro.errors import ModelError
+from repro.operators.base import CacheUsage
+from repro.workloads.microbench import (
+    DICT_40_MIB,
+    query1,
+    query2,
+    query3,
+)
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return OnlineClassifier()
+
+
+class TestClassification:
+    def test_scan_classified_polluting(self, classifier):
+        """The online probe recovers the paper's offline verdict for
+        the column scan without knowing what the operator is."""
+        outcome = classifier.classify(query1().profile())
+        assert outcome.cuid is CacheUsage.POLLUTING
+        assert outcome.restricted_ratio > 0.95
+
+    def test_aggregation_classified_sensitive(self, classifier):
+        profile = query2(DICT_40_MIB, 10**5).profile(22)
+        outcome = classifier.classify(profile)
+        assert outcome.cuid is CacheUsage.SENSITIVE
+        assert outcome.cache_benefit > 0.2
+
+    def test_join_classification_is_data_dependent(self, classifier):
+        """The adaptive case: the same operator flips class with its
+        bit-vector size — re-probing handles it without a taxonomy."""
+        small = classifier.classify(query3(10**6).profile(22))
+        big = classifier.classify(query3(10**8).profile(22))
+        assert small.cuid is CacheUsage.POLLUTING
+        assert big.cuid is CacheUsage.SENSITIVE
+
+    def test_classify_many(self, classifier):
+        profiles = [
+            query1().profile(name="scan"),
+            query2(DICT_40_MIB, 10**4).profile(22, name="agg"),
+        ]
+        outcomes = classifier.classify_many(profiles)
+        assert set(outcomes) == {"scan", "agg"}
+
+    def test_samples_reflect_behaviour(self, classifier):
+        """The monitored samples behind the verdict are consistent:
+        the scan's miss ratio is high; restricting the aggregation
+        raises its miss ratio."""
+        scan_outcome = classifier.classify(query1().profile())
+        assert scan_outcome.full_sample.miss_ratio > 0.8
+        agg_outcome = classifier.classify(
+            query2(DICT_40_MIB, 10**5).profile(22)
+        )
+        assert (
+            agg_outcome.restricted_sample.miss_ratio
+            > agg_outcome.full_sample.miss_ratio
+        )
+
+    def test_agreement_with_offline_heuristic(self, classifier, spec):
+        """Online and offline classification agree across the paper's
+        bit-vector sweep — the extension is a drop-in replacement."""
+        from repro.operators.join import classify_join
+        for pk_rows in (10**6, 10**7, 10**8):
+            config = query3(pk_rows)
+            offline = classify_join(config.bit_vector_bytes(), spec)
+            online = classifier.classify(config.profile(22)).cuid
+            assert online is offline
+
+
+class TestValidation:
+    def test_threshold_validation(self):
+        with pytest.raises(ModelError):
+            OnlineClassifier(sensitivity_threshold=0.0)
+        with pytest.raises(ModelError):
+            OnlineClassifier(sensitivity_threshold=1.0)

@@ -1,0 +1,78 @@
+"""Tests for partitioning schemes and database integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.integration import CachePartitioning
+from repro.core.policy import (
+    PartitioningScheme,
+    join_restricted_scheme,
+    paper_scheme,
+    unpartitioned_scheme,
+)
+from repro.engine.database import Database
+from repro.errors import CatError
+
+
+class TestSchemes:
+    def test_paper_scheme_masks(self, spec):
+        policy = paper_scheme().to_cuid_policy(spec)
+        assert policy.polluting_mask == 0x3
+        assert policy.sensitive_mask == 0xFFFFF
+        assert policy.adaptive_sensitive_mask == 0xFFF
+
+    def test_join_restricted_scheme(self, spec):
+        policy = join_restricted_scheme().to_cuid_policy(spec)
+        assert policy.adaptive_sensitive_mask == 0x3
+
+    def test_unpartitioned_scheme(self, spec):
+        policy = unpartitioned_scheme().to_cuid_policy(spec)
+        assert policy.polluting_mask == spec.full_mask
+
+    def test_masks_reporting(self, spec):
+        masks = paper_scheme().masks(spec)
+        assert masks == {
+            "polluting": 0x3,
+            "sensitive": 0xFFFFF,
+            "adaptive_sensitive": 0xFFF,
+        }
+
+    def test_fraction_validation(self):
+        with pytest.raises(CatError):
+            PartitioningScheme("bad", 0.0, 1.0, 0.5)
+        with pytest.raises(CatError):
+            PartitioningScheme("bad", 0.1, 1.5, 0.5)
+
+
+class TestIntegration:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.execute("CREATE COLUMN TABLE A ( X INT )")
+        database.load("A", {"X": np.arange(1, 1001)})
+        return database
+
+    def test_enable_disable(self, db):
+        partitioning = CachePartitioning(db)
+        partitioning.enable()
+        assert db.cache_partitioning_enabled
+        partitioning.disable()
+        assert not db.cache_partitioning_enabled
+
+    def test_context_manager(self, db):
+        with CachePartitioning(db):
+            assert db.cache_partitioning_enabled
+            db.execute("SELECT COUNT(*) FROM A WHERE A.X > ?", [500])
+            assert db.scheduler.dispatch_log[-1].mask == 0x3
+        assert not db.cache_partitioning_enabled
+
+    def test_default_scheme_is_papers(self, db):
+        partitioning = CachePartitioning(db)
+        assert partitioning.scheme.name == "paper_default"
+
+    def test_apply_scheme_live(self, db):
+        partitioning = CachePartitioning(db)
+        partitioning.enable()
+        partitioning.apply_scheme(unpartitioned_scheme())
+        db.execute("SELECT COUNT(*) FROM A WHERE A.X > ?", [500])
+        assert db.scheduler.dispatch_log[-1].mask == db.spec.full_mask

@@ -1,0 +1,119 @@
+"""Tests for cache-aware co-scheduling (Sec. VIII extension)."""
+
+import pytest
+
+from repro.core.scheduling import (
+    CacheAwareScheduler,
+    Phase,
+    ScheduledQuery,
+)
+from repro.errors import WorkloadError
+from repro.operators.base import CacheUsage
+from repro.workloads.microbench import DICT_40_MIB, query1, query2
+
+
+def scan(name: str) -> ScheduledQuery:
+    return ScheduledQuery(name, query1().profile(name=name),
+                          CacheUsage.POLLUTING)
+
+
+def aggregation(name: str, groups: int = 10**5) -> ScheduledQuery:
+    return ScheduledQuery(
+        name,
+        query2(DICT_40_MIB, groups).profile(22, name=name),
+        CacheUsage.SENSITIVE,
+    )
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    return CacheAwareScheduler()
+
+
+class TestScheduleConstruction:
+    def test_naive_batches_in_arrival_order(self, scheduler):
+        batch = [scan("s1"), aggregation("a1"), scan("s2"),
+                 aggregation("a2")]
+        phases = scheduler.naive_schedule(batch)
+        assert [
+            [q.name for q in phase.queries] for phase in phases
+        ] == [["s1", "a1"], ["s2", "a2"]]
+        assert all(not phase.partitioned for phase in phases)
+
+    def test_cache_aware_pairs_polluters_together(self, scheduler):
+        batch = [scan("s1"), aggregation("a1"), scan("s2"),
+                 aggregation("a2")]
+        phases = scheduler.cache_aware_schedule(batch)
+        pairs = [{q.name for q in phase.queries} for phase in phases]
+        assert {"s1", "s2"} in pairs
+        assert {"a1", "a2"} in pairs
+
+    def test_mixed_leftover_pair_is_partitioned(self, scheduler):
+        batch = [scan("s1"), aggregation("a1")]
+        phases = scheduler.cache_aware_schedule(batch)
+        assert len(phases) == 1
+        assert phases[0].partitioned
+
+    def test_singleton_runs_alone(self, scheduler):
+        phases = scheduler.cache_aware_schedule([aggregation("a1")])
+        assert len(phases) == 1
+        assert [q.name for q in phases[0].queries] == ["a1"]
+
+    def test_all_queries_scheduled_exactly_once(self, scheduler):
+        batch = [scan(f"s{i}") for i in range(3)] + [
+            aggregation(f"a{i}") for i in range(3)
+        ]
+        phases = scheduler.cache_aware_schedule(batch)
+        names = [q.name for phase in phases for q in phase.queries]
+        assert sorted(names) == sorted(q.name for q in batch)
+
+    def test_adaptive_must_be_resolved(self):
+        with pytest.raises(WorkloadError):
+            ScheduledQuery("j", query1().profile(name="j"),
+                           CacheUsage.ADAPTIVE)
+
+    def test_invalid_max_corun(self):
+        with pytest.raises(WorkloadError):
+            CacheAwareScheduler(max_corun=0)
+
+
+class TestEvaluation:
+    def test_cache_aware_beats_naive_on_mixed_batch(self, scheduler):
+        """The paper's Sec. VIII claim, quantified: pairing polluters
+        with polluters beats FCFS pairing on makespan."""
+        batch = [scan("s1"), aggregation("a1"), scan("s2"),
+                 aggregation("a2")]
+        outcomes = scheduler.compare(batch)
+        assert (
+            outcomes["cache_aware"].makespan_s
+            < outcomes["naive"].makespan_s
+        )
+
+    def test_phase_duration_covers_slowest_member(self, scheduler):
+        batch = [scan("s1"), aggregation("a1")]
+        outcome = scheduler.evaluate(
+            "naive", scheduler.naive_schedule(batch)
+        )
+        phase = outcome.phases[0]
+        for query in phase.queries:
+            finish = (
+                query.profile.tuples / phase.throughputs[query.name]
+            )
+            assert phase.duration_s >= finish - 1e-9
+
+    def test_makespan_is_sum_of_phases(self, scheduler):
+        batch = [scan("s1"), scan("s2"), aggregation("a1")]
+        outcome = scheduler.evaluate(
+            "cache_aware", scheduler.cache_aware_schedule(batch)
+        )
+        assert outcome.makespan_s == pytest.approx(
+            sum(phase.duration_s for phase in outcome.phases)
+        )
+
+    def test_empty_batch_rejected(self, scheduler):
+        with pytest.raises(WorkloadError):
+            scheduler.compare([])
+
+    def test_empty_phase_rejected(self, scheduler):
+        with pytest.raises(WorkloadError):
+            scheduler.evaluate("x", [Phase(queries=[])])

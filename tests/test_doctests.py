@@ -1,0 +1,34 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.experiments.reporting
+import repro.hardware.cat
+import repro.model.streams
+import repro.resctrl.schemata
+import repro.storage.bitpack
+import repro.units
+
+MODULES = [
+    repro.experiments.reporting,
+    repro.hardware.cat,
+    repro.model.streams,
+    repro.resctrl.schemata,
+    repro.storage.bitpack,
+    repro.units,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}"
+    )
+    assert results.attempted > 0, (
+        f"no doctests collected from {module.__name__}"
+    )

@@ -1,0 +1,87 @@
+"""Tests for jobs and job graphs."""
+
+import numpy as np
+import pytest
+
+from repro.engine.job import Job, JobGraph
+from repro.errors import SchedulerError
+from repro.operators.base import CacheUsage
+from repro.operators.scan import ColumnScan
+from repro.storage.table import ColumnTable, Schema, SchemaColumn
+
+
+def scan_job(rng):
+    table = ColumnTable(Schema("A", (SchemaColumn("X"),)))
+    table.load({"X": rng.integers(1, 100, size=100)})
+    return Job("scan", operator=ColumnScan(table, "X", ">", 50))
+
+
+class TestJob:
+    def test_cuid_defaults_from_operator(self, rng):
+        job = scan_job(rng)
+        assert job.cuid is CacheUsage.POLLUTING
+
+    def test_callable_job_defaults_sensitive(self):
+        # The paper's regression-safe default (Sec. V-C).
+        job = Job("misc", callable=lambda: 42)
+        assert job.cuid is CacheUsage.SENSITIVE
+
+    def test_explicit_cuid_wins(self):
+        job = Job("misc", callable=lambda: 1,
+                  cuid=CacheUsage.POLLUTING)
+        assert job.cuid is CacheUsage.POLLUTING
+
+    def test_run_records_result(self):
+        job = Job("misc", callable=lambda: "done")
+        assert job.run() == "done"
+        assert job.completed
+        assert job.result == "done"
+
+    def test_operator_job_runs_operator(self, rng):
+        job = scan_job(rng)
+        result = job.run()
+        assert result.rows_scanned == 100
+
+    def test_needs_exactly_one_payload(self):
+        with pytest.raises(SchedulerError):
+            Job("bad")
+        with pytest.raises(SchedulerError):
+            Job("bad", operator=object(), callable=lambda: 1)
+
+    def test_job_ids_unique(self):
+        a = Job("a", callable=lambda: 1)
+        b = Job("b", callable=lambda: 1)
+        assert a.job_id != b.job_id
+
+
+class TestJobGraph:
+    def test_topological_order_respects_dependencies(self):
+        graph = JobGraph()
+        first = graph.add(Job("first", callable=lambda: 1))
+        second = graph.add(Job("second", callable=lambda: 2),
+                           after=[first])
+        third = graph.add(Job("third", callable=lambda: 3),
+                          after=[second])
+        order = [job.name for job in graph.topological_order()]
+        assert order.index("first") < order.index("second")
+        assert order.index("second") < order.index("third")
+
+    def test_independent_jobs_ordered_deterministically(self):
+        graph = JobGraph()
+        for name in ("a", "b", "c"):
+            graph.add(Job(name, callable=lambda: 1))
+        first_run = [j.name for j in graph.topological_order()]
+        second_run = [j.name for j in graph.topological_order()]
+        assert first_run == second_run
+
+    def test_unknown_dependency_rejected(self):
+        graph = JobGraph()
+        orphan = Job("orphan", callable=lambda: 1)
+        with pytest.raises(SchedulerError):
+            graph.add(Job("x", callable=lambda: 1), after=[orphan])
+
+    def test_duplicate_job_rejected(self):
+        graph = JobGraph()
+        job = graph.add(Job("a", callable=lambda: 1))
+        with pytest.raises(SchedulerError):
+            graph.add(job)

@@ -1,0 +1,108 @@
+"""Tests for worker pools and the job scheduler."""
+
+import pytest
+
+from repro.engine.cache_control import CacheController
+from repro.engine.job import Job, JobGraph
+from repro.engine.scheduler import JobScheduler
+from repro.engine.threadpool import JobWorkerPool
+from repro.errors import SchedulerError
+from repro.hardware.cat import CatController
+from repro.operators.base import CacheUsage
+from repro.resctrl.filesystem import ResctrlFilesystem
+from repro.resctrl.interface import ResctrlInterface
+
+
+@pytest.fixture
+def scheduler(spec):
+    resctrl = ResctrlInterface(ResctrlFilesystem(CatController(spec)))
+    controller = CacheController(spec, resctrl, enabled=True)
+    return JobScheduler(
+        controller=controller,
+        olap_pool=JobWorkerPool.create("olap", list(range(20)), 1000),
+        oltp_pool=JobWorkerPool.create("oltp", [20, 21], 9000),
+    )
+
+
+class TestWorkerPool:
+    def test_create(self):
+        pool = JobWorkerPool.create("p", [0, 1, 2], tid_base=100)
+        assert pool.size == 3
+        assert pool.tids == [100, 101, 102]
+        assert pool.workers[1].core == 1
+
+    def test_round_robin(self):
+        pool = JobWorkerPool.create("p", [0, 1], tid_base=0)
+        tids = [pool.next_worker().tid for _ in range(4)]
+        assert tids == [0, 1, 0, 1]
+
+    def test_worker_by_tid(self):
+        pool = JobWorkerPool.create("p", [0], tid_base=5)
+        assert pool.worker_by_tid(5).core == 0
+        with pytest.raises(SchedulerError):
+            pool.worker_by_tid(99)
+
+    def test_requires_cores(self):
+        with pytest.raises(SchedulerError):
+            JobWorkerPool.create("p", [], tid_base=0)
+
+
+class TestDispatch:
+    def test_polluting_job_programs_core_clos(self, scheduler):
+        job = Job("scan", callable=lambda: "x",
+                  cuid=CacheUsage.POLLUTING)
+        scheduler.run_job(job)
+        record = scheduler.dispatch_log[-1]
+        assert record.mask == 0x3
+        # The kernel context switch programmed the core's CLOS.
+        cat = scheduler.controller.resctrl.filesystem.cat
+        assert cat.core_mask(record.core) == 0x3
+
+    def test_oltp_pool_keeps_full_cache(self, scheduler, spec):
+        job = Job("point", callable=lambda: "x",
+                  cuid=CacheUsage.POLLUTING)  # even mis-labelled jobs
+        scheduler.run_job(job, pool="oltp")
+        record = scheduler.dispatch_log[-1]
+        assert record.pool == "oltp"
+        assert record.mask == spec.full_mask
+        cat = scheduler.controller.resctrl.filesystem.cat
+        assert cat.core_mask(record.core) == spec.full_mask
+
+    def test_unknown_pool_rejected(self, scheduler):
+        with pytest.raises(SchedulerError):
+            scheduler.run_job(Job("x", callable=lambda: 1), pool="gpu")
+
+    def test_jobs_round_robin_over_workers(self, scheduler):
+        for index in range(4):
+            scheduler.run_job(Job(f"j{index}", callable=lambda: 1))
+        tids = [r.worker_tid for r in scheduler.dispatch_log]
+        assert tids == [1000, 1001, 1002, 1003]
+
+    def test_run_graph_in_order(self, scheduler):
+        results = []
+        graph = JobGraph()
+        first = graph.add(Job("a", callable=lambda: results.append("a")))
+        graph.add(Job("b", callable=lambda: results.append("b")),
+                  after=[first])
+        scheduler.run_graph(graph)
+        assert results == ["a", "b"]
+
+    def test_worker_job_counters(self, scheduler):
+        scheduler.run_job(Job("a", callable=lambda: 1))
+        assert scheduler.olap_pool.workers[0].jobs_run == 1
+
+    def test_alternating_cuids_reuse_kernel_calls(self, scheduler):
+        """Per-worker mask caching: repeating the same CUID sequence on
+        the same worker set stops costing syscalls once stabilised."""
+        polluting = [
+            Job(f"p{index}", callable=lambda: 1,
+                cuid=CacheUsage.POLLUTING)
+            for index in range(40)
+        ]
+        for job in polluting:
+            scheduler.run_job(job)
+        stats = scheduler.controller.stats
+        # 20 workers each switched once to the polluting mask; the
+        # second round was fully elided.
+        assert stats.kernel_calls == 20
+        assert stats.associations_requested == 40

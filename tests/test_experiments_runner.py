@@ -1,0 +1,91 @@
+"""Tests for the experiment infrastructure (runner + reporting)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentRunner, FigureResult
+from repro.workloads.microbench import query1
+
+
+class TestFigureResult:
+    @pytest.fixture
+    def figure(self):
+        result = FigureResult(
+            "figX", "test", headers=("a", "b", "value")
+        )
+        result.add(1, "x", 0.5)
+        result.add(1, "y", 0.7)
+        result.add(2, "x", 0.9)
+        return result
+
+    def test_add_checks_width(self, figure):
+        with pytest.raises(WorkloadError):
+            figure.add(1, 2)
+
+    def test_column(self, figure):
+        assert figure.column("value") == [0.5, 0.7, 0.9]
+
+    def test_unknown_column(self, figure):
+        with pytest.raises(WorkloadError):
+            figure.column("nope")
+
+    def test_select(self, figure):
+        assert figure.select(a=1, b="x") == [(1, "x", 0.5)]
+        assert len(figure.select(a=1)) == 2
+        assert figure.select(a=3) == []
+
+
+class TestExperimentRunner:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return ExperimentRunner()
+
+    def test_mask_for_ways(self, runner):
+        assert runner.mask_for_ways(2) == 0x3
+        assert runner.mask_for_ways(20) == 0xFFFFF
+        with pytest.raises(WorkloadError):
+            runner.mask_for_ways(0)
+        with pytest.raises(WorkloadError):
+            runner.mask_for_ways(21)
+
+    def test_cache_mib(self, runner):
+        assert runner.cache_mib(2) == pytest.approx(5.5)
+        assert runner.cache_mib(20) == pytest.approx(55.0)
+
+    def test_paper_scheme_masks(self, runner):
+        assert runner.polluting_mask() == 0x3
+        assert runner.adaptive_mask() == 0xFFF
+
+    def test_sweep_ways_modes(self, runner):
+        assert len(runner.sweep_ways(fast=True)) < len(
+            runner.sweep_ways(fast=False)
+        )
+
+    def test_pair_runs_both(self, runner):
+        scan_a = query1().profile(name="a")
+        scan_b = query1().profile(name="b")
+        outcome = runner.pair(scan_a, scan_b)
+        assert set(outcome.normalized) == {"a", "b"}
+        assert set(outcome.results) == {"a", "b"}
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("name", "v"), [("x", 1.0), ("longer", 2.5)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(("a",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(("v",), [(0.123456,), (1.5e9,), (1e-9,)])
+        assert "0.123" in text
+        assert "1.50e+09" in text
+        assert "1.00e-09" in text
+
+    def test_zero(self):
+        assert "0" in format_table(("v",), [(0.0,)])

@@ -1,0 +1,29 @@
+"""The reproduction report must be all-PASS."""
+
+import pytest
+
+from repro.experiments import summary
+
+
+@pytest.fixture(scope="module")
+def report():
+    return summary.run()
+
+
+def test_every_claim_passes(report):
+    failing = [row for row in report.rows if row[2] != "PASS"]
+    assert not failing, f"claims failing: {failing}"
+
+
+def test_report_covers_all_figures(report):
+    figures = {row[0] for row in report.rows}
+    assert figures == {
+        "fig1", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11",
+        "fig12",
+    }
+
+
+def test_note_summarises_counts(report):
+    assert report.notes == [
+        f"{len(report.rows)}/{len(report.rows)} claims hold"
+    ]

@@ -1,0 +1,100 @@
+"""Property-based tests for the cache simulator (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheSpec, SystemSpec
+from repro.hardware.cache import SetAssociativeCache
+from repro.hardware.cat import CatController
+from repro.units import KiB
+
+LINE = 64
+
+
+def _build(ways: int, sets: int, masks: dict[int, int]):
+    spec = SystemSpec(
+        cores=2,
+        llc=CacheSpec(sets * ways * LINE, ways),
+        l1d=CacheSpec(2 * KiB, 2),
+        l2=CacheSpec(4 * KiB, 4),
+    )
+    cat = CatController(spec)
+    for clos, mask in masks.items():
+        cat.set_clos_mask(clos, mask)
+    return SetAssociativeCache(spec.llc, cat=cat)
+
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=4095), min_size=1, max_size=300
+)
+
+
+@given(trace=addresses)
+@settings(max_examples=60, deadline=None)
+def test_occupancy_bounded_by_capacity(trace):
+    cache = _build(4, 8, {})
+    for line in trace:
+        cache.access(line * LINE)
+    assert cache.valid_lines() <= 4 * 8
+
+
+@given(trace=addresses)
+@settings(max_examples=60, deadline=None)
+def test_rereference_is_always_a_hit(trace):
+    """Accessing an address twice in a row must hit the second time."""
+    cache = _build(4, 8, {})
+    for line in trace:
+        cache.access(line * LINE)
+        assert cache.access(line * LINE) is True
+
+
+@given(trace=addresses)
+@settings(max_examples=60, deadline=None)
+def test_hits_plus_misses_equals_accesses(trace):
+    cache = _build(4, 8, {})
+    for line in trace:
+        cache.access(line * LINE)
+    assert cache.stats.hits + cache.stats.misses == len(trace)
+
+
+@given(trace=addresses, restricted=addresses)
+@settings(max_examples=60, deadline=None)
+def test_way_mask_confinement(trace, restricted):
+    """A CLOS restricted to ways 0-1 never occupies ways 2-3."""
+    cache = _build(4, 8, {1: 0x3})
+    for line in restricted:
+        cache.access(line * LINE, clos=1)
+    assert cache.lines_in_ways(0xC) == 0
+
+
+@given(protected=st.sets(st.integers(0, 1), min_size=1, max_size=2),
+       churn=addresses)
+@settings(max_examples=60, deadline=None)
+def test_disjoint_masks_isolate(protected, churn):
+    """Lines in CLOS 1's exclusive ways survive any CLOS 2 churn.
+
+    This is the hardware guarantee the paper's partitioning relies on.
+    """
+    cache = _build(4, 8, {1: 0x3, 2: 0xC})
+    protected_addrs = [line * LINE for line in protected]
+    for addr in protected_addrs:
+        cache.access(addr, clos=1)
+    for line in churn:
+        cache.access(line * LINE, clos=2)
+    for addr in protected_addrs:
+        assert cache.contains(addr)
+
+
+@given(trace=addresses)
+@settings(max_examples=30, deadline=None)
+def test_full_mask_equals_unmasked_behaviour(trace):
+    """CLOS 0 (full mask) behaves exactly like a cache without CAT."""
+    with_cat = _build(4, 8, {})
+    without_cat = SetAssociativeCache(
+        CacheSpec(8 * 4 * LINE, 4)
+    )
+    results_a = [with_cat.access(line * LINE, clos=0) for line in trace]
+    results_b = [without_cat.access(line * LINE) for line in trace]
+    assert results_a == results_b

@@ -1,0 +1,130 @@
+"""Tests for the CAT model (repro.hardware.cat)."""
+
+import pytest
+
+from repro.config import SystemSpec
+from repro.errors import CatError
+from repro.hardware.cat import (
+    CatController,
+    contiguous_mask,
+    is_contiguous,
+    mask_from_fraction,
+)
+
+
+class TestContiguity:
+    @pytest.mark.parametrize("mask", [0x1, 0x3, 0xF, 0xFF0, 0xFFFFF, 0x8])
+    def test_contiguous(self, mask):
+        assert is_contiguous(mask)
+
+    @pytest.mark.parametrize("mask", [0x5, 0x9, 0xF0F, 0x11])
+    def test_non_contiguous(self, mask):
+        assert not is_contiguous(mask)
+
+    def test_zero_is_not_contiguous(self):
+        assert not is_contiguous(0)
+
+    def test_negative_is_not_contiguous(self):
+        assert not is_contiguous(-1)
+
+
+class TestContiguousMask:
+    def test_paper_masks(self):
+        assert contiguous_mask(2) == 0x3
+        assert contiguous_mask(12) == 0xFFF
+        assert contiguous_mask(20) == 0xFFFFF
+
+    def test_shifted(self):
+        assert contiguous_mask(2, shift=2) == 0xC
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(CatError):
+            contiguous_mask(0)
+
+    def test_rejects_negative_shift(self):
+        with pytest.raises(CatError):
+            contiguous_mask(2, shift=-1)
+
+
+class TestMaskFromFraction:
+    def test_paper_scheme_fractions(self, spec):
+        # The exact masks of paper Sec. V-B/V-C.
+        assert mask_from_fraction(spec, 0.10) == 0x3
+        assert mask_from_fraction(spec, 0.60) == 0xFFF
+        assert mask_from_fraction(spec, 1.0) == 0xFFFFF
+
+    def test_rejects_out_of_range(self, spec):
+        with pytest.raises(CatError):
+            mask_from_fraction(spec, 0.0)
+        with pytest.raises(CatError):
+            mask_from_fraction(spec, 1.5)
+
+    def test_shift_overflow_rejected(self, spec):
+        with pytest.raises(CatError):
+            mask_from_fraction(spec, 1.0, shift=1)
+
+
+class TestCatController:
+    def test_default_state(self, spec):
+        cat = CatController(spec)
+        assert cat.clos_mask(0) == spec.full_mask
+        for core in range(spec.cores):
+            assert cat.core_clos(core) == 0
+            assert cat.core_mask(core) == spec.full_mask
+
+    def test_program_and_read_clos(self, spec):
+        cat = CatController(spec)
+        cat.set_clos_mask(1, 0x3)
+        assert cat.clos_mask(1) == 0x3
+        assert cat.configured_classes() == [0, 1]
+
+    def test_assign_core(self, spec):
+        cat = CatController(spec)
+        cat.set_clos_mask(2, 0xFF)
+        cat.assign_core(5, 2)
+        assert cat.core_clos(5) == 2
+        assert cat.core_mask(5) == 0xFF
+
+    def test_rejects_unconfigured_clos_assignment(self, spec):
+        cat = CatController(spec)
+        with pytest.raises(CatError):
+            cat.assign_core(0, 7)
+
+    def test_rejects_unknown_core(self, spec):
+        cat = CatController(spec)
+        with pytest.raises(CatError):
+            cat.assign_core(spec.cores, 0)
+
+    def test_rejects_clos_out_of_range(self, spec):
+        cat = CatController(spec)
+        with pytest.raises(CatError):
+            cat.set_clos_mask(16, 0x3)
+
+    def test_rejects_non_contiguous_mask(self, spec):
+        cat = CatController(spec)
+        with pytest.raises(CatError):
+            cat.set_clos_mask(1, 0x5)
+
+    def test_rejects_zero_mask(self, spec):
+        cat = CatController(spec)
+        with pytest.raises(CatError):
+            cat.set_clos_mask(1, 0)
+
+    def test_rejects_too_wide_mask(self, spec):
+        cat = CatController(spec)
+        with pytest.raises(CatError):
+            cat.set_clos_mask(1, 1 << 20)
+
+    def test_minimum_width_enforced(self):
+        spec = SystemSpec(cat_min_bits=2)
+        cat = CatController(spec)
+        with pytest.raises(CatError):
+            cat.set_clos_mask(1, 0x1)
+
+    def test_reset_restores_defaults(self, spec):
+        cat = CatController(spec)
+        cat.set_clos_mask(1, 0x3)
+        cat.assign_core(0, 1)
+        cat.reset()
+        assert cat.core_clos(0) == 0
+        assert cat.configured_classes() == [0]

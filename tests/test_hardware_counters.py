@@ -1,0 +1,76 @@
+"""Tests for the PCM-style performance counters."""
+
+import pytest
+
+from repro.hardware.counters import CounterSample, PerfCounters
+
+
+class TestCounterSample:
+    def test_hit_ratio(self):
+        sample = CounterSample(instructions=100, llc_references=50,
+                               llc_hits=40)
+        assert sample.llc_hit_ratio == pytest.approx(0.8)
+        assert sample.llc_misses == 10
+        assert sample.misses_per_instruction == pytest.approx(0.1)
+
+    def test_zero_division_guards(self):
+        sample = CounterSample()
+        assert sample.llc_hit_ratio == 0.0
+        assert sample.misses_per_instruction == 0.0
+
+    def test_delta(self):
+        before = CounterSample(10, 5, 4)
+        after = CounterSample(30, 15, 10)
+        delta = after.delta(before)
+        assert delta == CounterSample(20, 10, 6)
+
+    def test_combined(self):
+        total = CounterSample(1, 2, 1).combined(CounterSample(9, 8, 7))
+        assert total == CounterSample(10, 10, 8)
+
+
+class TestPerfCounters:
+    def test_record_and_sample(self):
+        counters = PerfCounters()
+        counters.record("q1", instructions=100, llc_references=10,
+                        llc_hits=8)
+        counters.record("q1", instructions=50, llc_references=5,
+                        llc_hits=1)
+        sample = counters.sample("q1")
+        assert sample.instructions == 150
+        assert sample.llc_hits == 9
+
+    def test_system_aggregate(self):
+        counters = PerfCounters()
+        counters.record("a", instructions=10)
+        counters.record("b", instructions=20, llc_references=4,
+                        llc_hits=2)
+        system = counters.system()
+        assert system.instructions == 30
+        assert system.llc_references == 4
+
+    def test_unknown_scope_is_zero(self):
+        counters = PerfCounters()
+        assert counters.sample("nope") == CounterSample()
+
+    def test_rejects_negative(self):
+        counters = PerfCounters()
+        with pytest.raises(ValueError):
+            counters.record("x", instructions=-1)
+
+    def test_rejects_hits_above_references(self):
+        counters = PerfCounters()
+        with pytest.raises(ValueError):
+            counters.record("x", llc_references=1, llc_hits=2)
+
+    def test_scopes_sorted(self):
+        counters = PerfCounters()
+        counters.record("b")
+        counters.record("a")
+        assert counters.scopes() == ["a", "b"]
+
+    def test_reset(self):
+        counters = PerfCounters()
+        counters.record("a", instructions=1)
+        counters.reset()
+        assert counters.system() == CounterSample()

@@ -1,0 +1,62 @@
+"""Tests for the CPU socket model."""
+
+import pytest
+
+from repro.config import SystemSpec
+from repro.errors import ConfigError
+from repro.hardware.cpu import Core, CpuSocket
+
+
+class TestCore:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Core(-1)
+        with pytest.raises(ConfigError):
+            Core(0, smt_threads=0)
+
+
+class TestCpuSocket:
+    def test_creates_all_cores(self, spec):
+        socket = CpuSocket(spec)
+        assert len(socket.cores) == 22
+        assert socket.cores[21].core_id == 21
+
+    def test_shared_cat_controller(self, spec):
+        socket = CpuSocket(spec)
+        socket.cat.set_clos_mask(1, 0x3)
+        socket.cat.assign_core(5, 1)
+        assert socket.cat.core_mask(5) == 0x3
+
+    def test_split_cores_covers_everything(self, spec):
+        socket = CpuSocket(spec)
+        groups = socket.split_cores(2)
+        all_cores = sorted(core for group in groups for core in group)
+        assert all_cores == list(range(22))
+        assert abs(len(groups[0]) - len(groups[1])) <= 1
+
+    def test_split_cores_single_group(self, spec):
+        socket = CpuSocket(spec)
+        assert socket.split_cores(1) == [list(range(22))]
+
+    def test_split_validation(self, spec):
+        socket = CpuSocket(spec)
+        with pytest.raises(ConfigError):
+            socket.split_cores(0)
+        with pytest.raises(ConfigError):
+            socket.split_cores(23)
+
+
+class TestDeterminism:
+    def test_figure_results_are_deterministic(self):
+        """The whole reproduction is seeded/analytic: two runs of a
+        figure must produce byte-identical rows."""
+        from repro.experiments import fig09_scan_agg
+        first = fig09_scan_agg.run(fast=True)
+        second = fig09_scan_agg.run(fast=True)
+        assert first.rows == second.rows
+
+    def test_trace_experiment_deterministic(self):
+        from repro.experiments import ext_trace_validation
+        first = ext_trace_validation.run(fast=True)
+        second = ext_trace_validation.run(fast=True)
+        assert first.rows == second.rows

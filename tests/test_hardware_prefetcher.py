@@ -1,0 +1,71 @@
+"""Tests for the stream prefetcher model."""
+
+import pytest
+
+from repro.hardware.prefetcher import StreamPrefetcher
+
+
+class TestDetection:
+    def test_no_prefetch_before_trigger(self):
+        prefetcher = StreamPrefetcher(trigger_length=3, degree=2)
+        assert prefetcher.observe("s", 10) == []
+        assert prefetcher.observe("s", 11) == []
+
+    def test_prefetch_after_trigger(self):
+        prefetcher = StreamPrefetcher(trigger_length=3, degree=2)
+        prefetcher.observe("s", 10)
+        prefetcher.observe("s", 11)
+        assert prefetcher.observe("s", 12) == [13, 14]
+
+    def test_continues_prefetching_on_stream(self):
+        prefetcher = StreamPrefetcher(trigger_length=2, degree=1)
+        prefetcher.observe("s", 0)
+        assert prefetcher.observe("s", 1) == [2]
+        assert prefetcher.observe("s", 2) == [3]
+
+    def test_non_sequential_resets_run(self):
+        prefetcher = StreamPrefetcher(trigger_length=3, degree=1)
+        prefetcher.observe("s", 10)
+        prefetcher.observe("s", 11)
+        prefetcher.observe("s", 99)  # breaks the run
+        assert prefetcher.observe("s", 100) == []
+
+    def test_repeated_line_is_neutral(self):
+        prefetcher = StreamPrefetcher(trigger_length=2, degree=1)
+        prefetcher.observe("s", 5)
+        assert prefetcher.observe("s", 5) == []
+        assert prefetcher.observe("s", 6) == [7]
+
+    def test_streams_tracked_independently(self):
+        prefetcher = StreamPrefetcher(trigger_length=2, degree=1)
+        prefetcher.observe("a", 0)
+        prefetcher.observe("b", 100)
+        assert prefetcher.observe("a", 1) == [2]
+        assert prefetcher.observe("b", 101) == [102]
+
+    def test_tracker_capacity_eviction(self):
+        prefetcher = StreamPrefetcher(trigger_length=2, degree=1,
+                                      max_streams=2)
+        prefetcher.observe("a", 0)
+        prefetcher.observe("b", 10)
+        prefetcher.observe("c", 20)  # evicts one tracker entry
+        # Capacity respected: no crash, at most 2 live streams tracked.
+        assert prefetcher.observe("c", 21) == [22]
+
+    def test_issued_counter(self):
+        prefetcher = StreamPrefetcher(trigger_length=1, degree=3)
+        prefetcher.observe("s", 0)
+        assert prefetcher.issued == 3
+
+    def test_reset(self):
+        prefetcher = StreamPrefetcher(trigger_length=1, degree=1)
+        prefetcher.observe("s", 0)
+        prefetcher.reset()
+        assert prefetcher.issued == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"trigger_length": 0}, {"degree": 0}, {"max_streams": 0},
+    ])
+    def test_invalid_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            StreamPrefetcher(**kwargs)

@@ -1,0 +1,76 @@
+"""Tests for trace generators (repro.hardware.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.trace import (
+    MemoryAccess,
+    interleave,
+    random_region_trace,
+    sequential_trace,
+)
+
+
+class TestMemoryAccess:
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(-1, "s")
+
+
+class TestSequentialTrace:
+    def test_one_access_per_line(self):
+        accesses = list(sequential_trace(0, 256, "scan"))
+        assert [a.addr for a in accesses] == [0, 64, 128, 192]
+
+    def test_base_offset(self):
+        accesses = list(sequential_trace(1000, 128, "scan"))
+        assert [a.addr for a in accesses] == [1000, 1064]
+
+    def test_empty(self):
+        assert list(sequential_trace(0, 0, "scan")) == []
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            list(sequential_trace(0, 64, "scan", step_bytes=0))
+
+
+class TestRandomRegionTrace:
+    def test_addresses_stay_in_region(self, rng):
+        base, size = 4096, 1024
+        accesses = list(
+            random_region_trace(base, size, 500, "ht", rng)
+        )
+        assert len(accesses) == 500
+        for access in accesses:
+            assert base <= access.addr < base + size
+
+    def test_line_aligned(self, rng):
+        accesses = list(random_region_trace(0, 4096, 100, "ht", rng))
+        assert all(a.addr % 64 == 0 for a in accesses)
+
+    def test_roughly_uniform(self, rng):
+        # With 16 lines and 4800 accesses, every line should appear.
+        accesses = list(random_region_trace(0, 1024, 4800, "ht", rng))
+        lines = {a.addr // 64 for a in accesses}
+        assert lines == set(range(16))
+
+    def test_rejects_empty_region(self, rng):
+        with pytest.raises(ValueError):
+            list(random_region_trace(0, 0, 1, "ht", rng))
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        a = sequential_trace(0, 128, "a")
+        b = sequential_trace(1 << 20, 128, "b")
+        merged = [access.stream for access in interleave(a, b)]
+        assert merged == ["a", "b", "a", "b"]
+
+    def test_uneven_lengths(self):
+        a = sequential_trace(0, 192, "a")  # 3 accesses
+        b = sequential_trace(1 << 20, 64, "b")  # 1 access
+        merged = [access.stream for access in interleave(a, b)]
+        assert merged == ["a", "b", "a", "a"]
+
+    def test_empty(self):
+        assert list(interleave()) == []

@@ -1,0 +1,51 @@
+"""Tests for the model-level bandwidth accounting."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.bandwidth import BandwidthUsage, solve_bandwidth
+from repro.units import GB
+
+
+class TestBandwidthUsage:
+    def test_total(self):
+        usage = BandwidthUsage("q", 10.0, 5.0)
+        assert usage.total == 15.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            BandwidthUsage("q", -1.0, 0.0)
+
+
+class TestSolveBandwidth:
+    def test_unsaturated(self):
+        solution = solve_bandwidth(
+            [BandwidthUsage("a", 10 * GB, 0),
+             BandwidthUsage("b", 0, 20 * GB)],
+            64 * GB,
+        )
+        assert not solution.saturated
+        assert solution.slowdowns == {"a": 1.0, "b": 1.0}
+
+    def test_saturated_equal_split(self):
+        solution = solve_bandwidth(
+            [BandwidthUsage("a", 100 * GB, 0),
+             BandwidthUsage("b", 100 * GB, 0)],
+            64 * GB,
+        )
+        assert solution.saturated
+        assert solution.grants["a"] == pytest.approx(32 * GB)
+        assert solution.slowdowns["a"] == pytest.approx(100 / 32)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError):
+            solve_bandwidth(
+                [BandwidthUsage("a", 1, 0), BandwidthUsage("a", 1, 0)],
+                64 * GB,
+            )
+
+    def test_total_demand_reported(self):
+        solution = solve_bandwidth(
+            [BandwidthUsage("a", 1 * GB, 2 * GB)], 64 * GB
+        )
+        assert solution.total_demand == pytest.approx(3 * GB)

@@ -1,0 +1,64 @@
+"""Tests for the model calibration constants."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.units import MiB
+
+
+class TestPaperDerivedSizes:
+    def test_dictionary_sizes_match_paper(self):
+        # Sec. IV-B: 10^6 distinct INTs -> ~4 MiB; 10^7 -> 40 MiB;
+        # 10^8 -> 400 MiB.
+        cal = DEFAULT_CALIBRATION
+        assert cal.dictionary_bytes(10**6) == pytest.approx(
+            4 * MiB, rel=0.05
+        )
+        assert cal.dictionary_bytes(10**7) == pytest.approx(
+            40 * MiB, rel=0.05
+        )
+        assert cal.dictionary_bytes(10**8) == pytest.approx(
+            400 * MiB, rel=0.05
+        )
+
+    def test_bit_vector_sizes_match_paper(self):
+        # Sec. IV-C: 10^8 keys -> 12.5 MB bit vector.
+        cal = DEFAULT_CALIBRATION
+        assert cal.bit_vector_bytes(10**8) == 12_500_000
+        assert cal.bit_vector_bytes(10**6) == 125_000
+
+    def test_hash_tables_at_1e5_groups_are_llc_comparable(self, spec):
+        # Sec. IV-B: at 10^5 groups the hash tables occupy ~the LLC.
+        cal = DEFAULT_CALIBRATION
+        size = cal.hash_table_bytes(10**5, workers=22)
+        assert 0.5 * spec.llc.size_bytes <= size <= 1.5 * spec.llc.size_bytes
+
+    def test_hash_tables_at_1e4_groups_fit_l2(self, spec):
+        # Sec. VI-B: up to 10^4 groups the tables mostly fit in L2.
+        cal = DEFAULT_CALIBRATION
+        per_worker = cal.hash_table_bytes(10**4, workers=22) / 23
+        assert per_worker <= 2 * spec.l2.size_bytes
+
+
+class TestValidation:
+    def test_rejects_nonpositive_entries(self):
+        with pytest.raises(ModelError):
+            Calibration(dict_entry_bytes=0)
+
+    def test_rejects_smt_below_one(self):
+        with pytest.raises(ModelError):
+            Calibration(smt_compute_factor=0.9)
+
+    def test_rejects_bad_stream_hit_fraction(self):
+        with pytest.raises(ModelError):
+            Calibration(stream_llc_hit_fraction=1.0)
+
+    def test_helper_validation(self):
+        cal = DEFAULT_CALIBRATION
+        with pytest.raises(ModelError):
+            cal.dictionary_bytes(0)
+        with pytest.raises(ModelError):
+            cal.hash_table_bytes(0, 1)
+        with pytest.raises(ModelError):
+            cal.bit_vector_bytes(-5)

@@ -1,0 +1,102 @@
+"""Tests for the latency model."""
+
+import pytest
+
+from repro.config import SystemSpec
+from repro.errors import ModelError
+from repro.model.latency import LatencyModel
+
+
+@pytest.fixture
+def latency(spec) -> LatencyModel:
+    return LatencyModel(spec)
+
+
+class TestDramCycles:
+    def test_paper_latency_in_cycles(self, latency):
+        # 80 ns at 2.2 GHz = 176 cycles.
+        assert latency.dram_cycles == pytest.approx(176.0)
+
+
+class TestRandomAccess:
+    def test_all_l2_hits_cheapest(self, latency):
+        cycles = latency.random_access_cycles(1.0, 0.0, mlp=1.0)
+        assert cycles == pytest.approx(latency.l2_cycles)
+
+    def test_all_llc_hits(self, latency):
+        cycles = latency.random_access_cycles(0.0, 1.0, mlp=1.0)
+        assert cycles == pytest.approx(latency.llc_cycles)
+
+    def test_all_dram(self, latency):
+        cycles = latency.random_access_cycles(0.0, 0.0, mlp=1.0)
+        assert cycles == pytest.approx(176.0)
+
+    def test_mlp_divides_stall(self, latency):
+        single = latency.random_access_cycles(0.0, 0.0, mlp=1.0)
+        overlapped = latency.random_access_cycles(0.0, 0.0, mlp=4.0)
+        assert overlapped == pytest.approx(single / 4)
+
+    def test_bandwidth_slowdown_inflates_dram(self, latency):
+        base = latency.random_access_cycles(0.0, 0.0, mlp=1.0)
+        congested = latency.random_access_cycles(
+            0.0, 0.0, mlp=1.0, dram_slowdown=2.0
+        )
+        assert congested == pytest.approx(2 * base)
+
+    def test_monotone_in_hit_ratio(self, latency):
+        costs = [
+            latency.random_access_cycles(0.0, h, mlp=4.0)
+            for h in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    @pytest.mark.parametrize("bad", [
+        {"l2_hit_fraction": -0.1}, {"l2_hit_fraction": 1.1},
+        {"llc_hit_ratio": 2.0}, {"mlp": 0.5}, {"dram_slowdown": 0.9},
+    ])
+    def test_validation(self, latency, bad):
+        kwargs = dict(l2_hit_fraction=0.5, llc_hit_ratio=0.5, mlp=4.0,
+                      dram_slowdown=1.0)
+        kwargs.update(bad)
+        with pytest.raises(ModelError):
+            latency.random_access_cycles(**kwargs)
+
+
+class TestStreaming:
+    def test_two_ways_keep_prefetching(self, latency):
+        assert not latency.streaming_latency_bound(2)
+        assert latency.streaming_cycles_per_line(2) == 0.0
+
+    def test_single_way_defeats_prefetcher(self, latency):
+        # Paper Sec. V-B: the 0x1 mask degrades even the scan severely.
+        assert latency.streaming_latency_bound(1)
+        assert latency.streaming_cycles_per_line(1) > 0
+
+    def test_invalid_way_count(self, latency):
+        with pytest.raises(ModelError):
+            latency.streaming_latency_bound(0)
+
+
+class TestL2Fraction:
+    def test_tiny_shared_structure_resident(self, latency, spec):
+        assert latency.l2_hit_fraction(1024, shared=True, workers=22) == 1.0
+
+    def test_large_shared_structure(self, latency, spec):
+        fraction = latency.l2_hit_fraction(
+            40 * 1024 * 1024, shared=True, workers=22
+        )
+        assert fraction == pytest.approx(
+            spec.l2.size_bytes / (40 * 1024 * 1024)
+        )
+
+    def test_thread_local_split_across_workers(self, latency, spec):
+        total = 22 * spec.l2.size_bytes  # exactly fills all L2s
+        fraction = latency.l2_hit_fraction(total, shared=False,
+                                           workers=22)
+        assert fraction == pytest.approx(1.0)
+
+    def test_validation(self, latency):
+        with pytest.raises(ModelError):
+            latency.l2_hit_fraction(0, True, 1)
+        with pytest.raises(ModelError):
+            latency.l2_hit_fraction(10, True, 0)

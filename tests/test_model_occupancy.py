@@ -1,0 +1,181 @@
+"""Tests for the Che-approximation occupancy solver."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.model.occupancy import (
+    RegionActor,
+    StreamActor,
+    solve_characteristic_time,
+    solve_segment,
+)
+from repro.model.segments import Segment
+
+
+class TestRegionActor:
+    def test_occupancy_monotone_in_time(self):
+        region = RegionActor("q", "r", working_lines=1000,
+                             access_rate=1e6)
+        times = [1e-6, 1e-4, 1e-2, 1.0]
+        occupancies = [region.occupancy(t) for t in times]
+        assert occupancies == sorted(occupancies)
+
+    def test_occupancy_bounded_by_working_set(self):
+        region = RegionActor("q", "r", working_lines=1000,
+                             access_rate=1e9)
+        assert region.occupancy(math.inf) == 1000
+        assert region.occupancy(10.0) <= 1000
+
+    def test_idle_region_occupies_nothing(self):
+        region = RegionActor("q", "r", working_lines=1000, access_rate=0)
+        assert region.occupancy(1.0) == 0.0
+        assert region.hit_ratio(1.0) == 1.0
+
+    def test_hit_ratio_equals_resident_fraction(self):
+        region = RegionActor("q", "r", working_lines=100, access_rate=1e4)
+        t = 1e-3
+        assert region.hit_ratio(t) == pytest.approx(
+            region.occupancy(t) / 100
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            RegionActor("q", "r", 0, 1.0)
+        with pytest.raises(ModelError):
+            RegionActor("q", "r", 1, -1.0)
+
+
+class TestStreamActor:
+    def test_occupancy_linear_in_time(self):
+        stream = StreamActor("q", "s", insertion_rate=1e6)
+        assert stream.occupancy(1e-3) == pytest.approx(1000)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            StreamActor("q", "s", -1.0)
+
+
+class TestCharacteristicTime:
+    def test_everything_fits_gives_infinite_time(self):
+        regions = [RegionActor("q", "r", 100, 1e6)]
+        t = solve_characteristic_time(regions, [], capacity_lines=1000)
+        assert math.isinf(t)
+
+    def test_stream_forces_finite_time(self):
+        regions = [RegionActor("q", "r", 100, 1e6)]
+        streams = [StreamActor("q", "s", 1e6)]
+        t = solve_characteristic_time(regions, streams,
+                                      capacity_lines=1000)
+        assert math.isfinite(t)
+
+    def test_fill_constraint_satisfied(self):
+        regions = [RegionActor("q", "r", 5000, 1e7)]
+        streams = [StreamActor("q", "s", 1e6)]
+        capacity = 2000.0
+        t = solve_characteristic_time(regions, streams, capacity)
+        total = regions[0].occupancy(t) + streams[0].occupancy(t)
+        assert total == pytest.approx(capacity, rel=1e-3)
+
+    def test_higher_stream_rate_shortens_time(self):
+        """More pollution -> shorter characteristic time -> lower hits.
+
+        This is the paper's cache-pollution mechanism in one assertion.
+        """
+        regions = [RegionActor("q", "dict", 10_000, 1e7)]
+        slow = solve_characteristic_time(
+            regions, [StreamActor("p", "s", 1e6)], 5000
+        )
+        fast = solve_characteristic_time(
+            regions, [StreamActor("p", "s", 1e9)], 5000
+        )
+        assert fast < slow
+        assert regions[0].hit_ratio(fast) < regions[0].hit_ratio(slow)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            solve_characteristic_time([], [], 0)
+
+    def test_idle_cache_time_is_infinite(self):
+        t = solve_characteristic_time([], [], 100)
+        assert math.isinf(t)
+
+
+class TestSolveSegment:
+    def test_small_region_fully_resident(self):
+        segment = Segment(frozenset({"q"}), ways=10)
+        regions = [RegionActor("q", "dict", 100, 1e6)]
+        solution = solve_segment(segment, regions, [], way_lines=1000)
+        assert solution.region_hit_ratios[("q", "dict")] == pytest.approx(
+            1.0
+        )
+
+    def test_oversized_region_partially_resident(self):
+        segment = Segment(frozenset({"q"}), ways=2)
+        regions = [RegionActor("q", "big", 10_000, 1e8)]
+        solution = solve_segment(segment, regions, [], way_lines=1000)
+        hit = solution.region_hit_ratios[("q", "big")]
+        assert hit == pytest.approx(2000 / 10_000, rel=0.05)
+
+    def test_stream_fills_leftover_capacity(self):
+        segment = Segment(frozenset({"q"}), ways=4)
+        regions = [RegionActor("q", "dict", 500, 1e8)]
+        streams = [StreamActor("q", "scan", 1e6)]
+        solution = solve_segment(segment, regions, streams,
+                                 way_lines=1000)
+        stream_occupancy = solution.stream_occupancy_lines[("q", "scan")]
+        region_occupancy = solution.region_occupancy_lines[("q", "dict")]
+        assert stream_occupancy + region_occupancy == pytest.approx(
+            4000, rel=0.01
+        )
+
+
+region_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=1, max_value=1e6),      # working lines
+        st.floats(min_value=0, max_value=1e10),     # access rate
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestOccupancyProperties:
+    @given(regions=region_lists,
+           stream_rate=st.floats(min_value=0, max_value=1e10),
+           capacity=st.floats(min_value=10, max_value=1e6))
+    @settings(max_examples=150, deadline=None)
+    def test_total_occupancy_never_exceeds_capacity(
+        self, regions, stream_rate, capacity
+    ):
+        actors = [
+            RegionActor("q", f"r{i}", lines, rate)
+            for i, (lines, rate) in enumerate(regions)
+        ]
+        streams = (
+            [StreamActor("q", "s", stream_rate)] if stream_rate else []
+        )
+        t = solve_characteristic_time(actors, streams, capacity)
+        if math.isinf(t):
+            total = sum(a.occupancy(t) for a in actors)
+        else:
+            total = sum(a.occupancy(t) for a in actors) + sum(
+                s.occupancy(t) for s in streams
+            )
+        assert total <= capacity * 1.01 or math.isinf(t)
+
+    @given(regions=region_lists,
+           capacity=st.floats(min_value=10, max_value=1e6))
+    @settings(max_examples=150, deadline=None)
+    def test_hit_ratios_in_unit_interval(self, regions, capacity):
+        actors = [
+            RegionActor("q", f"r{i}", lines, rate)
+            for i, (lines, rate) in enumerate(regions)
+        ]
+        streams = [StreamActor("q", "s", 1e7)]
+        t = solve_characteristic_time(actors, streams, capacity)
+        for actor in actors:
+            assert 0.0 <= actor.hit_ratio(t) <= 1.0

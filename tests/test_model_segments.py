@@ -1,0 +1,104 @@
+"""Tests for way-mask segment decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.model.segments import Segment, allowed_ways, decompose_masks
+
+
+class TestPaperSchemes:
+    def test_paper_default_scheme(self):
+        # scan 0x3 + aggregation 0xfffff: 2-way shared + 18-way exclusive.
+        segments = decompose_masks(
+            {"scan": 0x3, "agg": 0xFFFFF}, total_ways=20
+        )
+        assert len(segments) == 2
+        shared = segments[0]
+        exclusive = segments[1]
+        assert shared.members == frozenset({"scan", "agg"})
+        assert shared.ways == 2
+        assert exclusive.members == frozenset({"agg"})
+        assert exclusive.ways == 18
+
+    def test_join_60_scheme(self):
+        # join 0xfff + aggregation 0xfffff: 12 shared + 8 exclusive.
+        segments = decompose_masks(
+            {"join": 0xFFF, "agg": 0xFFFFF}, total_ways=20
+        )
+        assert segments[0].ways == 12
+        assert segments[1].ways == 8
+
+    def test_identical_masks_are_one_segment(self):
+        segments = decompose_masks(
+            {"a": 0xFFFFF, "b": 0xFFFFF}, total_ways=20
+        )
+        assert len(segments) == 1
+        assert segments[0].ways == 20
+
+    def test_disjoint_masks(self):
+        segments = decompose_masks({"a": 0x3, "b": 0xC}, total_ways=4)
+        assert len(segments) == 2
+        assert all(len(seg.members) == 1 for seg in segments)
+
+    def test_uncovered_ways_dropped(self):
+        segments = decompose_masks({"a": 0x3}, total_ways=20)
+        assert sum(seg.ways for seg in segments) == 2
+
+
+class TestValidation:
+    def test_rejects_zero_mask(self):
+        with pytest.raises(ModelError):
+            decompose_masks({"a": 0}, total_ways=4)
+
+    def test_rejects_oversized_mask(self):
+        with pytest.raises(ModelError):
+            decompose_masks({"a": 0x1F}, total_ways=4)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ModelError):
+            decompose_masks({"a": 0x1}, total_ways=0)
+
+    def test_segment_validation(self):
+        with pytest.raises(ModelError):
+            Segment(frozenset({"a"}), 0)
+        with pytest.raises(ModelError):
+            Segment(frozenset(), 1)
+
+    def test_allowed_ways(self):
+        assert allowed_ways({"a": 0xFFF}, "a") == 12
+        with pytest.raises(ModelError):
+            allowed_ways({}, "a")
+
+
+masks_strategy = st.dictionaries(
+    keys=st.sampled_from(["q1", "q2", "q3"]),
+    values=st.integers(min_value=1, max_value=(1 << 20) - 1),
+    min_size=1,
+    max_size=3,
+)
+
+
+class TestProperties:
+    @given(masks=masks_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_segment_ways_partition_covered_ways(self, masks):
+        segments = decompose_masks(masks, total_ways=20)
+        covered = bin(
+            __import__("functools").reduce(
+                lambda a, b: a | b, masks.values(), 0
+            )
+        ).count("1")
+        assert sum(seg.ways for seg in segments) == covered
+
+    @given(masks=masks_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_member_way_count_matches_mask(self, masks):
+        """Each query's mask width equals the sum of its segments' ways."""
+        segments = decompose_masks(masks, total_ways=20)
+        for name, mask in masks.items():
+            total = sum(
+                seg.ways for seg in segments if name in seg.members
+            )
+            assert total == bin(mask).count("1")

@@ -1,0 +1,119 @@
+"""Property-based tests for the workload simulator.
+
+Random workloads must respect the physics the paper's argument rests
+on: restricting a cache never speeds an isolated query up; widening it
+never slows one down; the scan-restriction scheme never regresses a
+co-runner; and delivered DRAM traffic never exceeds the bus.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemSpec
+from repro.model.simulator import QuerySpec, WorkloadSimulator
+from repro.model.streams import AccessProfile, RandomRegion, SequentialStream
+from repro.units import MiB
+
+SPEC = SystemSpec()
+FULL = SPEC.full_mask
+SIM = WorkloadSimulator(SPEC)
+
+
+profiles = st.builds(
+    lambda region_mib, apt, stream_bpt, compute, shared: AccessProfile(
+        name="q",
+        tuples=1e9,
+        compute_cycles_per_tuple=compute,
+        instructions_per_tuple=max(1.0, compute * 2),
+        regions=(
+            RandomRegion("region", region_mib * MiB, apt, shared=shared),
+        ),
+        streams=(SequentialStream("stream", stream_bpt),),
+    ),
+    region_mib=st.floats(min_value=0.5, max_value=500),
+    apt=st.floats(min_value=0.0, max_value=3.0),
+    stream_bpt=st.floats(min_value=0.1, max_value=8.0),
+    compute=st.floats(min_value=0.5, max_value=50.0),
+    shared=st.booleans(),
+)
+
+way_counts = st.integers(min_value=2, max_value=20)
+
+
+class TestIsolatedMonotonicity:
+    @given(profile=profiles, ways=way_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_restriction_never_speeds_up(self, profile, ways):
+        full = SIM.simulate(
+            [QuerySpec("q", profile, SPEC.cores, FULL)]
+        )["q"]
+        restricted = SIM.simulate(
+            [QuerySpec("q", profile, SPEC.cores, (1 << ways) - 1)]
+        )["q"]
+        assert restricted.throughput_tuples_per_s <= (
+            full.throughput_tuples_per_s * 1.01
+        )
+
+    @given(profile=profiles)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_ways(self, profile):
+        rates = []
+        for ways in (2, 8, 14, 20):
+            result = SIM.simulate(
+                [QuerySpec("q", profile, SPEC.cores, (1 << ways) - 1)]
+            )["q"]
+            rates.append(result.throughput_tuples_per_s)
+        for slower, faster in zip(rates, rates[1:]):
+            assert faster >= slower * 0.99
+
+    @given(profile=profiles)
+    @settings(max_examples=40, deadline=None)
+    def test_hit_ratios_valid(self, profile):
+        result = SIM.simulate(
+            [QuerySpec("q", profile, SPEC.cores, FULL)]
+        )["q"]
+        for hit in result.region_hit_ratios.values():
+            assert 0.0 <= hit <= 1.0
+
+    @given(profile=profiles)
+    @settings(max_examples=40, deadline=None)
+    def test_delivered_bandwidth_bounded(self, profile):
+        result = SIM.simulate(
+            [QuerySpec("q", profile, SPEC.cores, FULL)]
+        )["q"]
+        assert result.dram_bytes_per_s <= (
+            SPEC.dram.bandwidth_bytes_per_s * 1.01
+        )
+
+
+class TestPartitioningNeverRegresses:
+    """The paper's headline guarantee, fuzzed: restricting a *pure
+    scan* co-runner to 10 % never hurts either query materially."""
+
+    scan = AccessProfile(
+        "scan", 1e9, 0.5, 2.0, (),
+        (SequentialStream("col", 2.5),),
+    )
+
+    @given(profile=profiles)
+    @settings(max_examples=30, deadline=None)
+    def test_scan_restriction_safe_for_any_corunner(self, profile):
+        workload_off = [
+            QuerySpec("other", profile, SPEC.cores, FULL),
+            QuerySpec("scan", self.scan, SPEC.cores, FULL),
+        ]
+        workload_on = [
+            QuerySpec("other", profile, SPEC.cores, FULL),
+            QuerySpec("scan", self.scan, SPEC.cores, 0x3),
+        ]
+        off = SIM.simulate(workload_off)
+        on = SIM.simulate(workload_on)
+        assert on["other"].throughput_tuples_per_s >= (
+            off["other"].throughput_tuples_per_s * 0.97
+        )
+        assert on["scan"].throughput_tuples_per_s >= (
+            off["scan"].throughput_tuples_per_s * 0.97
+        )

@@ -1,0 +1,123 @@
+"""Tests for access-profile descriptors (repro.model.streams)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.streams import (
+    AccessProfile,
+    RandomRegion,
+    SequentialStream,
+    skewed_regions,
+)
+from repro.units import MiB
+
+
+class TestRandomRegion:
+    def test_valid(self):
+        region = RandomRegion("dict", 4 * MiB, 1.0)
+        assert region.shared is True
+        assert region.software_managed is False
+
+    def test_rejects_empty_region(self):
+        with pytest.raises(ModelError):
+            RandomRegion("dict", 0, 1.0)
+
+    def test_rejects_negative_accesses(self):
+        with pytest.raises(ModelError):
+            RandomRegion("dict", 1, -1.0)
+
+
+class TestSequentialStream:
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ModelError):
+            SequentialStream("s", -0.5)
+
+
+class TestAccessProfile:
+    def _profile(self, **overrides):
+        defaults = dict(
+            name="q",
+            tuples=1e9,
+            compute_cycles_per_tuple=5.0,
+            instructions_per_tuple=10.0,
+            regions=(RandomRegion("dict", 4 * MiB, 1.0),),
+            streams=(SequentialStream("codes", 2.5),),
+        )
+        defaults.update(overrides)
+        return AccessProfile(**defaults)
+
+    def test_stream_bytes_per_tuple(self):
+        profile = self._profile(
+            streams=(SequentialStream("a", 2.5), SequentialStream("b", 1.0))
+        )
+        assert profile.stream_bytes_per_tuple == pytest.approx(3.5)
+
+    def test_region_lookup(self):
+        profile = self._profile()
+        assert profile.region("dict").total_bytes == 4 * MiB
+        with pytest.raises(ModelError):
+            profile.region("nope")
+
+    def test_with_name(self):
+        renamed = self._profile().with_name("other")
+        assert renamed.name == "other"
+        assert renamed.tuples == 1e9
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ModelError):
+            self._profile(
+                regions=(RandomRegion("x", 1, 1.0),),
+                streams=(SequentialStream("x", 1.0),),
+            )
+
+    def test_rejects_zero_tuples(self):
+        with pytest.raises(ModelError):
+            self._profile(tuples=0)
+
+    def test_rejects_mlp_below_one(self):
+        with pytest.raises(ModelError):
+            self._profile(mlp=0.5)
+
+    def test_rejects_zero_instructions(self):
+        with pytest.raises(ModelError):
+            self._profile(instructions_per_tuple=0)
+
+
+class TestSkewedRegions:
+    def test_eighty_twenty_split(self):
+        hot, cold = skewed_regions("dict", 100 * MiB, 2.0)
+        assert hot.total_bytes == pytest.approx(20 * MiB)
+        assert hot.accesses_per_tuple == pytest.approx(1.6)
+        assert cold.total_bytes == pytest.approx(80 * MiB)
+        assert cold.accesses_per_tuple == pytest.approx(0.4)
+
+    def test_conservation(self):
+        hot, cold = skewed_regions("d", 64.0, 3.0, hot_fraction=0.1,
+                                   hot_access_share=0.9)
+        assert hot.total_bytes + cold.total_bytes == pytest.approx(64.0)
+        assert (
+            hot.accesses_per_tuple + cold.accesses_per_tuple
+        ) == pytest.approx(3.0)
+
+    def test_names_distinct(self):
+        hot, cold = skewed_regions("dict", 1.0, 1.0)
+        assert hot.name == "dict_hot"
+        assert cold.name == "dict_cold"
+
+    def test_hot_region_is_hotter_per_byte(self):
+        hot, cold = skewed_regions("d", 100.0, 1.0)
+        hot_rate = hot.accesses_per_tuple / hot.total_bytes
+        cold_rate = cold.accesses_per_tuple / cold.total_bytes
+        assert hot_rate > cold_rate
+
+    @pytest.mark.parametrize("kwargs", [
+        {"hot_fraction": 0.0}, {"hot_fraction": 1.0},
+        {"hot_access_share": 0.0}, {"hot_access_share": 1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ModelError):
+            skewed_regions("d", 1.0, 1.0, **kwargs)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ModelError):
+            skewed_regions("d", 0.0, 1.0)

@@ -1,0 +1,129 @@
+"""Tests for the grouped aggregation operator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.operators.aggregate import GroupedAggregation
+from repro.operators.base import CacheUsage
+from repro.storage.table import ColumnTable, Schema, SchemaColumn
+
+
+def make_table(values: np.ndarray, groups: np.ndarray) -> ColumnTable:
+    table = ColumnTable(Schema("B", (SchemaColumn("V"), SchemaColumn("G"))))
+    table.load({"V": values, "G": groups})
+    return table
+
+
+def ground_truth(values, groups, function):
+    truth = {}
+    for value, group in zip(values, groups):
+        if group not in truth:
+            truth[group] = [value]
+        else:
+            truth[group].append(value)
+    reducers = {"MAX": max, "MIN": min, "SUM": sum,
+                "COUNT": len}
+    return {g: reducers[function](vs) for g, vs in truth.items()}
+
+
+class TestExecution:
+    @pytest.mark.parametrize("function", ["MAX", "MIN", "SUM", "COUNT"])
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_matches_ground_truth(self, rng, function, workers):
+        values = rng.integers(1, 500, size=5000)
+        groups = rng.integers(1, 40, size=5000)
+        table = make_table(values, groups)
+        result = GroupedAggregation(
+            table, "V", "G", function, workers=workers
+        ).execute()
+        expected = ground_truth(values, groups, function)
+        assert result.num_groups == len(expected)
+        for group, aggregate in zip(result.groups, result.aggregates):
+            assert aggregate == expected[group]
+
+    def test_worker_count_does_not_change_result(self, rng):
+        values = rng.integers(1, 100, size=2000)
+        groups = rng.integers(1, 10, size=2000)
+        table = make_table(values, groups)
+        results = [
+            GroupedAggregation(table, "V", "G", "SUM", workers=w).execute()
+            for w in (1, 2, 7)
+        ]
+        for result in results[1:]:
+            assert np.array_equal(result.groups, results[0].groups)
+            assert np.array_equal(result.aggregates,
+                                  results[0].aggregates)
+
+    def test_single_group(self, rng):
+        values = rng.integers(1, 100, size=100)
+        table = make_table(values, np.ones(100, dtype=np.int64))
+        result = GroupedAggregation(table, "V", "G", "MAX").execute()
+        assert result.num_groups == 1
+        assert result.aggregates[0] == values.max()
+
+    def test_stats_recorded(self, rng):
+        values = rng.integers(1, 100, size=300)
+        groups = rng.integers(1, 5, size=300)
+        table = make_table(values, groups)
+        operator = GroupedAggregation(table, "V", "G", "MAX")
+        operator.execute()
+        assert operator.stats.rows_processed == 300
+        assert operator.stats.dictionary_accesses == 300
+        assert operator.stats.hash_table_accesses == 300
+
+    def test_unsupported_function(self, rng):
+        table = make_table(np.array([1]), np.array([1]))
+        with pytest.raises(StorageError):
+            GroupedAggregation(table, "V", "G", "MEDIAN")
+
+    def test_invalid_workers(self, rng):
+        table = make_table(np.array([1]), np.array([1]))
+        with pytest.raises(StorageError):
+            GroupedAggregation(table, "V", "G", "MAX", workers=0)
+
+
+class TestClassification:
+    def test_aggregation_is_sensitive(self, rng):
+        table = make_table(np.array([1]), np.array([1]))
+        operator = GroupedAggregation(table, "V", "G", "MAX")
+        assert operator.cache_usage() is CacheUsage.SENSITIVE
+
+
+class TestProfile:
+    def test_paper_region_sizes(self):
+        profile = GroupedAggregation.profile_from_stats(
+            rows=1e9, value_distinct=10**7, group_distinct=10**5,
+            workers=22,
+        )
+        dictionary = profile.region("dictionary")
+        assert dictionary.total_bytes == pytest.approx(40e6, rel=0.1)
+        hash_table = profile.region("hash_table")
+        assert not hash_table.shared  # thread-local
+        # Input stream: 24-bit value codes + 17-bit group codes ~ 5 B.
+        assert 4.0 < profile.stream_bytes_per_tuple < 6.5
+
+
+class TestProperty:
+    @given(
+        rows=st.integers(min_value=1, max_value=300),
+        num_groups=st.integers(min_value=1, max_value=20),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sum_conservation(self, rows, num_groups, data):
+        """The grouped SUMs must add up to the total column sum."""
+        values = np.array(
+            data.draw(st.lists(st.integers(1, 1000), min_size=rows,
+                               max_size=rows))
+        )
+        groups = np.array(
+            data.draw(st.lists(st.integers(1, num_groups),
+                               min_size=rows, max_size=rows))
+        )
+        table = make_table(values, groups)
+        result = GroupedAggregation(table, "V", "G", "SUM",
+                                    workers=3).execute()
+        assert result.aggregates.sum() == values.sum()

@@ -1,0 +1,123 @@
+"""Tests for the foreign-key join operator and its CUID heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemSpec
+from repro.errors import StorageError
+from repro.operators.base import CacheUsage
+from repro.operators.join import ForeignKeyJoin, classify_join
+from repro.storage.datagen import DataGenerator
+from repro.storage.table import ColumnTable, Schema, SchemaColumn
+from repro.units import MiB
+
+
+def make_tables(primary: np.ndarray, foreign: np.ndarray):
+    pk_table = ColumnTable(
+        Schema("R", (SchemaColumn("P", primary_key=True),))
+    )
+    pk_table.load({"P": primary})
+    fk_table = ColumnTable(Schema("S", (SchemaColumn("F"),)))
+    fk_table.load({"F": foreign})
+    return pk_table, fk_table
+
+
+class TestExecution:
+    def test_all_foreign_keys_match(self):
+        primary, foreign = DataGenerator(1).join_tables(500, 3000)
+        pk_table, fk_table = make_tables(primary, foreign)
+        join = ForeignKeyJoin(pk_table, "P", fk_table, "F")
+        result = join.execute()
+        assert result.matches == 3000
+        assert result.probes == 3000
+
+    def test_partial_matches(self):
+        primary = np.arange(1, 101)  # keys 1..100
+        foreign = np.arange(50, 150)  # half match
+        pk_table, fk_table = make_tables(primary, foreign)
+        result = ForeignKeyJoin(pk_table, "P", fk_table, "F").execute()
+        assert result.matches == int(np.isin(foreign, primary).sum())
+
+    def test_sparse_primary_keys(self):
+        primary = np.array([1, 50, 100])
+        foreign = np.array([1, 2, 50, 99, 100, 100])
+        pk_table, fk_table = make_tables(primary, foreign)
+        result = ForeignKeyJoin(pk_table, "P", fk_table, "F").execute()
+        assert result.matches == 4
+
+    def test_build_returns_bit_vector(self):
+        primary = np.array([1, 3, 5])
+        pk_table, fk_table = make_tables(primary, np.array([1]))
+        join = ForeignKeyJoin(pk_table, "P", fk_table, "F")
+        vector = join.build()
+        assert len(vector) == 5
+        assert vector.count() == 3
+
+    def test_bit_vector_bytes(self):
+        primary = np.arange(1, 8001)
+        pk_table, fk_table = make_tables(primary, np.array([1]))
+        join = ForeignKeyJoin(pk_table, "P", fk_table, "F")
+        assert join.bit_vector_bytes == pytest.approx(1000, rel=0.05)
+
+    def test_rejects_nonpositive_keys(self):
+        pk_table = ColumnTable(
+            Schema("R", (SchemaColumn("P", primary_key=True),))
+        )
+        pk_table.load({"P": np.array([0, 1])})
+        fk_table = ColumnTable(Schema("S", (SchemaColumn("F"),)))
+        fk_table.load({"F": np.array([1])})
+        join = ForeignKeyJoin(pk_table, "P", fk_table, "F")
+        with pytest.raises(StorageError):
+            join.build()
+
+
+class TestHeuristic:
+    """The paper's Sec. V-B classification by bit-vector size."""
+
+    def test_l2_resident_vector_is_polluting(self, spec):
+        # 10^6 keys -> 125 KB, far below aggregate L2 (5.5 MiB).
+        assert classify_join(125_000, spec) is CacheUsage.POLLUTING
+
+    def test_llc_comparable_vector_is_sensitive(self, spec):
+        # 10^8 keys -> 12.5 MB, comparable to the 55 MiB LLC.
+        assert classify_join(12_500_000, spec) is CacheUsage.SENSITIVE
+
+    def test_oversized_vector_is_polluting(self, spec):
+        # 10^9 keys -> 125 MB >> LLC: compulsory misses.
+        assert classify_join(125_000_000, spec) is CacheUsage.POLLUTING
+
+    def test_boundary_at_l2(self, spec):
+        assert classify_join(
+            spec.l2_total_bytes, spec
+        ) is CacheUsage.POLLUTING
+        assert classify_join(
+            spec.l2_total_bytes + 1, spec
+        ) is CacheUsage.SENSITIVE
+
+    def test_invalid_size(self, spec):
+        with pytest.raises(StorageError):
+            classify_join(0, spec)
+
+    def test_operator_reports_adaptive(self):
+        primary = np.arange(1, 10)
+        pk_table, fk_table = make_tables(primary, np.array([1]))
+        join = ForeignKeyJoin(pk_table, "P", fk_table, "F")
+        assert join.cache_usage() is CacheUsage.ADAPTIVE
+        assert join.resolve_usage() is CacheUsage.POLLUTING
+
+
+class TestProfile:
+    def test_bit_vector_region_is_software_managed(self):
+        profile = ForeignKeyJoin.profile_from_stats(
+            pk_rows=1e8, fk_rows=1e9, workers=22
+        )
+        vector = profile.region("bit_vector")
+        assert vector.software_managed
+        assert vector.total_bytes == pytest.approx(12.5e6, rel=0.01)
+
+    def test_fk_stream_width(self):
+        # 10^9 foreign keys referencing 10^9 primary keys: 30-bit codes.
+        profile = ForeignKeyJoin.profile_from_stats(1e9, 1e9, 22)
+        assert profile.stream_bytes_per_tuple == pytest.approx(
+            30 / 8, rel=0.01
+        )

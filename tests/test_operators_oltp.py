@@ -1,0 +1,113 @@
+"""Tests for projection, index lookup and the OLTP point select."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.operators.base import CacheUsage
+from repro.operators.index_lookup import IndexLookup
+from repro.operators.point_select import PointSelect
+from repro.operators.project import DictProjection
+from repro.storage.table import ColumnTable, Schema, SchemaColumn
+
+
+@pytest.fixture
+def wide_table(rng):
+    schema = Schema("T", (
+        SchemaColumn("K1"), SchemaColumn("K2"),
+        SchemaColumn("C1"), SchemaColumn("C2"), SchemaColumn("C3"),
+    ))
+    table = ColumnTable(schema)
+    data = {
+        "K1": rng.integers(1, 500, size=2000),
+        "K2": rng.integers(1, 20, size=2000),
+        "C1": rng.integers(1, 1000, size=2000),
+        "C2": rng.integers(1, 50, size=2000),
+        "C3": rng.integers(1, 5, size=2000),
+    }
+    table.load(data)
+    return table, data
+
+
+class TestProjection:
+    def test_projects_selected_rows(self, wide_table):
+        table, data = wide_table
+        rows = np.array([0, 5, 1999])
+        result = DictProjection(table, ["C1", "C3"], rows).execute()
+        assert set(result) == {"C1", "C3"}
+        assert np.array_equal(result["C1"], data["C1"][rows])
+        assert np.array_equal(result["C3"], data["C3"][rows])
+
+    def test_empty_rows(self, wide_table):
+        table, _ = wide_table
+        result = DictProjection(table, ["C1"], np.array([],
+                                dtype=np.int64)).execute()
+        assert result["C1"].size == 0
+
+    def test_requires_columns(self, wide_table):
+        table, _ = wide_table
+        with pytest.raises(StorageError):
+            DictProjection(table, [], np.array([0]))
+
+    def test_profile_has_one_region_per_column(self, wide_table):
+        table, _ = wide_table
+        projection = DictProjection(table, ["C1", "C2"], np.array([0]))
+        profile = projection.access_profile(4)
+        assert len(profile.regions) == 2
+        assert projection.cache_usage() is CacheUsage.SENSITIVE
+
+
+class TestIndexLookup:
+    def test_single_predicate(self, wide_table):
+        table, data = wide_table
+        value = int(data["K1"][7])
+        rows = IndexLookup(table, {"K1": value}).execute()
+        assert np.array_equal(rows, np.nonzero(data["K1"] == value)[0])
+
+    def test_conjunction_intersects(self, wide_table):
+        table, data = wide_table
+        k1, k2 = int(data["K1"][3]), int(data["K2"][3])
+        rows = IndexLookup(table, {"K1": k1, "K2": k2}).execute()
+        expected = np.nonzero((data["K1"] == k1) & (data["K2"] == k2))[0]
+        assert np.array_equal(rows, expected)
+
+    def test_builds_missing_indexes(self, wide_table):
+        table, data = wide_table
+        assert not table.has_index("K1")
+        IndexLookup(table, {"K1": 1})
+        assert table.has_index("K1")
+
+    def test_requires_predicates(self, wide_table):
+        table, _ = wide_table
+        with pytest.raises(StorageError):
+            IndexLookup(table, {})
+
+
+class TestPointSelect:
+    def test_end_to_end(self, wide_table):
+        table, data = wide_table
+        k1 = int(data["K1"][42])
+        select = PointSelect(table, ["C1", "C2"], {"K1": k1})
+        result = select.execute()
+        expected_rows = np.nonzero(data["K1"] == k1)[0]
+        assert np.array_equal(result["C1"], data["C1"][expected_rows])
+        assert select.stats.rows_processed == expected_rows.size
+
+    def test_is_cache_sensitive(self, wide_table):
+        table, _ = wide_table
+        select = PointSelect(table, ["C1"], {"K1": 1})
+        assert select.cache_usage() is CacheUsage.SENSITIVE
+
+    def test_profile_regions(self, wide_table):
+        table, _ = wide_table
+        select = PointSelect(table, ["C1", "C2"], {"K1": 1, "K2": 1})
+        profile = select.access_profile(4)
+        region_names = {region.name for region in profile.regions}
+        assert "index_K1" in region_names
+        assert "dict_C1" in region_names
+        assert profile.tuples == 1.0
+
+    def test_requires_projection(self, wide_table):
+        table, _ = wide_table
+        with pytest.raises(StorageError):
+            PointSelect(table, [], {"K1": 1})

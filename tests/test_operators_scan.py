@@ -1,0 +1,94 @@
+"""Tests for the column scan operator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.operators.base import CacheUsage
+from repro.operators.scan import ColumnScan
+from repro.storage.datagen import DataGenerator
+from repro.storage.table import ColumnTable, Schema, SchemaColumn
+
+
+def make_table(values: np.ndarray) -> ColumnTable:
+    table = ColumnTable(Schema("A", (SchemaColumn("X"),)))
+    table.load({"X": values})
+    return table
+
+
+class TestExecution:
+    @pytest.mark.parametrize("op,expected_fn", [
+        (">", lambda x, b: x > b),
+        (">=", lambda x, b: x >= b),
+        ("<", lambda x, b: x < b),
+        ("<=", lambda x, b: x <= b),
+        ("=", lambda x, b: x == b),
+    ])
+    def test_counts_match_numpy(self, rng, op, expected_fn):
+        values = rng.integers(1, 1000, size=20_000)
+        table = make_table(values)
+        scan = ColumnScan(table, "X", op, 500)
+        result = scan.execute()
+        assert result.matches == int(expected_fn(values, 500).sum())
+        assert result.rows_scanned == 20_000
+
+    def test_bound_outside_domain(self, rng):
+        values = rng.integers(1, 100, size=1000)
+        table = make_table(values)
+        assert ColumnScan(table, "X", ">", 1000).execute().matches == 0
+        assert ColumnScan(table, "X", ">", 0).execute().matches == 1000
+
+    def test_matching_rows(self, rng):
+        values = rng.integers(1, 50, size=500)
+        table = make_table(values)
+        rows = ColumnScan(table, "X", ">", 25).matching_rows()
+        assert np.array_equal(rows, np.nonzero(values > 25)[0])
+
+    def test_selectivity(self, rng):
+        values = np.arange(1, 101)
+        table = make_table(values)
+        result = ColumnScan(table, "X", ">", 50).execute()
+        assert result.selectivity == pytest.approx(0.5)
+
+    def test_unsupported_operator(self, rng):
+        table = make_table(np.array([1, 2]))
+        with pytest.raises(StorageError):
+            ColumnScan(table, "X", "!=", 1)
+
+
+class TestClassification:
+    def test_scan_is_polluting(self, rng):
+        table = make_table(np.array([1, 2, 3]))
+        assert ColumnScan(table, "X", ">", 1).cache_usage() is (
+            CacheUsage.POLLUTING
+        )
+
+
+class TestProfile:
+    def test_paper_stream_width(self):
+        # 10^9 rows, 10^6 distinct -> 20 bits -> 2.5 B/tuple.
+        profile = ColumnScan.profile_from_stats(1e9, 10**6)
+        assert profile.stream_bytes_per_tuple == pytest.approx(
+            2.5, rel=0.01
+        )
+        assert not profile.regions  # no dictionary access during scan
+
+    def test_profile_from_instance(self, rng):
+        table = make_table(rng.integers(1, 100, size=1000))
+        profile = ColumnScan(table, "X", ">", 10).access_profile(4)
+        assert profile.tuples == 1000
+
+
+class TestAgainstGroundTruthProperty:
+    @given(
+        values=st.lists(st.integers(1, 1000), min_size=1, max_size=500),
+        bound=st.integers(0, 1001),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_count_matches_for_any_data(self, values, bound):
+        array = np.array(values)
+        table = make_table(array)
+        result = ColumnScan(table, "X", ">", bound).execute()
+        assert result.matches == int((array > bound).sum())

@@ -1,0 +1,117 @@
+"""Tests for the sort-based aggregation comparator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.operators.aggregate import GroupedAggregation
+from repro.operators.base import CacheUsage
+from repro.operators.sort_aggregate import SortAggregation
+from repro.storage.table import ColumnTable, Schema, SchemaColumn
+
+
+def make_table(values: np.ndarray, groups: np.ndarray) -> ColumnTable:
+    table = ColumnTable(Schema("B", (SchemaColumn("V"),
+                                     SchemaColumn("G"))))
+    table.load({"V": values, "G": groups})
+    return table
+
+
+class TestExecution:
+    @pytest.mark.parametrize("function", ["MAX", "MIN", "SUM", "COUNT"])
+    def test_matches_hash_aggregation(self, rng, function):
+        """Sort- and hash-based aggregation must agree exactly."""
+        values = rng.integers(1, 300, size=3000)
+        groups = rng.integers(1, 25, size=3000)
+        table = make_table(values, groups)
+        sort_result = SortAggregation(table, "V", "G",
+                                      function).execute()
+        hash_result = GroupedAggregation(table, "V", "G", function,
+                                         workers=3).execute()
+        assert np.array_equal(sort_result.groups, hash_result.groups)
+        assert np.array_equal(sort_result.aggregates,
+                              hash_result.aggregates)
+
+    def test_single_group(self, rng):
+        values = rng.integers(1, 100, size=50)
+        table = make_table(values, np.full(50, 7))
+        result = SortAggregation(table, "V", "G", "SUM").execute()
+        assert result.num_groups == 1
+        assert result.aggregates[0] == values.sum()
+
+    def test_unsupported_function(self, rng):
+        table = make_table(np.array([1]), np.array([1]))
+        with pytest.raises(StorageError):
+            SortAggregation(table, "V", "G", "AVG2")
+
+
+class TestClassification:
+    def test_sort_aggregation_is_polluting(self, rng):
+        table = make_table(np.array([1]), np.array([1]))
+        operator = SortAggregation(table, "V", "G")
+        assert operator.cache_usage() is CacheUsage.POLLUTING
+
+
+class TestProfile:
+    def test_merge_passes_grow_with_rows(self):
+        small = SortAggregation.merge_passes(1e6, workers=22)
+        large = SortAggregation.merge_passes(1e10, workers=22)
+        assert large >= small >= 1
+
+    def test_profile_streams_more_than_hash(self):
+        sort_profile = SortAggregation.profile_from_stats(
+            1e9, 10**7, 10**5, workers=22
+        )
+        hash_profile = GroupedAggregation.profile_from_stats(
+            1e9, 10**7, 10**5, workers=22
+        )
+        assert (
+            sort_profile.stream_bytes_per_tuple
+            > hash_profile.stream_bytes_per_tuple
+        )
+
+    def test_profile_has_no_hash_table(self):
+        profile = SortAggregation.profile_from_stats(
+            1e9, 10**7, 10**5, workers=22
+        )
+        names = {region.name for region in profile.regions}
+        assert "hash_table" not in names
+        assert "run_buffers" in names
+
+
+class TestExtensionExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_sort_vs_hash
+        return ext_sort_vs_hash.run()
+
+    def test_sort_more_pollution_robust(self, result):
+        from repro.experiments.ext_sort_vs_hash import throughputs
+        table = throughputs(result)
+        hash_drop = table[("hash_agg", "with_scan")] / table[
+            ("hash_agg", "isolated")
+        ]
+        sort_drop = table[("sort_agg", "with_scan")] / table[
+            ("sort_agg", "isolated")
+        ]
+        assert sort_drop > hash_drop + 0.05
+
+    def test_partitioning_restores_parity(self, result):
+        from repro.experiments.ext_sort_vs_hash import throughputs
+        table = throughputs(result)
+        iso_ratio = table[("hash_agg", "isolated")] / table[
+            ("sort_agg", "isolated")
+        ]
+        part_ratio = table[
+            ("hash_agg", "with_scan_partitioned")
+        ] / table[("sort_agg", "with_scan_partitioned")]
+        assert part_ratio == pytest.approx(iso_ratio, abs=0.15)
+
+    def test_partitioning_helps_both(self, result):
+        from repro.experiments.ext_sort_vs_hash import throughputs
+        table = throughputs(result)
+        for algorithm in ("hash_agg", "sort_agg"):
+            assert (
+                table[(algorithm, "with_scan_partitioned")]
+                > table[(algorithm, "with_scan")]
+            )

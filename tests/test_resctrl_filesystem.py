@@ -1,0 +1,125 @@
+"""Tests for the emulated resctrl filesystem."""
+
+import pytest
+
+from repro.errors import ResctrlError
+from repro.hardware.cat import CatController
+from repro.resctrl.filesystem import ROOT_GROUP, ResctrlFilesystem
+
+
+@pytest.fixture
+def fs(spec) -> ResctrlFilesystem:
+    return ResctrlFilesystem(CatController(spec))
+
+
+class TestGroups:
+    def test_root_group_exists(self, fs):
+        assert ROOT_GROUP in fs.groups()
+
+    def test_mkdir_creates_group_with_full_mask(self, fs):
+        fs.mkdir("scans")
+        assert fs.read_schemata("scans") == "L3:0=fffff"
+
+    def test_mkdir_duplicate_rejected(self, fs):
+        fs.mkdir("g")
+        with pytest.raises(ResctrlError):
+            fs.mkdir("g")
+
+    def test_mkdir_invalid_name(self, fs):
+        with pytest.raises(ResctrlError):
+            fs.mkdir("a/b")
+        with pytest.raises(ResctrlError):
+            fs.mkdir("")
+
+    def test_clos_exhaustion(self, fs, spec):
+        for index in range(spec.cat_classes - 1):  # CLOS 0 is the root
+            fs.mkdir(f"g{index}")
+        with pytest.raises(ResctrlError):
+            fs.mkdir("too_many")
+
+    def test_rmdir_frees_clos(self, fs, spec):
+        for index in range(spec.cat_classes - 1):
+            fs.mkdir(f"g{index}")
+        fs.rmdir("g0")
+        fs.mkdir("replacement")  # reuses the freed CLOS
+
+    def test_rmdir_root_rejected(self, fs):
+        with pytest.raises(ResctrlError):
+            fs.rmdir(ROOT_GROUP)
+
+    def test_rmdir_moves_tasks_to_root(self, fs):
+        fs.mkdir("g")
+        fs.write_tasks("g", 1234)
+        fs.rmdir("g")
+        assert fs.group_of_task(1234) == ROOT_GROUP
+
+
+class TestSchemata:
+    def test_write_schemata_programs_cat(self, fs):
+        group = fs.mkdir("scans")
+        fs.write_schemata("scans", "L3:0=3")
+        assert fs.cat.clos_mask(group.clos) == 0x3
+
+    def test_kernel_validates_contiguity(self, fs):
+        fs.mkdir("g")
+        with pytest.raises(ResctrlError):
+            fs.write_schemata("g", "L3:0=5")
+
+    def test_rejects_wrong_domain(self, fs):
+        fs.mkdir("g")
+        with pytest.raises(ResctrlError):
+            fs.write_schemata("g", "L3:1=f")
+
+    def test_unknown_group(self, fs):
+        with pytest.raises(ResctrlError):
+            fs.write_schemata("nope", "L3:0=f")
+
+
+class TestTasks:
+    def test_task_moves_between_groups(self, fs):
+        fs.mkdir("a")
+        fs.mkdir("b")
+        fs.write_tasks("a", 42)
+        assert fs.group_of_task(42) == "a"
+        fs.write_tasks("b", 42)
+        assert fs.group_of_task(42) == "b"
+        assert 42 not in fs.read_tasks("a")
+        assert 42 in fs.read_tasks("b")
+
+    def test_unknown_task_is_in_root(self, fs):
+        assert fs.group_of_task(999) == ROOT_GROUP
+
+    def test_negative_tid_rejected(self, fs):
+        fs.mkdir("g")
+        with pytest.raises(ResctrlError):
+            fs.write_tasks("g", -1)
+
+
+class TestCpus:
+    def test_write_and_read_cpus(self, fs):
+        fs.mkdir("g")
+        fs.write_cpus("g", {0, 1})
+        assert fs.read_cpus("g") == {0, 1}
+
+    def test_rejects_unknown_cpu(self, fs, spec):
+        fs.mkdir("g")
+        with pytest.raises(ResctrlError):
+            fs.write_cpus("g", {spec.cores})
+
+
+class TestContextSwitchHook:
+    def test_switch_programs_core_clos(self, fs):
+        group = fs.mkdir("scans")
+        fs.write_schemata("scans", "L3:0=3")
+        fs.write_tasks("scans", 1234)
+        fs.on_context_switch(core=3, tid=1234)
+        assert fs.cat.core_clos(3) == group.clos
+        assert fs.cat.core_mask(3) == 0x3
+
+    def test_switch_to_root_task_restores_clos0(self, fs):
+        fs.mkdir("scans")
+        fs.write_schemata("scans", "L3:0=3")
+        fs.write_tasks("scans", 1)
+        fs.on_context_switch(0, 1)
+        fs.on_context_switch(0, 2)  # task 2 is in the root group
+        assert fs.cat.core_clos(0) == 0

@@ -1,0 +1,74 @@
+"""Tests for the high-level resctrl interface."""
+
+import pytest
+
+from repro.errors import ResctrlError
+from repro.hardware.cat import CatController
+from repro.resctrl.filesystem import ROOT_GROUP, ResctrlFilesystem
+from repro.resctrl.interface import ResctrlInterface
+
+
+@pytest.fixture
+def interface(spec) -> ResctrlInterface:
+    return ResctrlInterface(ResctrlFilesystem(CatController(spec)))
+
+
+class TestGroupForMask:
+    def test_full_mask_is_root(self, interface, spec):
+        assert interface.group_for_mask(spec.full_mask) == ROOT_GROUP
+        assert interface.stats.group_creations == 0
+
+    def test_new_mask_creates_group_once(self, interface):
+        first = interface.group_for_mask(0x3)
+        second = interface.group_for_mask(0x3)
+        assert first == second
+        assert interface.stats.group_creations == 1
+        assert interface.stats.schemata_writes == 1
+
+    def test_distinct_masks_distinct_groups(self, interface):
+        assert interface.group_for_mask(0x3) != interface.group_for_mask(
+            0xFFF
+        )
+
+
+class TestAssignThread:
+    def test_assignment_effective(self, interface):
+        interface.assign_thread(101, 0x3)
+        assert interface.thread_mask(101) == 0x3
+        assert interface.stats.task_moves == 1
+
+    def test_unassigned_thread_has_full_mask(self, interface, spec):
+        assert interface.thread_mask(555) == spec.full_mask
+
+    def test_syscall_cost_accumulates(self, spec):
+        fs = ResctrlFilesystem(CatController(spec))
+        interface = ResctrlInterface(fs, syscall_seconds=100e-6)
+        interface.assign_thread(1, 0x3)
+        # group creation + schemata write + task move = 3 syscalls.
+        assert interface.stats.total_calls == 3
+        assert interface.stats.total_seconds == pytest.approx(300e-6)
+
+    def test_paper_overhead_bound(self, interface):
+        """Paper Sec. V-C: a bitmask association costs < 100 us."""
+        interface.group_for_mask(0x3)  # pre-create the group
+        before = interface.stats.total_seconds
+        interface.assign_thread(7, 0x3)
+        assert interface.stats.total_seconds - before < 100e-6
+
+    def test_negative_cost_rejected(self, spec):
+        fs = ResctrlFilesystem(CatController(spec))
+        with pytest.raises(ResctrlError):
+            ResctrlInterface(fs, syscall_seconds=-1)
+
+
+class TestReset:
+    def test_reset_removes_groups(self, interface):
+        interface.assign_thread(1, 0x3)
+        interface.reset()
+        assert interface.filesystem.groups() == [ROOT_GROUP]
+        assert interface.stats.total_calls == 0
+
+    def test_reset_returns_threads_to_root(self, interface, spec):
+        interface.assign_thread(1, 0x3)
+        interface.reset()
+        assert interface.thread_mask(1) == spec.full_mask

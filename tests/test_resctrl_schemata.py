@@ -1,0 +1,64 @@
+"""Tests for resctrl schemata parsing/formatting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ResctrlError
+from repro.resctrl.schemata import format_schemata, parse_schemata
+
+
+class TestParse:
+    def test_full_mask(self):
+        assert parse_schemata("L3:0=fffff") == {0: 0xFFFFF}
+
+    def test_paper_scan_mask(self):
+        assert parse_schemata("L3:0=3") == {0: 0x3}
+
+    def test_multiple_domains(self):
+        assert parse_schemata("L3:0=3;1=ff") == {0: 0x3, 1: 0xFF}
+
+    def test_whitespace_tolerated(self):
+        assert parse_schemata("  L3:0=f  ") == {0: 0xF}
+
+    def test_lowercase_l3(self):
+        assert parse_schemata("l3:0=f") == {0: 0xF}
+
+    @pytest.mark.parametrize("bad", [
+        "", "L3:", "MB:0=10", "L3:0", "L3:x=f", "L3:0=zz",
+        "L3:0=0", "L3:-1=f", "L3:0=f;0=3",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ResctrlError):
+            parse_schemata(bad)
+
+
+class TestFormat:
+    def test_format_full(self):
+        assert format_schemata({0: 0xFFFFF}) == "L3:0=fffff"
+
+    def test_format_sorted_domains(self):
+        assert format_schemata({1: 0xF, 0: 0x3}) == "L3:0=3;1=f"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ResctrlError):
+            format_schemata({})
+
+    def test_rejects_zero_mask(self):
+        with pytest.raises(ResctrlError):
+            format_schemata({0: 0})
+
+
+masks = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=7),
+    values=st.integers(min_value=1, max_value=(1 << 20) - 1),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestRoundTrip:
+    @given(masks=masks)
+    @settings(max_examples=200, deadline=None)
+    def test_format_parse_roundtrip(self, masks):
+        assert parse_schemata(format_schemata(masks)) == masks

@@ -1,0 +1,66 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlParseError
+from repro.sql.lexer import Token, tokenize
+
+
+class TestTokenKinds:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From")
+        assert tokens[0] == Token("keyword", "SELECT", 0)
+        assert tokens[1].value == "FROM"
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("MyTable my_col")
+        assert tokens[0] == Token("ident", "MyTable", 0)
+        assert tokens[1].value == "my_col"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].kind == "number"
+        assert tokens[0].value == "42"
+        assert tokens[1].value == "3.14"
+
+    def test_parameter(self):
+        tokens = tokenize("x > ?")
+        assert tokens[2].kind == "param"
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a >= b <= c <> d")
+        ops = [t.value for t in tokens if t.kind == "op"]
+        assert ops == [">=", "<=", "<>"]
+
+    def test_symbols(self):
+        tokens = tokenize("( ) , * . ;")
+        assert [t.value for t in tokens] == ["(", ")", ",", "*", ".", ";"]
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        tokens = tokenize("-- Query 1: Column Scan\nSELECT")
+        assert len(tokens) == 1
+        assert tokens[0].value == "SELECT"
+
+    def test_comment_at_end(self):
+        assert tokenize("SELECT -- trailing")[0].value == "SELECT"
+
+
+class TestPaperQueries:
+    """The exact SQL of paper Fig. 2 must tokenize."""
+
+    @pytest.mark.parametrize("sql", [
+        "SELECT COUNT(*) FROM A WHERE A.X > ?;",
+        "SELECT MAX(B.V), B.G FROM B GROUP BY B.G;",
+        "SELECT COUNT(*) FROM R, S WHERE R.P = S.F;",
+        "CREATE COLUMN TABLE A( X INT );",
+        "CREATE COLUMN TABLE R( P INT, PRIMARY KEY(P));",
+    ])
+    def test_tokenizes(self, sql):
+        tokens = tokenize(sql)
+        assert tokens  # non-empty and no exception
+
+    def test_invalid_character(self):
+        with pytest.raises(SqlParseError):
+            tokenize("SELECT @")

@@ -1,0 +1,118 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlParseError
+from repro.sql.ast import (
+    Aggregate,
+    ColumnRef,
+    Comparison,
+    CountStar,
+    CreateTable,
+    Literal,
+    Parameter,
+    Select,
+)
+from repro.sql.parser import parse
+
+
+class TestPaperQueries:
+    def test_query1(self):
+        statement = parse("SELECT COUNT(*) FROM A WHERE A.X > ?;")
+        assert isinstance(statement, Select)
+        assert statement.items == (CountStar(),)
+        assert statement.tables == ("A",)
+        predicate = statement.where[0]
+        assert predicate.left == ColumnRef("X", table="A")
+        assert predicate.op == ">"
+        assert predicate.right == Parameter(0)
+
+    def test_query2(self):
+        statement = parse("SELECT MAX(B.V), B.G FROM B GROUP BY B.G;")
+        assert statement.items == (
+            Aggregate("MAX", ColumnRef("V", "B")),
+            ColumnRef("G", "B"),
+        )
+        assert statement.group_by == (ColumnRef("G", "B"),)
+
+    def test_query3(self):
+        statement = parse("SELECT COUNT(*) FROM R, S WHERE R.P = S.F;")
+        assert statement.tables == ("R", "S")
+        assert statement.where[0] == Comparison(
+            ColumnRef("P", "R"), "=", ColumnRef("F", "S")
+        )
+
+    def test_create_table_simple(self):
+        statement = parse("CREATE COLUMN TABLE A( X INT );")
+        assert isinstance(statement, CreateTable)
+        assert statement.name == "A"
+        assert statement.columns[0].name == "X"
+        assert statement.primary_key is None
+
+    def test_create_table_with_pk_clause(self):
+        statement = parse(
+            "CREATE COLUMN TABLE R( P INT, PRIMARY KEY(P));"
+        )
+        assert statement.primary_key == "P"
+
+    def test_create_table_inline_pk(self):
+        statement = parse("CREATE COLUMN TABLE R( P INT PRIMARY KEY )")
+        assert statement.primary_key == "P"
+
+
+class TestGeneralShapes:
+    def test_point_select_with_params(self):
+        statement = parse(
+            "SELECT C1, C2 FROM T WHERE K1 = ? AND K2 = ?"
+        )
+        assert statement.items == (ColumnRef("C1"), ColumnRef("C2"))
+        assert len(statement.where) == 2
+        assert statement.where[0].right == Parameter(0)
+        assert statement.where[1].right == Parameter(1)
+
+    def test_literal_predicate(self):
+        statement = parse("SELECT COUNT(*) FROM A WHERE X > 100")
+        assert statement.where[0].right == Literal(100)
+
+    def test_float_literal(self):
+        statement = parse("SELECT COUNT(*) FROM A WHERE X > 1.5")
+        assert statement.where[0].right == Literal(1.5)
+
+    def test_unqualified_columns(self):
+        statement = parse("SELECT MAX(V), G FROM B GROUP BY G")
+        assert statement.items[0] == Aggregate("MAX", ColumnRef("V"))
+
+    def test_semicolon_optional(self):
+        assert parse("SELECT COUNT(*) FROM A WHERE X > 1") is not None
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "DELETE FROM A",
+        "SELECT",
+        "SELECT COUNT(* FROM A",
+        "SELECT COUNT(*) FROM",
+        "SELECT COUNT(*) FROM A WHERE",
+        "SELECT COUNT(*) FROM A WHERE X >",
+        "SELECT COUNT(*) FROM A trailing",
+        "CREATE COLUMN TABLE",
+        "CREATE COLUMN TABLE T ()",
+        "CREATE COLUMN TABLE T ( X BLOB )",
+        "CREATE TABLE T ( X INT )",
+        "SELECT COUNT(*) FROM A WHERE X LIKE 1",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(SqlParseError):
+            parse(bad)
+
+    def test_duplicate_pk_clause_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse(
+                "CREATE COLUMN TABLE T ( A INT, PRIMARY KEY(A), "
+                "PRIMARY KEY(A) )"
+            )
+
+    def test_pk_unknown_column_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("CREATE COLUMN TABLE T ( A INT, PRIMARY KEY(B) )")

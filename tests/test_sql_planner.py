@@ -1,0 +1,135 @@
+"""Tests for the query planner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SqlPlanError
+from repro.operators import (
+    ColumnScan,
+    ForeignKeyJoin,
+    GroupedAggregation,
+    PointSelect,
+)
+from repro.sql.parser import parse
+from repro.sql.planner import Planner
+from repro.storage.datagen import DataGenerator
+from repro.storage.table import ColumnTable, Schema, SchemaColumn
+
+
+@pytest.fixture
+def tables(rng):
+    generator = DataGenerator(11)
+    registry = {}
+
+    a = ColumnTable(Schema("A", (SchemaColumn("X"),)))
+    a.load({"X": generator.uniform_ints(1000, 100)})
+    registry["A"] = a
+
+    b = ColumnTable(Schema("B", (SchemaColumn("V"), SchemaColumn("G"))))
+    b.load(generator.aggregation_table(1000, 50, 5))
+    registry["B"] = b
+
+    primary, foreign = generator.join_tables(200, 1000)
+    r = ColumnTable(Schema("R", (SchemaColumn("P", primary_key=True),)))
+    r.load({"P": primary})
+    s = ColumnTable(Schema("S", (SchemaColumn("F"),)))
+    s.load({"F": foreign})
+    registry["R"] = r
+    registry["S"] = s
+    return registry
+
+
+@pytest.fixture
+def planner(tables):
+    return Planner(tables)
+
+
+def plan(planner, sql, params=()):
+    return planner.plan(parse(sql), params)
+
+
+class TestPlanShapes:
+    def test_scan(self, planner):
+        planned = plan(planner, "SELECT COUNT(*) FROM A WHERE A.X > ?",
+                       [50])
+        assert planned.kind == "column_scan"
+        assert isinstance(planned.root, ColumnScan)
+
+    def test_aggregation(self, planner):
+        planned = plan(planner,
+                       "SELECT MAX(B.V), B.G FROM B GROUP BY B.G")
+        assert planned.kind == "grouped_aggregation"
+        assert isinstance(planned.root, GroupedAggregation)
+
+    def test_join(self, planner):
+        planned = plan(planner,
+                       "SELECT COUNT(*) FROM R, S WHERE R.P = S.F")
+        assert planned.kind == "foreign_key_join"
+        assert isinstance(planned.root, ForeignKeyJoin)
+
+    def test_join_sides_swapped(self, planner):
+        planned = plan(planner,
+                       "SELECT COUNT(*) FROM S, R WHERE S.F = R.P")
+        assert planned.kind == "foreign_key_join"
+
+    def test_point_select(self, planner, tables):
+        value = int(tables["A"].column("X").materialize()[0])
+        planned = plan(planner, "SELECT X FROM A WHERE X = ?", [value])
+        assert planned.kind == "point_select"
+        assert isinstance(planned.root, PointSelect)
+
+    def test_execute_through_plan(self, planner, tables):
+        planned = plan(planner, "SELECT COUNT(*) FROM A WHERE A.X > ?",
+                       [50])
+        result = planned.execute()
+        values = tables["A"].column("X").materialize()
+        assert result.matches == int((values > 50).sum())
+
+
+class TestParameterHandling:
+    def test_missing_params_rejected(self, planner):
+        with pytest.raises(SqlPlanError):
+            plan(planner, "SELECT COUNT(*) FROM A WHERE A.X > ?")
+
+    def test_extra_params_rejected(self, planner):
+        with pytest.raises(SqlPlanError):
+            plan(planner, "SELECT COUNT(*) FROM A WHERE A.X > 5", [1])
+
+    def test_literal_needs_no_params(self, planner):
+        planned = plan(planner, "SELECT COUNT(*) FROM A WHERE A.X > 5")
+        assert planned.kind == "column_scan"
+
+
+class TestValidation:
+    def test_unknown_table(self, planner):
+        with pytest.raises(SqlPlanError):
+            plan(planner, "SELECT COUNT(*) FROM NOPE WHERE X > 1")
+
+    def test_wrong_table_qualifier(self, planner):
+        with pytest.raises(SqlPlanError):
+            plan(planner, "SELECT COUNT(*) FROM A WHERE B.X > 1")
+
+    def test_join_without_pk_rejected(self, planner):
+        with pytest.raises(SqlPlanError):
+            plan(planner, "SELECT COUNT(*) FROM A, B WHERE A.X = B.V")
+
+    def test_join_with_non_equality_rejected(self, planner):
+        with pytest.raises(SqlPlanError):
+            plan(planner, "SELECT COUNT(*) FROM R, S WHERE R.P > S.F")
+
+    def test_three_tables_rejected(self, planner):
+        with pytest.raises(SqlPlanError):
+            plan(planner, "SELECT COUNT(*) FROM A, B, R WHERE A.X = 1")
+
+    def test_two_aggregates_rejected(self, planner):
+        with pytest.raises(SqlPlanError):
+            plan(planner,
+                 "SELECT MAX(B.V), MIN(B.V) FROM B GROUP BY B.G")
+
+    def test_projected_non_group_column_rejected(self, planner):
+        with pytest.raises(SqlPlanError):
+            plan(planner, "SELECT MAX(B.V), B.V FROM B GROUP BY B.G")
+
+    def test_point_select_requires_equality(self, planner):
+        with pytest.raises(SqlPlanError):
+            plan(planner, "SELECT X FROM A WHERE X > ?", [1])

@@ -1,0 +1,96 @@
+"""Tests for bit-width packing of dictionary codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.bitpack import (
+    pack_codes,
+    packed_bytes,
+    required_bits,
+    unpack_codes,
+)
+
+
+class TestRequiredBits:
+    def test_paper_example(self):
+        # Sec. III-B: 10^6 distinct values -> 20 bits per value.
+        assert required_bits(10**6) == 20
+
+    @pytest.mark.parametrize("cardinality,bits", [
+        (1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (256, 8), (257, 9),
+        (10**9, 30),
+    ])
+    def test_boundaries(self, cardinality, bits):
+        assert required_bits(cardinality) == bits
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(StorageError):
+            required_bits(0)
+
+
+class TestPackUnpack:
+    def test_simple_roundtrip(self):
+        codes = np.array([0, 1, 2, 3, 7, 5], dtype=np.uint32)
+        packed = pack_codes(codes, 3)
+        assert np.array_equal(unpack_codes(packed, 3, 6), codes)
+
+    def test_word_straddling(self):
+        # 20-bit codes straddle 64-bit word boundaries at index 3.
+        codes = np.arange(50, dtype=np.uint32) * 997 % (1 << 20)
+        packed = pack_codes(codes, 20)
+        assert np.array_equal(unpack_codes(packed, 20, 50), codes)
+
+    def test_empty(self):
+        packed = pack_codes(np.array([], dtype=np.uint32), 5)
+        assert unpack_codes(packed, 5, 0).size == 0
+
+    def test_code_too_wide_rejected(self):
+        with pytest.raises(StorageError):
+            pack_codes(np.array([8], dtype=np.uint32), 3)
+
+    def test_bad_bit_width_rejected(self):
+        with pytest.raises(StorageError):
+            pack_codes(np.array([0], dtype=np.uint32), 0)
+        with pytest.raises(StorageError):
+            pack_codes(np.array([0], dtype=np.uint32), 33)
+
+    def test_unpack_beyond_buffer_rejected(self):
+        packed = pack_codes(np.arange(4, dtype=np.uint32), 20)
+        with pytest.raises(StorageError):
+            unpack_codes(packed, 20, 100)
+
+
+class TestPackedBytes:
+    def test_paper_compression_ratio(self):
+        # 10^9 rows x 20 bits = 2.5 GB streamed by the scan.
+        assert packed_bytes(10**9, 20) == pytest.approx(2.5e9, rel=0.01)
+
+    def test_rounds_to_whole_words(self):
+        assert packed_bytes(1, 1) == 8
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            packed_bytes(-1, 8)
+        with pytest.raises(StorageError):
+            packed_bytes(1, 0)
+
+
+@given(
+    bits=st.integers(min_value=1, max_value=32),
+    data=st.data(),
+)
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_property(bits, data):
+    count = data.draw(st.integers(min_value=0, max_value=300))
+    codes = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << bits) - 1),
+            min_size=count, max_size=count,
+        )
+    )
+    array = np.array(codes, dtype=np.uint32)
+    packed = pack_codes(array, bits)
+    assert np.array_equal(unpack_codes(packed, bits, count), array)

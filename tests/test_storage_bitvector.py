@@ -1,0 +1,89 @@
+"""Tests for the bit vector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.bitvector import BitVector
+
+
+class TestBasics:
+    def test_set_and_test(self):
+        vector = BitVector(100)
+        vector.set(7)
+        assert vector.test(7)
+        assert not vector.test(8)
+
+    def test_count(self):
+        vector = BitVector(1000)
+        vector.set_many(np.array([1, 63, 64, 999]))
+        assert vector.count() == 4
+
+    def test_clear(self):
+        vector = BitVector(128)
+        vector.set_many(np.array([5, 6]))
+        vector.clear_many(np.array([5]))
+        assert not vector.test(5)
+        assert vector.test(6)
+
+    def test_size_bytes_matches_paper(self):
+        # Sec. IV-C: 10^8 keys -> 12.5 MB bit vector.
+        vector = BitVector(10**8)
+        assert vector.size_bytes == pytest.approx(12.5e6, rel=0.001)
+
+    def test_from_positions(self):
+        vector = BitVector.from_positions(64, np.array([0, 63]))
+        assert vector.test(0) and vector.test(63)
+        assert vector.count() == 2
+
+    def test_test_many_vectorised(self):
+        vector = BitVector(256)
+        vector.set_many(np.array([10, 20, 30]))
+        result = vector.test_many(np.array([10, 11, 20, 21, 30]))
+        assert list(result) == [True, False, True, False, True]
+
+    def test_out_of_range_rejected(self):
+        vector = BitVector(10)
+        with pytest.raises(StorageError):
+            vector.set(10)
+        with pytest.raises(StorageError):
+            vector.test(-1)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(StorageError):
+            BitVector(0)
+
+
+positions_strategy = st.lists(
+    st.integers(min_value=0, max_value=499), max_size=200
+)
+
+
+class TestAgainstReferenceSet:
+    @given(set_positions=positions_strategy,
+           probe_positions=positions_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_python_set(self, set_positions, probe_positions):
+        vector = BitVector(500)
+        reference = set(set_positions)
+        if set_positions:
+            vector.set_many(np.array(set_positions))
+        if probe_positions:
+            results = vector.test_many(np.array(probe_positions))
+            expected = [p in reference for p in probe_positions]
+            assert list(results) == expected
+        assert vector.count() == len(reference)
+
+    @given(set_positions=positions_strategy,
+           cleared=positions_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_clear_matches_set_difference(self, set_positions, cleared):
+        vector = BitVector(500)
+        if set_positions:
+            vector.set_many(np.array(set_positions))
+        if cleared:
+            vector.clear_many(np.array(cleared))
+        reference = set(set_positions) - set(cleared)
+        assert vector.count() == len(reference)

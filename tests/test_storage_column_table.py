@@ -1,0 +1,131 @@
+"""Tests for dictionary-encoded columns, tables and schemas."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.column import DictEncodedColumn
+from repro.storage.table import ColumnTable, Schema, SchemaColumn
+
+
+class TestColumn:
+    def test_roundtrip(self, rng):
+        values = rng.integers(1, 1000, size=5000)
+        column = DictEncodedColumn.from_values("X", values)
+        assert np.array_equal(column.materialize(), values)
+
+    def test_bits_per_value(self):
+        values = np.arange(10**6 // 100) * 100  # 10^4 distinct
+        column = DictEncodedColumn.from_values("X", values)
+        assert column.bits_per_value == 14  # ceil(log2(10^4))
+
+    def test_packed_size_smaller_than_raw(self, rng):
+        values = rng.integers(1, 100, size=10_000)
+        column = DictEncodedColumn.from_values("X", values)
+        assert column.packed_size_bytes < values.nbytes
+
+    def test_values_at(self, rng):
+        values = rng.integers(1, 500, size=1000)
+        column = DictEncodedColumn.from_values("X", values)
+        rows = np.array([0, 10, 999])
+        assert np.array_equal(column.values_at(rows), values[rows])
+
+    def test_values_at_out_of_range(self, rng):
+        column = DictEncodedColumn.from_values("X", np.array([1, 2]))
+        with pytest.raises(StorageError):
+            column.values_at(np.array([5]))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(StorageError):
+            DictEncodedColumn.from_values("", np.array([1]))
+
+
+class TestSchema:
+    def test_primary_key_detection(self):
+        schema = Schema("R", (
+            SchemaColumn("P", primary_key=True), SchemaColumn("V"),
+        ))
+        assert schema.primary_key == "P"
+
+    def test_no_primary_key(self):
+        schema = Schema("A", (SchemaColumn("X"),))
+        assert schema.primary_key is None
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(StorageError):
+            Schema("T", (SchemaColumn("X"), SchemaColumn("X")))
+
+    def test_multiple_pks_rejected(self):
+        with pytest.raises(StorageError):
+            Schema("T", (
+                SchemaColumn("A", primary_key=True),
+                SchemaColumn("B", primary_key=True),
+            ))
+
+    def test_unknown_column_lookup(self):
+        schema = Schema("T", (SchemaColumn("X"),))
+        with pytest.raises(StorageError):
+            schema.column("Y")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(StorageError):
+            SchemaColumn("X", data_type="BLOB")
+
+
+class TestTable:
+    def _table(self, rng):
+        schema = Schema("B", (SchemaColumn("V"), SchemaColumn("G")))
+        table = ColumnTable(schema)
+        data = {
+            "V": rng.integers(1, 100, size=1000),
+            "G": rng.integers(1, 10, size=1000),
+        }
+        table.load(data)
+        return table, data
+
+    def test_load_and_read(self, rng):
+        table, data = self._table(rng)
+        assert table.num_rows == 1000
+        assert np.array_equal(table.column("V").materialize(), data["V"])
+
+    def test_load_validates_columns(self, rng):
+        schema = Schema("B", (SchemaColumn("V"),))
+        table = ColumnTable(schema)
+        with pytest.raises(StorageError):
+            table.load({"WRONG": np.array([1])})
+
+    def test_load_validates_lengths(self, rng):
+        schema = Schema("B", (SchemaColumn("V"), SchemaColumn("G")))
+        table = ColumnTable(schema)
+        with pytest.raises(StorageError):
+            table.load({"V": np.array([1, 2]), "G": np.array([1])})
+
+    def test_pk_loads_build_index(self, rng):
+        schema = Schema("R", (SchemaColumn("P", primary_key=True),))
+        table = ColumnTable(schema)
+        keys = rng.permutation(np.arange(1, 101))
+        table.load({"P": keys})
+        assert table.has_index("P")
+        row = table.index("P").lookup(keys[5])
+        assert list(row) == [5]
+
+    def test_duplicate_pk_rejected(self):
+        schema = Schema("R", (SchemaColumn("P", primary_key=True),))
+        table = ColumnTable(schema)
+        with pytest.raises(StorageError):
+            table.load({"P": np.array([1, 1, 2])})
+
+    def test_create_index_on_demand(self, rng):
+        table, data = self._table(rng)
+        assert not table.has_index("G")
+        table.create_index("G")
+        value = int(data["G"][0])
+        rows = table.index("G").lookup(value)
+        assert np.array_equal(rows, np.nonzero(data["G"] == value)[0])
+
+    def test_unknown_column_rejected(self, rng):
+        table, _ = self._table(rng)
+        with pytest.raises(StorageError):
+            table.column("NOPE")
+        with pytest.raises(StorageError):
+            table.index("NOPE")

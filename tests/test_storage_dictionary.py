@@ -1,0 +1,117 @@
+"""Tests for the order-preserving dictionary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.dictionary import OrderedDictionary
+
+
+class TestConstruction:
+    def test_from_values_dedups_and_sorts(self):
+        dictionary = OrderedDictionary.from_values(
+            np.array([5, 3, 5, 1, 3])
+        )
+        assert list(dictionary.values) == [1, 3, 5]
+        assert dictionary.cardinality == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(StorageError):
+            OrderedDictionary.from_values(np.array([]))
+
+    def test_rejects_unsorted_direct_construction(self):
+        with pytest.raises(StorageError):
+            OrderedDictionary(np.array([3, 1, 2]))
+
+    def test_rejects_duplicates_direct_construction(self):
+        with pytest.raises(StorageError):
+            OrderedDictionary(np.array([1, 1, 2]))
+
+    def test_size_bytes(self):
+        dictionary = OrderedDictionary.from_values(
+            np.arange(1000, dtype=np.int32)
+        )
+        assert dictionary.size_bytes == 4000
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        values = np.array([10, 30, 20, 10, 30])
+        dictionary = OrderedDictionary.from_values(values)
+        codes = dictionary.encode(values)
+        assert np.array_equal(dictionary.decode(codes), values)
+
+    def test_codes_are_dense(self):
+        dictionary = OrderedDictionary.from_values(np.array([100, 5, 7]))
+        codes = dictionary.encode(np.array([5, 7, 100]))
+        assert list(codes) == [0, 1, 2]
+
+    def test_encode_unknown_value_rejected(self):
+        dictionary = OrderedDictionary.from_values(np.array([1, 2, 3]))
+        with pytest.raises(StorageError):
+            dictionary.encode(np.array([4]))
+
+    def test_decode_out_of_range_rejected(self):
+        dictionary = OrderedDictionary.from_values(np.array([1, 2]))
+        with pytest.raises(StorageError):
+            dictionary.decode(np.array([2]))
+
+
+class TestRangeBounds:
+    def test_lower_and_upper_bounds(self):
+        dictionary = OrderedDictionary.from_values(
+            np.array([10, 20, 30])
+        )
+        # X > 20 on codes: code >= upper_bound(20) = 2.
+        assert dictionary.encode_upper_bound(20) == 2
+        # X >= 20: code >= lower_bound(20) = 1.
+        assert dictionary.encode_lower_bound(20) == 1
+        # Bound between values.
+        assert dictionary.encode_lower_bound(15) == 1
+        assert dictionary.encode_upper_bound(15) == 1
+
+    def test_bounds_outside_domain(self):
+        dictionary = OrderedDictionary.from_values(np.array([10, 20]))
+        assert dictionary.encode_lower_bound(5) == 0
+        assert dictionary.encode_upper_bound(25) == 2
+
+
+values_arrays = st.lists(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    min_size=1, max_size=200,
+).map(np.array)
+
+
+class TestOrderPreservation:
+    @given(values=values_arrays)
+    @settings(max_examples=150, deadline=None)
+    def test_encoding_preserves_order(self, values):
+        """The property that lets scans run on compressed data: for any
+        two values, value order == code order."""
+        dictionary = OrderedDictionary.from_values(values)
+        codes = dictionary.encode(values)
+        order_by_value = np.argsort(values, kind="stable")
+        order_by_code = np.argsort(codes, kind="stable")
+        assert np.array_equal(
+            values[order_by_value], values[order_by_code]
+        )
+
+    @given(values=values_arrays)
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_property(self, values):
+        dictionary = OrderedDictionary.from_values(values)
+        assert np.array_equal(
+            dictionary.decode(dictionary.encode(values)), values
+        )
+
+    @given(values=values_arrays, bound=st.integers(-(10**9), 10**9))
+    @settings(max_examples=150, deadline=None)
+    def test_range_predicate_on_codes_matches_values(self, values, bound):
+        """Evaluating X > bound on codes equals evaluating it on values
+        (paper Sec. IV-A: scans run entirely on compressed data)."""
+        dictionary = OrderedDictionary.from_values(values)
+        codes = dictionary.encode(values)
+        threshold = dictionary.encode_upper_bound(bound)
+        assert np.array_equal(codes >= threshold, values > bound)

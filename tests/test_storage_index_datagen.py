@@ -1,0 +1,91 @@
+"""Tests for the inverted index and the data generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.datagen import DataGenerator
+from repro.storage.index import InvertedIndex
+
+
+class TestInvertedIndex:
+    def test_lookup_finds_all_rows(self):
+        values = np.array([5, 3, 5, 1, 5, 3])
+        index = InvertedIndex.build(values)
+        assert list(index.lookup(5)) == [0, 2, 4]
+        assert list(index.lookup(3)) == [1, 5]
+        assert list(index.lookup(1)) == [3]
+
+    def test_lookup_missing_value(self):
+        index = InvertedIndex.build(np.array([1, 2, 3]))
+        assert index.lookup(99).size == 0
+
+    def test_lookup_many_union(self):
+        index = InvertedIndex.build(np.array([1, 2, 1, 3]))
+        rows = index.lookup_many(np.array([1, 3]))
+        assert list(rows) == [0, 2, 3]
+
+    def test_cardinality(self):
+        index = InvertedIndex.build(np.array([7, 7, 8]))
+        assert index.cardinality == 2
+
+    def test_size_bytes_positive(self):
+        index = InvertedIndex.build(np.arange(100))
+        assert index.size_bytes > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(StorageError):
+            InvertedIndex.build(np.array([]))
+
+    def test_matches_numpy_ground_truth(self, rng):
+        values = rng.integers(0, 50, size=2000)
+        index = InvertedIndex.build(values)
+        for probe in (0, 25, 49):
+            expected = np.nonzero(values == probe)[0]
+            assert np.array_equal(index.lookup(probe), expected)
+
+
+class TestDataGenerator:
+    def test_deterministic_with_seed(self):
+        a = DataGenerator(1).uniform_ints(100, 10)
+        b = DataGenerator(1).uniform_ints(100, 10)
+        assert np.array_equal(a, b)
+
+    def test_uniform_range(self):
+        values = DataGenerator(2).uniform_ints(10_000, 100)
+        assert values.min() >= 1
+        assert values.max() <= 100
+
+    def test_zipf_skewed(self):
+        values = DataGenerator(3).zipf_ints(10_000, 100)
+        counts = np.bincount(values)
+        # The most frequent value dominates under Zipf.
+        assert counts.max() > 10_000 // 100 * 5
+
+    def test_zipf_validation(self):
+        with pytest.raises(StorageError):
+            DataGenerator(0).zipf_ints(10, 10, skew=1.0)
+
+    def test_join_tables_shape(self):
+        primary, foreign = DataGenerator(4).join_tables(100, 1000)
+        assert sorted(primary) == list(range(1, 101))
+        assert np.all(np.isin(foreign, primary))
+
+    def test_aggregation_table_columns(self):
+        data = DataGenerator(5).aggregation_table(100, 10, 3)
+        assert set(data) == {"V", "G"}
+        assert len(data["V"]) == len(data["G"]) == 100
+
+    def test_wide_table(self):
+        data = DataGenerator(6).wide_table(50, {"A": 5, "B": 7})
+        assert set(data) == {"A", "B"}
+        assert all(len(col) == 50 for col in data.values())
+
+    def test_validation(self):
+        generator = DataGenerator(7)
+        with pytest.raises(StorageError):
+            generator.uniform_ints(0, 5)
+        with pytest.raises(StorageError):
+            generator.join_tables(0, 5)
+        with pytest.raises(StorageError):
+            generator.wide_table(0, {"A": 1})

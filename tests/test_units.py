@@ -1,0 +1,51 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro.units import GB, GiB, KiB, MiB, format_bytes, format_rate
+
+
+class TestConstants:
+    def test_binary_units_are_powers_of_two(self):
+        assert KiB == 2**10
+        assert MiB == 2**20
+        assert GiB == 2**30
+
+    def test_decimal_units_are_powers_of_ten(self):
+        assert GB == 10**9
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert format_bytes(2048) == "2.0 KiB"
+
+    def test_llc_size(self):
+        assert format_bytes(55 * MiB) == "55.0 MiB"
+
+    def test_gib(self):
+        assert format_bytes(3 * GiB) == "3.0 GiB"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatRate:
+    def test_paper_bandwidth(self):
+        assert format_rate(64 * GB) == "64.0 GB/s"
+
+    def test_megabytes(self):
+        assert format_rate(5 * 10**6) == "5.0 MB/s"
+
+    def test_small(self):
+        assert format_rate(10.0) == "10 B/s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_rate(-1.0)

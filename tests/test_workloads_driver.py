@@ -1,0 +1,87 @@
+"""Integration tests: the functional mixed-workload driver."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import WorkloadError
+from repro.storage.datagen import DataGenerator
+from repro.workloads.driver import MixedWorkloadDriver, Statement
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    generator = DataGenerator(31)
+    database.execute("CREATE COLUMN TABLE A ( X INT )")
+    database.load("A", {"X": generator.scan_table(8000, 500)})
+    database.execute("CREATE COLUMN TABLE B ( V INT, G INT )")
+    database.load("B", generator.aggregation_table(8000, 200, 8))
+    database.execute("CREATE COLUMN TABLE R ( P INT, PRIMARY KEY(P) )")
+    primary, foreign = generator.join_tables(400, 4000)
+    database.load("R", {"P": primary})
+    database.execute("CREATE COLUMN TABLE S ( F INT )")
+    database.load("S", {"F": foreign})
+    return database
+
+
+MIXED = (
+    Statement("scan", "SELECT COUNT(*) FROM A WHERE A.X > ?", (250,)),
+    Statement("agg", "SELECT MAX(B.V), B.G FROM B GROUP BY B.G"),
+    Statement("join", "SELECT COUNT(*) FROM R, S WHERE R.P = S.F"),
+)
+
+
+class TestDriverBasics:
+    def test_executes_all_statements(self, db):
+        report = MixedWorkloadDriver(db).run(MIXED, iterations=3)
+        assert report.iterations == 3
+        for name in ("scan", "agg", "join"):
+            assert report.outcomes[name].executions == 3
+
+    def test_checksums_stable_across_iterations(self, db):
+        report = MixedWorkloadDriver(db).run(MIXED, iterations=4)
+        assert report.checksum("join") == 4000
+
+    def test_validation(self, db):
+        driver = MixedWorkloadDriver(db)
+        with pytest.raises(WorkloadError):
+            driver.run([], iterations=1)
+        with pytest.raises(WorkloadError):
+            driver.run(MIXED, iterations=0)
+        with pytest.raises(WorkloadError):
+            driver.run(
+                [Statement("x", "SELECT COUNT(*) FROM A WHERE A.X > 1"),
+                 Statement("x", "SELECT COUNT(*) FROM A WHERE A.X > 2")],
+                iterations=1,
+            )
+
+
+class TestPartitioningUnderLoad:
+    def test_results_identical_with_partitioning(self, db):
+        driver = MixedWorkloadDriver(db)
+        baseline = driver.run(MIXED, iterations=2)
+        db.enable_cache_partitioning()
+        partitioned = driver.run(MIXED, iterations=2)
+        for name in ("scan", "agg", "join"):
+            assert partitioned.checksum(name) == baseline.checksum(name)
+
+    def test_masks_follow_cuids(self, db):
+        db.enable_cache_partitioning()
+        report = MixedWorkloadDriver(db).run(MIXED, iterations=3)
+        assert report.masks_seen["column_scan"] == {0x3}
+        assert report.masks_seen["grouped_aggregation"] == {0xFFFFF}
+        # Tiny bit vector -> the adaptive join resolves to polluter.
+        assert report.masks_seen["foreign_key_join"] == {0x3}
+
+    def test_compare_before_set_pays_off_under_load(self, db):
+        db.enable_cache_partitioning()
+        report = MixedWorkloadDriver(db).run(MIXED, iterations=10)
+        # The loop keeps flipping workers between masks; after warm-up
+        # most associations are elided.
+        assert report.elided_calls > 0
+        assert report.kernel_calls < 3 * 10  # far fewer than 1/job
+
+    def test_unpartitioned_run_makes_no_kernel_calls(self, db):
+        report = MixedWorkloadDriver(db).run(MIXED, iterations=3)
+        assert report.kernel_calls == 0

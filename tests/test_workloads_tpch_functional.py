@@ -1,0 +1,75 @@
+"""Tests: the mini TPC-H data set runs functionally and correctly."""
+
+import numpy as np
+import pytest
+
+from repro.core.integration import CachePartitioning
+from repro.errors import WorkloadError
+from repro.workloads.tpch_functional import build_functional_tpch
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return build_functional_tpch(scale_rows=8_000)
+
+
+class TestDataShape:
+    def test_row_counts(self, tpch):
+        assert tpch.lineitem_rows == 8_000
+        assert tpch.orders_rows == 2_000
+        assert tpch.database.table("LINEITEM").num_rows == 8_000
+
+    def test_orders_keys_dense(self, tpch):
+        keys = np.sort(tpch.data["ORDERS"]["O_ORDERKEY"])
+        assert np.array_equal(keys, np.arange(1, 2_001))
+
+    def test_foreign_keys_reference_orders(self, tpch):
+        foreign = tpch.data["LINEITEM"]["L_ORDERKEY"]
+        assert foreign.min() >= 1
+        assert foreign.max() <= 2_000
+
+    def test_scale_validation(self):
+        with pytest.raises(WorkloadError):
+            build_functional_tpch(scale_rows=4)
+
+
+class TestQueries:
+    def test_scan_quantity_matches_numpy(self, tpch):
+        result = tpch.scan_quantity(25)
+        expected = int(
+            (tpch.data["LINEITEM"]["L_QUANTITY"] > 25).sum()
+        )
+        assert result.matches == expected
+
+    def test_pricing_summary_matches_numpy(self, tpch):
+        result = tpch.pricing_summary()
+        lineitem = tpch.data["LINEITEM"]
+        for flag, max_price in zip(result.groups, result.aggregates):
+            mask = lineitem["L_RETURNFLAG"] == flag
+            assert max_price == lineitem["L_EXTENDEDPRICE"][mask].max()
+
+    def test_join_every_lineitem_matches(self, tpch):
+        result = tpch.order_lineitem_join()
+        assert result.matches == tpch.lineitem_rows
+
+    def test_results_stable_under_partitioning(self, tpch):
+        baseline = (
+            tpch.scan_quantity(25).matches,
+            tpch.order_lineitem_join().matches,
+        )
+        with CachePartitioning(tpch.database):
+            partitioned = (
+                tpch.scan_quantity(25).matches,
+                tpch.order_lineitem_join().matches,
+            )
+        assert partitioned == baseline
+
+    def test_operators_get_expected_masks(self, tpch):
+        db = tpch.database
+        with CachePartitioning(db):
+            tpch.scan_quantity(25)
+            tpch.pricing_summary()
+            records = db.scheduler.dispatch_log[-2:]
+        masks = {record.job_name: record.mask for record in records}
+        assert masks["column_scan"] == 0x3
+        assert masks["grouped_aggregation"] == db.spec.full_mask
