@@ -1,0 +1,125 @@
+"""Benchmarks: observability overhead on the hot path.
+
+The observability layer must never silently tax a measurement.  With no
+observer installed every instrumentation point reduces to a method call
+on a shared no-op object; this bench quantifies that cost on the same
+workload the figures use and asserts the disabled-tracer overhead on
+``fig4 --fast`` stays below 5 % of the run's wall time.
+
+Method: (a) count every instrumentation event fig4 emits by running it
+once under counting probes, (b) measure the per-event cost of the
+disabled (null) span/counter path in isolation, (c) time the figure
+itself.  ``events x per_event_cost`` is exactly the work the
+instrumentation added relative to the pre-observability code, so the
+ratio against wall time is the regression bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import fig04_scan
+from repro.obs import NULL_METRICS, NULL_TRACER
+from repro.obs.metrics import NULL_INSTRUMENT
+from repro.obs.runtime import observing
+from repro.obs.tracing import NULL_SPAN
+
+MAX_DISABLED_OVERHEAD = 0.05
+
+
+class _CountingTracer:
+    """Counts span() calls, otherwise behaves like the null tracer."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def span(self, name, **attributes):
+        self.events += 1
+        return NULL_SPAN
+
+
+class _CountingMetrics:
+    """Counts instrument lookups, otherwise a null registry."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def counter(self, name):
+        self.events += 1
+        return NULL_INSTRUMENT
+
+    gauge = counter
+    histogram = counter
+
+    def snapshot(self):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def _count_instrumentation_events() -> int:
+    """How many no-op calls one fig4 --fast run issues when disabled."""
+    tracer = _CountingTracer()
+    metrics = _CountingMetrics()
+    with observing(tracer, metrics):
+        fig04_scan.run(fast=True)
+    return tracer.events + metrics.events
+
+
+def _per_event_seconds(iterations: int = 100_000) -> float:
+    """Cost of one disabled span plus one disabled counter bump."""
+    span = NULL_TRACER.span
+    counter = NULL_METRICS.counter
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with span("x", attr=1):
+            pass
+        counter("y").inc()
+    elapsed = time.perf_counter() - started
+    return elapsed / (2 * iterations)
+
+
+def test_disabled_obs_overhead_below_5_percent(benchmark):
+    events = _count_instrumentation_events()
+    per_event = _per_event_seconds()
+
+    benchmark(fig04_scan.run, fast=True)
+    wall_seconds = min(
+        _timed_run() for _ in range(3)
+    )
+
+    added_seconds = events * per_event
+    overhead = added_seconds / wall_seconds
+    benchmark.extra_info["instrumentation_events"] = events
+    benchmark.extra_info["per_event_ns"] = round(per_event * 1e9, 1)
+    benchmark.extra_info["added_ms"] = round(added_seconds * 1e3, 3)
+    benchmark.extra_info["overhead_fraction"] = round(overhead, 5)
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled observability adds {overhead:.2%} to fig4 --fast "
+        f"({events} events x {per_event * 1e9:.0f} ns), "
+        f"budget is {MAX_DISABLED_OVERHEAD:.0%}"
+    )
+
+
+def _timed_run() -> float:
+    started = time.perf_counter()
+    fig04_scan.run(fast=True)
+    return time.perf_counter() - started
+
+
+def test_enabled_tracing_cost(benchmark):
+    """For the record: fig4 --fast under a live tracer + registry."""
+
+    def run_traced():
+        with observing() as (tracer, metrics):
+            with tracer.span("fig4"):
+                fig04_scan.run(fast=True)
+        return tracer, metrics
+
+    tracer, metrics = benchmark(run_traced)
+    counters = metrics.snapshot()["counters"]
+    benchmark.extra_info["che_solves"] = counters["che.solves"]
+    benchmark.extra_info["span_depth"] = tracer.root.depth() - 1
+    assert counters["che.solves"] > 0

@@ -44,6 +44,14 @@ from .core import (
 )
 from .engine import Database
 from .errors import ReproError
+from .obs import (
+    MetricsRegistry,
+    RunArtifact,
+    Tracer,
+    load_artifact,
+    observing,
+    write_artifact,
+)
 from .model import (
     AccessProfile,
     QueryResult,
@@ -65,19 +73,25 @@ __all__ = [
     "ConcurrencyExperiment",
     "Database",
     "DramSpec",
+    "MetricsRegistry",
     "PartitioningScheme",
     "QueryResult",
     "QuerySpec",
     "RandomRegion",
     "ReproError",
+    "RunArtifact",
     "SequentialStream",
     "SystemSpec",
+    "Tracer",
     "WorkloadQuery",
     "WorkloadSimulator",
     "analyze_sweep",
     "derive_policy",
     "join_restricted_scheme",
+    "load_artifact",
+    "observing",
     "paper_scheme",
     "unpartitioned_scheme",
+    "write_artifact",
     "xeon_e5_2699_v4",
 ]

@@ -4,8 +4,15 @@ Usage::
 
     python -m repro list                 # available experiments
     python -m repro run fig9             # one figure
-    python -m repro run all              # everything (the paper's eval)
+    python -m repro run all              # every figure + extension
     python -m repro run fig9 --fast      # reduced sweeps
+    python -m repro run fig9 --fast --json --trace
+                                         # + JSON artifact under runs/
+                                         #   and a span-tree printout
+
+``run all`` executes every experiment except ``report`` (the report
+re-runs all figures itself, so including it would execute the whole
+evaluation twice); ``run report`` stays available directly.
 """
 
 from __future__ import annotations
@@ -13,6 +20,14 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Callable
+
+from .experiments.runner import FigureResult
+from .obs import (
+    RunArtifact,
+    format_spans,
+    observing,
+    write_artifact,
+)
 
 from .experiments import (
     ext_baselines,
@@ -75,7 +90,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true",
         help="reduced sweeps for a quick look",
     )
+    run.add_argument(
+        "--json", action="store_true",
+        help="write a JSON run artifact (rows + spans + metrics)",
+    )
+    run.add_argument(
+        "--out", default="runs", metavar="DIR",
+        help="artifact directory for --json (default: runs/)",
+    )
+    run.add_argument(
+        "--trace", action="store_true",
+        help="print the span tree after each experiment",
+    )
     return parser
+
+
+def expand_experiments(name: str) -> list[str]:
+    """Experiment ids to execute for a CLI request.
+
+    ``all`` covers every experiment except ``report``: the report
+    re-runs all figures internally, so including it would run the
+    whole evaluation twice.
+    """
+    if name == "all":
+        return [key for key in sorted(EXPERIMENTS) if key != "report"]
+    return [name]
+
+
+def _run_observed(name: str, args: argparse.Namespace) -> None:
+    """Run one experiment under a tracer/registry; emit artifacts."""
+    runner, _ = EXPERIMENTS[name]
+    with observing() as (tracer, metrics):
+        with tracer.span(name):
+            result = runner(fast=args.fast)
+    if args.trace:
+        print()
+        print(format_spans(tracer.root))
+    if args.json:
+        figures = (
+            [result.to_dict()]
+            if isinstance(result, FigureResult)
+            else []
+        )
+        artifact = RunArtifact(
+            experiment=name,
+            figures=figures,
+            spans=tracer.to_dict(),
+            metrics=metrics.snapshot(),
+            fast=args.fast,
+        )
+        path = write_artifact(artifact, args.out)
+        print(f"artifact: {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -86,15 +151,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name.ljust(width)}  {description}")
         return 0
 
-    names = (
-        sorted(EXPERIMENTS) if args.experiment == "all"
-        else [args.experiment]
-    )
+    names = expand_experiments(args.experiment)
     for index, name in enumerate(names):
         if index:
             print()
-        runner, _ = EXPERIMENTS[name]
-        runner(fast=args.fast)
+        if args.json or args.trace:
+            _run_observed(name, args)
+        else:
+            runner, _ = EXPERIMENTS[name]
+            runner(fast=args.fast)
     return 0
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from ..config import SystemSpec
 from ..errors import SchedulerError
 from ..hardware.cat import mask_from_fraction
+from ..obs import runtime
 from ..operators.base import CacheUsage
 from ..operators.join import ForeignKeyJoin
 from ..resctrl.interface import ResctrlInterface
@@ -64,14 +65,27 @@ class CuidPolicy:
 
 @dataclass
 class CacheControlStats:
-    """Associations requested vs. actually sent to the kernel."""
+    """Associations requested vs. actually sent to the kernel.
+
+    ``restores`` counts the kernel calls issued by :meth:`disable` when
+    it returns restricted threads to the full mask; restores are *not*
+    job associations and do not contribute to the elision rate.
+    """
 
     associations_requested: int = 0
     kernel_calls: int = 0
+    restores: int = 0
 
     @property
     def elided_calls(self) -> int:
         return self.associations_requested - self.kernel_calls
+
+    @property
+    def elision_rate(self) -> float:
+        """Fraction of requested associations that needed no syscall."""
+        if not self.associations_requested:
+            return 0.0
+        return self.elided_calls / self.associations_requested
 
 
 class CacheController:
@@ -113,10 +127,22 @@ class CacheController:
         self._enabled = True
 
     def disable(self) -> None:
-        """Back to unpartitioned: every thread regains the full mask."""
+        """Back to unpartitioned: every thread regains the full mask.
+
+        Restores are maintenance, not job associations: they are
+        tracked in ``stats.restores`` and leave
+        ``stats.associations_requested`` (and therefore the elision
+        rate reported by ``bench_overhead.py``) untouched.
+        """
         self._enabled = False
+        full = self._spec.full_mask
         for tid in list(self._thread_masks):
-            self._apply(tid, self._spec.full_mask)
+            if self._thread_masks[tid] == full:
+                continue
+            self._resctrl.assign_thread(tid, full)
+            self._thread_masks[tid] = full
+            self.stats.restores += 1
+            runtime.metrics.counter("cache_control.restores").inc()
 
     def prepare_thread(self, tid: int, job: Job) -> int:
         """Associate a worker thread with the job's bitmask.
@@ -135,14 +161,31 @@ class CacheController:
         self._apply(tid, mask)
         return mask
 
+    def associate(self, tid: int, mask: int) -> int:
+        """Associate a thread with an explicit bitmask (counted).
+
+        Used when the caller has already resolved the mask (e.g. an
+        experiment replaying a dispatch wave) rather than deriving it
+        from a job's CUID.  Same compare-before-set semantics and
+        statistics as :meth:`prepare_thread`.
+        """
+        if tid < 0:
+            raise SchedulerError(f"thread id must be >= 0: {tid}")
+        self._apply(tid, mask)
+        return mask
+
     def _apply(self, tid: int, mask: int) -> None:
         self.stats.associations_requested += 1
+        metrics = runtime.metrics
+        metrics.counter("cache_control.associations_requested").inc()
         current = self._thread_masks.get(tid, self._spec.full_mask)
         if self._compare_before_set and current == mask:
+            metrics.counter("cache_control.elided_calls").inc()
             return
         self._resctrl.assign_thread(tid, mask)
         self._thread_masks[tid] = mask
         self.stats.kernel_calls += 1
+        metrics.counter("cache_control.kernel_calls").inc()
 
     def thread_mask(self, tid: int) -> int:
         """The bitmask the controller last applied to a thread."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import SchedulerError
+from ..obs import runtime
 from .cache_control import CacheController
 from .job import Job, JobGraph
 from .threadpool import JobWorker, JobWorkerPool
@@ -79,4 +80,9 @@ class JobScheduler:
                            worker.pool)
         )
         worker.jobs_run += 1
-        return job.run()
+        metrics = runtime.metrics
+        metrics.counter("scheduler.dispatches").inc()
+        metrics.counter(f"scheduler.jobs.{job.cuid.value}").inc()
+        metrics.counter(f"scheduler.pool.{worker.pool}.jobs").inc()
+        with runtime.tracer.span("job", pool=worker.pool):
+            return job.run()

@@ -59,3 +59,7 @@ class ModelError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload or experiment was configured inconsistently."""
+
+
+class ObservabilityError(ReproError):
+    """Invalid use of the tracing/metrics/artifact layer."""

@@ -15,9 +15,15 @@ from dataclasses import dataclass, field
 
 from ..config import SystemSpec
 from ..core.policy import PartitioningScheme, paper_scheme
+from ..engine.cache_control import CacheController
 from ..errors import WorkloadError
+from ..hardware.cat import CatController
+from ..hardware.counters import PerfCounters
 from ..model.calibration import DEFAULT_CALIBRATION, Calibration
 from ..model.streams import AccessProfile
+from ..obs import runtime
+from ..resctrl.filesystem import ResctrlFilesystem
+from ..resctrl.interface import ResctrlInterface
 from ..workloads.mixed import (
     ConcurrencyExperiment,
     ConcurrentResult,
@@ -54,14 +60,41 @@ class FigureResult:
 
     def select(self, **conditions) -> list[tuple]:
         """Rows whose named columns equal the given values."""
-        indexes = {
-            key: self.headers.index(key) for key in conditions
-        }
+        indexes = {}
+        for key in conditions:
+            try:
+                indexes[key] = self.headers.index(key)
+            except ValueError:
+                raise WorkloadError(
+                    f"no column {key!r} in {self.figure_id}"
+                ) from None
         return [
             row
             for row in self.rows
             if all(row[indexes[k]] == v for k, v in conditions.items())
         ]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (see docs/OBSERVABILITY.md)."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FigureResult":
+        """Rebuild a figure from :meth:`to_dict` output (JSON round
+        trip restores the exact rows, tuples included)."""
+        return cls(
+            figure_id=payload["figure_id"],
+            title=payload["title"],
+            headers=tuple(payload["headers"]),
+            rows=[tuple(row) for row in payload["rows"]],
+            notes=list(payload.get("notes", [])),
+        )
 
 
 class ExperimentRunner:
@@ -82,6 +115,20 @@ class ExperimentRunner:
         self.calibration = calibration
         self.scheme = scheme if scheme is not None else paper_scheme()
         self.experiment = ConcurrencyExperiment(self.spec, calibration)
+        # The engine-integration side of a measurement: every concurrent
+        # wave associates the worker threads with its bitmasks through
+        # the compare-before-set controller, so figure runs produce the
+        # same association/elision statistics the real engine would.
+        self.controller = CacheController(
+            self.spec,
+            ResctrlInterface(
+                ResctrlFilesystem(CatController(self.spec))
+            ),
+            enabled=True,
+        )
+        # PCM analogue: per-query counter totals accumulated over every
+        # concurrent measurement of this runner, published as gauges.
+        self.perf = PerfCounters()
 
     @property
     def workers(self) -> int:
@@ -120,11 +167,51 @@ class ExperimentRunner:
         second_cores: int | None = None,
     ) -> ConcurrentResult:
         """Run two queries concurrently with optional CAT masks."""
-        return self.experiment.concurrent(
-            [
-                WorkloadQuery(first.name, first, first_mask, first_cores),
-                WorkloadQuery(
-                    second.name, second, second_mask, second_cores
+        with runtime.tracer.span(
+            "pair", first=first.name, second=second.name
+        ):
+            self._associate_workers(first_mask, second_mask)
+            outcome = self.experiment.concurrent(
+                [
+                    WorkloadQuery(
+                        first.name, first, first_mask, first_cores
+                    ),
+                    WorkloadQuery(
+                        second.name, second, second_mask, second_cores
+                    ),
+                ]
+            )
+        self._record_counters(outcome)
+        return outcome
+
+    def _record_counters(self, outcome: ConcurrentResult) -> None:
+        """Accumulate one second's worth of each query's counter rates
+        into the PCM bank and publish the snapshots as gauges."""
+        for name, result in outcome.results.items():
+            rates = result.counters
+            references = int(round(rates.llc_references_per_s))
+            self.perf.record(
+                name,
+                instructions=int(round(rates.instructions_per_s)),
+                llc_references=references,
+                llc_hits=min(
+                    int(round(rates.llc_hits_per_s)), references
                 ),
-            ]
-        )
+            )
+        if runtime.metrics.enabled:
+            self.perf.publish(runtime.metrics)
+
+    def _associate_workers(self, *masks: int | None) -> None:
+        """Associate every worker thread with each wave's bitmask.
+
+        Mirrors the engine's dispatch (paper Sec. V-C): before a
+        query's job wave runs, the workers executing it are bound to
+        the query's capacity bitmask.  Feeding the masks through the
+        compare-before-set controller makes the figures produce real
+        association/elision statistics.
+        """
+        full = self.spec.full_mask
+        for mask in masks:
+            effective = mask if mask is not None else full
+            for tid in range(self.workers):
+                self.controller.associate(tid, effective)

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..config import SystemSpec
+from ..obs import runtime
 from . import (
     fig01_teaser,
     fig04_scan,
@@ -189,16 +190,21 @@ CLAIMS: tuple[Claim, ...] = (
 
 
 def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
-    results = {
-        "fig1": fig01_teaser.run(spec),
-        "fig4": fig04_scan.run(spec),
-        "fig5": fig05_aggregation.run(spec),
-        "fig6": fig06_join.run(spec),
-        "fig9": fig09_scan_agg.run(spec),
-        "fig10": fig10_agg_join.run(spec),
-        "fig11": fig11_tpch.run(spec),
-        "fig12": fig12_oltp.run(spec),
+    figures = {
+        "fig1": fig01_teaser.run,
+        "fig4": fig04_scan.run,
+        "fig5": fig05_aggregation.run,
+        "fig6": fig06_join.run,
+        "fig9": fig09_scan_agg.run,
+        "fig10": fig10_agg_join.run,
+        "fig11": fig11_tpch.run,
+        "fig12": fig12_oltp.run,
     }
+    tracer = runtime.tracer
+    results = {}
+    for figure_id, figure_run in figures.items():
+        with tracer.span(figure_id):
+            results[figure_id] = figure_run(spec)
     report = FigureResult(
         figure_id="report",
         title="Reproduction report: the paper's claims, checked",
@@ -209,6 +215,9 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
         report.add(claim.figure, claim.text, verdict)
     passed = sum(1 for row in report.rows if row[2] == "PASS")
     report.notes.append(f"{passed}/{len(report.rows)} claims hold")
+    metrics = runtime.metrics
+    metrics.gauge("report.claims_passed").set(passed)
+    metrics.gauge("report.claims_total").set(len(report.rows))
     return report
 
 

@@ -18,6 +18,8 @@ are even expressible, and the resctrl kernel interface enforces them):
 
 from __future__ import annotations
 
+import math
+
 from ..config import SystemSpec
 from ..errors import CatError
 
@@ -68,10 +70,23 @@ def mask_from_fraction(spec: SystemSpec, fraction: float, shift: int = 0) -> int
     '0xfff'
     >>> hex(mask_from_fraction(spec, 1.0))
     '0xfffff'
+
+    A fraction between two whole ways rounds *up*, never down
+    (0.125 of 20 ways is 2.5 ways -> 3 ways):
+
+    >>> hex(mask_from_fraction(spec, 0.125))
+    '0x7'
+    >>> hex(mask_from_fraction(spec, 0.51))
+    '0x7ff'
     """
     if not 0.0 < fraction <= 1.0:
         raise CatError(f"fraction must be in (0, 1], got {fraction}")
-    bits = max(spec.cat_min_bits, round(fraction * spec.llc.ways))
+    # The 1e-9 slack keeps float fuzz (fraction * ways landing a few
+    # ulps above a whole way) from granting an extra way.
+    bits = max(
+        spec.cat_min_bits,
+        math.ceil(fraction * spec.llc.ways - 1e-9),
+    )
     bits = min(bits, spec.llc.ways)
     if shift + bits > spec.llc.ways:
         raise CatError(

@@ -96,5 +96,31 @@ class PerfCounters:
     def scopes(self) -> list[str]:
         return sorted(self._scopes)
 
+    def publish(self, registry, prefix: str = "perf") -> None:
+        """Publish every scope (plus the system aggregate) as gauges.
+
+        ``registry`` is a :class:`repro.obs.MetricsRegistry` (or the
+        null registry); gauge names follow the
+        ``<prefix>.<scope>.<counter>`` convention from
+        docs/OBSERVABILITY.md.
+        """
+        samples = dict(self._scopes)
+        samples["system"] = self.system()
+        for scope, sample in samples.items():
+            base = f"{prefix}.{scope}"
+            registry.gauge(f"{base}.instructions").set(
+                sample.instructions
+            )
+            registry.gauge(f"{base}.llc_references").set(
+                sample.llc_references
+            )
+            registry.gauge(f"{base}.llc_hits").set(sample.llc_hits)
+            registry.gauge(f"{base}.llc_hit_ratio").set(
+                sample.llc_hit_ratio
+            )
+            registry.gauge(f"{base}.mpi").set(
+                sample.misses_per_instruction
+            )
+
     def reset(self) -> None:
         self._scopes.clear()

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..errors import ModelError
 from ..hardware.dram import BandwidthArbiter
+from ..obs import runtime
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,11 @@ def solve_bandwidth(
     demands = {u.query: u.total for u in usages}
     grants = arbiter.allocate(demands)
     slowdowns = arbiter.slowdown(demands)
+    # One solve per round of the simulator's throughput fixed point.
+    metrics = runtime.metrics
+    metrics.counter("bandwidth.solves").inc()
+    if sum(demands.values()) > capacity_bytes_per_s * (1 - 1e-9):
+        metrics.counter("bandwidth.saturated_solves").inc()
     return BandwidthSolution(
         grants=grants,
         slowdowns=slowdowns,

@@ -33,6 +33,7 @@ import math
 from dataclasses import dataclass
 
 from ..errors import ModelError
+from ..obs import runtime
 from .segments import Segment
 
 
@@ -131,9 +132,16 @@ def solve_characteristic_time(
 
     Returns ``inf`` when all actors fit simultaneously (cache never
     fills: every region is fully resident).
+
+    Publishes solver metrics into the current registry
+    (``che.solves``, ``che.iterations``, ``che.bracket_expansions``,
+    ``che.convergence_failures`` — see docs/OBSERVABILITY.md).
     """
     if capacity_lines <= 0:
         raise ModelError(f"capacity_lines must be > 0: {capacity_lines}")
+
+    metrics = runtime.metrics
+    metrics.counter("che.solves").inc()
 
     streaming = sum(s.insertion_rate for s in streams)
     max_region_lines = sum(
@@ -144,23 +152,35 @@ def solve_characteristic_time(
 
     # Bracket the root: occupancy(T) is monotone increasing in T.
     t_low, t_high = 0.0, 1e-9
+    expansions = 0
+    bracketed = False
     for _ in range(200):
         if _total_occupancy(regions, streams, t_high) >= capacity_lines:
+            bracketed = True
             break
         t_high *= 4.0
-    else:
+        expansions += 1
+    metrics.counter("che.bracket_expansions").inc(expansions)
+    if not bracketed:
         # Demand never reaches capacity (e.g. negligible rates): treat as
         # an unfilled cache.
         return math.inf
 
+    iterations = 0
+    converged = False
     for _ in range(max_iterations):
+        iterations += 1
         t_mid = 0.5 * (t_low + t_high)
         if _total_occupancy(regions, streams, t_mid) < capacity_lines:
             t_low = t_mid
         else:
             t_high = t_mid
         if t_high - t_low <= tolerance * max(t_high, 1e-30):
+            converged = True
             break
+    metrics.counter("che.iterations").inc(iterations)
+    if not converged:
+        metrics.counter("che.convergence_failures").inc()
     return 0.5 * (t_low + t_high)
 
 
@@ -188,7 +208,8 @@ def solve_segment(
     proportionally to capacity).
     """
     capacity = segment.ways * way_lines
-    t_char = solve_characteristic_time(regions, streams, capacity)
+    with runtime.tracer.span("solve_segment"):
+        t_char = solve_characteristic_time(regions, streams, capacity)
     hit_ratios = {
         (r.query, r.name): r.hit_ratio(t_char) for r in regions
     }

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from ..config import SystemSpec
 from ..errors import ModelError
+from ..obs import runtime
 from .bandwidth import BandwidthUsage, solve_bandwidth
 from .calibration import DEFAULT_CALIBRATION, Calibration
 from .latency import LatencyModel
@@ -139,6 +140,12 @@ class WorkloadSimulator:
         names = [q.name for q in queries]
         if len(names) != len(set(names)):
             raise ModelError(f"duplicate query names: {names}")
+        with runtime.tracer.span(
+            "simulate", queries=",".join(names)
+        ):
+            return self._simulate(queries)
+
+    def _simulate(self, queries: list[QuerySpec]) -> dict[str, QueryResult]:
         # SMT contention: when the workload demands more cores than the
         # socket has, the surplus threads time-share.  A query whose
         # threads all collide (e.g. a 2-core OLTP pool on a machine
@@ -174,7 +181,10 @@ class WorkloadSimulator:
         }
         slowdowns = {q.name: 1.0 for q in queries}
 
+        rounds = 0
+        converged = False
         for _ in range(self.max_iterations):
+            rounds += 1
             hit_ratios = self._solve_occupancy(
                 queries, prepared, throughput, segments, allowed_lines,
                 way_lines,
@@ -206,7 +216,14 @@ class WorkloadSimulator:
                 max_change = max(max_change, change)
                 throughput[q.name] = updated
             if max_change < self.tolerance:
+                converged = True
                 break
+
+        metrics = runtime.metrics
+        metrics.counter("simulator.solves").inc()
+        metrics.counter("simulator.fixed_point_rounds").inc(rounds)
+        if not converged:
+            metrics.counter("simulator.convergence_failures").inc()
 
         return self._build_results(
             queries, prepared, throughput, hit_ratios, slowdowns

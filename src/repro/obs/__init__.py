@@ -1,0 +1,66 @@
+"""Observability layer: tracing spans, metrics, JSON run artifacts.
+
+See ``docs/OBSERVABILITY.md`` for naming conventions and the artifact
+schema.  Quick tour::
+
+    from repro.obs import observing, write_artifact, RunArtifact
+
+    with observing() as (tracer, metrics):
+        with tracer.span("fig9"):
+            result = fig09_scan_agg.run(fast=True)
+    artifact = RunArtifact(
+        experiment="fig9",
+        figures=[result.to_dict()],
+        spans=tracer.to_dict(),
+        metrics=metrics.snapshot(),
+    )
+    write_artifact(artifact)          # -> runs/fig9-<timestamp>.json
+"""
+
+from .artifacts import (
+    DEFAULT_RUNS_DIR,
+    SCHEMA_VERSION,
+    RunArtifact,
+    artifact_filename,
+    load_artifact,
+    write_artifact,
+)
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from .runtime import install, observing, reset
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    format_spans,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_RUNS_DIR",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "RunArtifact",
+    "SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "artifact_filename",
+    "format_spans",
+    "install",
+    "load_artifact",
+    "observing",
+    "reset",
+    "write_artifact",
+]

@@ -1,0 +1,205 @@
+"""Named counters, gauges and histograms for run-level statistics.
+
+Producers across the codebase publish into the *current* registry (see
+:mod:`repro.obs.runtime`): the Che fixed-point solver counts iterations
+and bracket expansions, the bandwidth model counts arbitration rounds,
+the cache controller reports association/elision totals, the scheduler
+per-CUID job counts.  The default registry is :data:`NULL_METRICS`,
+whose instruments are shared no-ops, so disabled observability costs a
+method call per event and nothing else.
+
+Merge semantics (used when combining artifacts or sub-runs):
+
+* counters add,
+* gauges take the *other* registry's value (last writer wins),
+* histograms pool counts, sums and extrema.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ObservabilityError
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r}: increment must be >= 0, "
+                f"got {amount}"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value of a quantity (e.g. a convergence flag)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observations: count, sum, min, max."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (see module docstring)."""
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            if gauge.value is not None:
+                self.gauge(name).set(gauge.value)
+        for name, histogram in other._histograms.items():
+            mine = self.histogram(name)
+            mine.count += histogram.count
+            mine.total += histogram.total
+            mine.minimum = min(mine.minimum, histogram.minimum)
+            mine.maximum = max(mine.maximum, histogram.maximum)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view of every instrument."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(self._gauges.items())
+                if gauge.value is not None
+            },
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        registry = cls()
+        for name, value in payload.get("counters", {}).items():
+            registry.counter(name).inc(value)
+        for name, value in payload.get("gauges", {}).items():
+            registry.gauge(name).set(value)
+        for name, stats in payload.get("histograms", {}).items():
+            histogram = registry.histogram(name)
+            histogram.count = stats["count"]
+            histogram.total = stats["total"]
+            histogram.minimum = (
+                stats["min"] if stats["min"] is not None else math.inf
+            )
+            histogram.maximum = (
+                stats["max"] if stats["max"] is not None else -math.inf
+            )
+        return registry
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Registry lookalike that records nothing."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,193 @@
+"""Nested tracing spans with an injectable clock.
+
+The paper's argument rests on *measured* evidence (hit ratios, MPI,
+< 100 us association overhead), so every experiment needs to explain
+where its time went.  A :class:`Tracer` records a tree of named spans:
+entering ``span("fig9")`` and, inside it, ``span("solve_segment")``
+produces nested nodes carrying wall time, call counts and custom
+attributes.
+
+Two properties keep the hot path honest:
+
+* spans with the same name under the same parent are *aggregated* (one
+  node, ``count`` incremented, durations summed), so a solver called
+  thousands of times yields a bounded tree,
+* the module-wide default is :data:`NULL_TRACER`, whose ``span()``
+  returns a shared no-op context manager — tracing disabled costs one
+  method call and nothing else (quantified by
+  ``benchmarks/bench_obs_overhead.py``).
+
+The clock is injectable (``Tracer(clock=...)``) so tests can assert
+exact durations deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..errors import ObservabilityError
+
+
+class Span:
+    """One node of the span tree: aggregated timings for a name."""
+
+    __slots__ = ("name", "count", "total_seconds", "attributes",
+                 "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_seconds = 0.0
+        self.attributes: dict[str, object] = {}
+        self.children: dict[str, "Span"] = {}
+
+    def child(self, name: str) -> "Span":
+        """Get or create the aggregated child span called ``name``."""
+        node = self.children.get(name)
+        if node is None:
+            node = Span(name)
+            self.children[name] = node
+        return node
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of this subtree."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "attributes": dict(self.attributes),
+            "children": [
+                child.to_dict() for child in self.children.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Rebuild a span subtree from :meth:`to_dict` output."""
+        span = cls(payload["name"])
+        span.count = payload["count"]
+        span.total_seconds = payload["total_seconds"]
+        span.attributes = dict(payload.get("attributes", {}))
+        for child in payload.get("children", ()):
+            node = cls.from_dict(child)
+            span.children[node.name] = node
+        return span
+
+    def depth(self) -> int:
+        """Nesting levels of the subtree (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children.values())
+
+
+class _ActiveSpan:
+    """Context manager for one entry into an aggregated span."""
+
+    __slots__ = ("_tracer", "_node", "_started")
+
+    def __init__(self, tracer: "Tracer", node: Span) -> None:
+        self._tracer = tracer
+        self._node = node
+        self._started = 0.0
+
+    def set(self, **attributes) -> "_ActiveSpan":
+        """Attach attributes to the span (last write wins)."""
+        self._node.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._stack.append(self._node)
+        self._started = self._tracer._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        elapsed = self._tracer._clock() - self._started
+        self._node.count += 1
+        self._node.total_seconds += elapsed
+        popped = self._tracer._stack.pop()
+        if popped is not self._node:  # pragma: no cover - defensive
+            raise ObservabilityError(
+                f"span stack corrupted: closed {self._node.name!r} "
+                f"but {popped.name!r} was on top"
+            )
+        return False
+
+
+class Tracer:
+    """Records a tree of nested, name-aggregated spans."""
+
+    enabled = True
+
+    def __init__(
+        self, clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        self._clock = clock
+        self.root = Span("root")
+        self._stack: list[Span] = [self.root]
+
+    def span(self, name: str, **attributes) -> _ActiveSpan:
+        """Open a span nested under the innermost active span."""
+        node = self._stack[-1].child(name)
+        if attributes:
+            node.attributes.update(attributes)
+        return _ActiveSpan(self, node)
+
+    @property
+    def current(self) -> Span:
+        """The innermost active span (the root when idle)."""
+        return self._stack[-1]
+
+    def to_dict(self) -> dict:
+        return self.root.to_dict()
+
+
+class _NullSpan:
+    """Shared no-op span handle: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer lookalike that records nothing."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+
+
+def format_spans(span: Span, indent: str = "") -> str:
+    """Render a span subtree as an indented text outline."""
+    lines = []
+    if span.name != "root" or span.count:
+        label = (
+            f"{indent}{span.name}  x{span.count}  "
+            f"{span.total_seconds * 1e3:.3f} ms"
+        )
+        if span.attributes:
+            pairs = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(span.attributes.items())
+            )
+            label += f"  [{pairs}]"
+        lines.append(label)
+        indent += "  "
+    for child in span.children.values():
+        lines.append(format_spans(child, indent))
+    return "\n".join(line for line in lines if line)

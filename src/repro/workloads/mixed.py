@@ -24,6 +24,7 @@ from ..model.simulator import (
     system_counters,
 )
 from ..model.streams import AccessProfile
+from ..obs import runtime
 
 
 @dataclass(frozen=True)
@@ -76,7 +77,8 @@ class ConcurrencyExperiment:
             cores=cores if cores is not None else self.spec.cores,
             mask=mask if mask is not None else self.spec.full_mask,
         )
-        return self.simulator.simulate([spec])[profile.name]
+        with runtime.tracer.span("isolated", query=profile.name):
+            return self.simulator.simulate([spec])[profile.name]
 
     def isolated_throughput(
         self, profile: AccessProfile, cores: int | None = None
@@ -128,6 +130,10 @@ class ConcurrencyExperiment:
             raise WorkloadError(
                 "a concurrent workload needs at least two queries"
             )
+        with runtime.tracer.span("concurrent"):
+            return self._concurrent(queries)
+
+    def _concurrent(self, queries: list[WorkloadQuery]) -> ConcurrentResult:
         specs = []
         for query in queries:
             profile = query.profile

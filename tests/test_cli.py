@@ -1,8 +1,15 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import (
+    EXPERIMENTS,
+    build_parser,
+    expand_experiments,
+    main,
+)
 
 
 class TestParser:
@@ -44,3 +51,63 @@ class TestExecution:
             "ext-trace", "ext-skew", "report",
         }
         assert set(EXPERIMENTS) == expected
+
+
+class TestExpansion:
+    def test_all_excludes_report(self):
+        # Regression: 'run all' used to include 'report', which re-runs
+        # every figure itself — the whole evaluation executed twice.
+        names = expand_experiments("all")
+        assert "report" not in names
+        assert set(names) == set(EXPERIMENTS) - {"report"}
+        assert names == sorted(names)
+
+    def test_single_name_passes_through(self):
+        assert expand_experiments("fig9") == ["fig9"]
+        # report stays directly invocable.
+        assert expand_experiments("report") == ["report"]
+
+
+class TestJsonArtifacts:
+    def test_json_flag_writes_loadable_artifact(self, tmp_path, capsys):
+        from repro.experiments.reporting import format_table
+        from repro.experiments.runner import FigureResult
+        from repro.obs import load_artifact
+
+        assert main(
+            ["run", "fig4", "--fast", "--json", "--out",
+             str(tmp_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "artifact:" in output
+        files = list(tmp_path.glob("fig4-*.json"))
+        assert len(files) == 1
+
+        artifact = load_artifact(files[0])
+        assert artifact.experiment == "fig4"
+        assert artifact.fast is True
+        figure = FigureResult.from_dict(artifact.figures[0])
+        # The stored rows reproduce the printed table exactly.
+        assert format_table(
+            figure.headers, figure.rows, title=figure.title
+        ) in output
+        counters = artifact.metrics["counters"]
+        assert counters["che.solves"] > 0
+        assert counters["simulator.solves"] > 0
+        assert artifact.spans is not None
+
+    def test_trace_flag_prints_span_tree(self, capsys, tmp_path):
+        assert main(
+            ["run", "fig4", "--fast", "--trace"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "fig4" in output
+        assert "solve_segment" in output
+
+    def test_artifact_is_valid_json(self, tmp_path, capsys):
+        main(["run", "fig4", "--fast", "--json", "--out",
+              str(tmp_path)])
+        capsys.readouterr()
+        path = next(tmp_path.glob("fig4-*.json"))
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 1

@@ -124,6 +124,35 @@ class TestEnableDisable:
         controller.disable()
         assert controller.thread_mask(1) == spec.full_mask
 
+    def test_disable_does_not_inflate_association_stats(
+        self, controller, spec
+    ):
+        # Regression: disable() used to route restores through the
+        # job-association path, inflating associations_requested and
+        # skewing the elision rate bench_overhead.py reports.
+        controller.prepare_thread(1, job_with_cuid(CacheUsage.POLLUTING))
+        controller.prepare_thread(2, job_with_cuid(CacheUsage.POLLUTING))
+        controller.prepare_thread(3, job_with_cuid(CacheUsage.SENSITIVE))
+        assert controller.stats.associations_requested == 3
+        assert controller.stats.kernel_calls == 2
+        controller.disable()
+        # Two restricted threads restored; the full-mask thread (tid 3)
+        # needs nothing.  Job-association stats are untouched.
+        assert controller.stats.associations_requested == 3
+        assert controller.stats.kernel_calls == 2
+        assert controller.stats.restores == 2
+        assert controller.stats.elided_calls == 1
+        assert controller.stats.elision_rate == pytest.approx(1 / 3)
+        for tid in (1, 2, 3):
+            assert controller.thread_mask(tid) == spec.full_mask
+
+    def test_associate_explicit_mask_counted(self, controller):
+        controller.associate(9, 0x3)
+        controller.associate(9, 0x3)
+        assert controller.stats.associations_requested == 2
+        assert controller.stats.kernel_calls == 1
+        assert controller.thread_mask(9) == 0x3
+
     def test_enable_with_new_policy(self, controller, spec):
         custom = CuidPolicy(0xF, spec.full_mask, 0xFF)
         controller.enable(custom)

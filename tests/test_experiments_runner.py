@@ -35,6 +35,19 @@ class TestFigureResult:
         assert len(figure.select(a=1)) == 2
         assert figure.select(a=3) == []
 
+    def test_select_unknown_column(self, figure):
+        # Regression: select() used to leak a bare ValueError from
+        # headers.index(); it must raise WorkloadError like column().
+        with pytest.raises(WorkloadError, match="figX"):
+            figure.select(nope=1)
+
+    def test_roundtrip_through_dict(self, figure):
+        clone = FigureResult.from_dict(figure.to_dict())
+        assert clone.figure_id == figure.figure_id
+        assert clone.headers == figure.headers
+        assert clone.rows == figure.rows
+        assert clone.notes == figure.notes
+
 
 class TestExperimentRunner:
     @pytest.fixture(scope="class")

@@ -53,6 +53,14 @@ class TestMaskFromFraction:
         assert mask_from_fraction(spec, 0.60) == 0xFFF
         assert mask_from_fraction(spec, 1.0) == 0xFFFFF
 
+    def test_rounds_up_to_whole_way(self, spec):
+        # Regression: banker's round() turned 0.125 * 20 = 2.5 ways
+        # into 2; the documented contract is "round up".
+        assert mask_from_fraction(spec, 0.125) == 0x7
+        assert mask_from_fraction(spec, 0.51) == 0x7FF
+        # A tiny fraction still rounds up to one whole way.
+        assert mask_from_fraction(spec, 0.001) == 0x1
+
     def test_rejects_out_of_range(self, spec):
         with pytest.raises(CatError):
             mask_from_fraction(spec, 0.0)

@@ -1,0 +1,132 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetrics,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("che.solves").inc()
+        registry.counter("che.solves").inc(4)
+        assert registry.counter("che.solves").value == 5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("report.claims_passed")
+        gauge.set(3)
+        gauge.set(13)
+        assert gauge.value == 13
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("span.seconds")
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(6.0)
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 3.0
+        assert histogram.mean == pytest.approx(2.0)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+
+class TestMergeSemantics:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        b.counter("only_b").inc()
+        a.merge(b)
+        assert a.counter("n").value == 5
+        assert a.counter("only_b").value == 1
+
+    def test_gauges_take_other_value(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(2.0)
+        a.merge(b)
+        assert a.gauge("g").value == 2.0
+
+    def test_unset_gauge_does_not_clobber(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g")  # created but never set
+        a.merge(b)
+        assert a.gauge("g").value == 1.0
+
+    def test_histograms_pool(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(5.0)
+        a.merge(b)
+        merged = a.histogram("h")
+        assert merged.count == 2
+        assert merged.minimum == 1.0
+        assert merged.maximum == 5.0
+
+
+class TestSnapshot:
+    def test_snapshot_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h").observe(2.0)
+        clone = MetricsRegistry.from_snapshot(registry.snapshot())
+        assert clone.snapshot() == registry.snapshot()
+
+    def test_snapshot_is_sorted_and_json_friendly(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        json.dumps(snapshot)  # must not raise
+
+    def test_empty_histogram_snapshot_has_null_extrema(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        stats = registry.snapshot()["histograms"]["h"]
+        assert stats["min"] is None
+        assert stats["max"] is None
+        assert stats["count"] == 0
+
+
+class TestNullMetrics:
+    def test_instruments_are_shared_noops(self):
+        counter = NULL_METRICS.counter("a")
+        assert counter is NULL_METRICS.counter("b")
+        assert counter is NULL_METRICS.gauge("c")
+        assert counter is NULL_METRICS.histogram("d")
+        counter.inc()
+        counter.set(1.0)
+        counter.observe(2.0)  # all silently ignored
+
+    def test_snapshot_is_empty(self):
+        assert NULL_METRICS.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_disabled_flag(self):
+        assert NullMetrics.enabled is False
+        assert MetricsRegistry().enabled is True

@@ -1,0 +1,161 @@
+"""Tests for the tracing spans (repro.obs.tracing)."""
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    format_spans,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each reading advances by ``step``."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestTracer:
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("fig9"):
+            with tracer.span("solve_segment"):
+                pass
+            with tracer.span("solve_segment"):
+                pass
+        root = tracer.root
+        fig9 = root.children["fig9"]
+        assert fig9.count == 1
+        solve = fig9.children["solve_segment"]
+        assert solve.count == 2
+        assert root.depth() == 3  # root > fig9 > solve_segment
+
+    def test_injectable_clock_gives_exact_durations(self):
+        # Each clock reading ticks 1.0s: a leaf span spans exactly one
+        # tick; the parent includes the child's two ticks plus its own.
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner = tracer.root.children["outer"].children["inner"]
+        outer = tracer.root.children["outer"]
+        assert inner.total_seconds == pytest.approx(1.0)
+        assert outer.total_seconds == pytest.approx(3.0)
+
+    def test_same_name_under_one_parent_aggregates(self):
+        tracer = Tracer(clock=FakeClock())
+        for _ in range(5):
+            with tracer.span("solve"):
+                pass
+        assert len(tracer.root.children) == 1
+        node = tracer.root.children["solve"]
+        assert node.count == 5
+        assert node.total_seconds == pytest.approx(5.0)
+
+    def test_attributes_merge_last_write_wins(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("s", ways=2):
+            pass
+        with tracer.span("s", ways=4) as span:
+            span.set(converged=True)
+        node = tracer.root.children["s"]
+        assert node.attributes == {"ways": 4, "converged": True}
+
+    def test_current_tracks_the_stack(self):
+        tracer = Tracer(clock=FakeClock())
+        assert tracer.current is tracer.root
+        with tracer.span("a"):
+            assert tracer.current.name == "a"
+        assert tracer.current is tracer.root
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.current is tracer.root
+        assert tracer.root.children["boom"].count == 1
+
+
+class TestSpanSerialization:
+    def test_roundtrip(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a", k="v"):
+            with tracer.span("b"):
+                pass
+        clone = Span.from_dict(tracer.root.to_dict())
+        assert clone.depth() == tracer.root.depth()
+        assert clone.children["a"].attributes == {"k": "v"}
+        assert clone.children["a"].children["b"].count == 1
+        assert (
+            clone.children["a"].total_seconds
+            == tracer.root.children["a"].total_seconds
+        )
+
+    def test_format_spans_outline(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("fig4"):
+            with tracer.span("simulate"):
+                pass
+        text = format_spans(tracer.root)
+        lines = text.splitlines()
+        assert lines[0].startswith("fig4")
+        assert lines[1].startswith("  simulate")
+
+
+class TestNullTracer:
+    def test_span_is_shared_noop(self):
+        first = NULL_TRACER.span("a", attr=1)
+        second = NULL_TRACER.span("b")
+        assert first is second
+        with first as handle:
+            assert handle.set(x=1) is handle
+
+    def test_disabled_flag(self):
+        assert NullTracer.enabled is False
+        assert Tracer(clock=FakeClock()).enabled is True
+
+
+class TestRuntime:
+    def test_default_is_silent(self):
+        assert runtime.tracer is NULL_TRACER
+
+    def test_observing_installs_and_restores(self):
+        with runtime.observing() as (tracer, metrics):
+            assert runtime.tracer is tracer
+            assert runtime.metrics is metrics
+            with runtime.tracer.span("x"):
+                pass
+        assert runtime.tracer is NULL_TRACER
+        assert tracer.root.children["x"].count == 1
+
+    def test_observing_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with runtime.observing():
+                raise RuntimeError("x")
+        assert runtime.tracer is NULL_TRACER
+
+    def test_observing_scopes_nest(self):
+        with runtime.observing() as (outer, _):
+            with runtime.observing() as (inner, _):
+                assert runtime.tracer is inner
+            assert runtime.tracer is outer
+
+    def test_install_and_reset(self):
+        tracer = Tracer(clock=FakeClock())
+        runtime.install(tracer)
+        try:
+            assert runtime.tracer is tracer
+        finally:
+            runtime.reset()
+        assert runtime.tracer is NULL_TRACER
