@@ -6,6 +6,14 @@ Usage::
     python -m repro run fig9             # one figure
     python -m repro run all              # every figure + extension
     python -m repro run fig9 --fast      # reduced sweeps
+    python -m repro run all --fast --jobs 4
+                                         # experiments fan out across
+                                         #   4 worker processes
+    python -m repro run fig9 --fast --jobs 4
+                                         # sweep points fan out instead
+    python -m repro run all --fast --cache-dir runs/cache
+                                         # persistent simulation cache:
+                                         #   warm reruns skip solves
     python -m repro run fig9 --fast --json --trace
                                          # + JSON artifact under runs/
                                          #   and a span-tree printout
@@ -13,6 +21,11 @@ Usage::
 ``run all`` executes every experiment except ``report`` (the report
 re-runs all figures itself, so including it would execute the whole
 evaluation twice); ``run report`` stays available directly.
+
+Determinism guarantee: for any ``--jobs`` value the printed tables,
+figure rows, notes and artifact figures are byte-for-byte identical to
+the sequential run — parallelism only changes wall-clock time (see
+``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -23,11 +36,15 @@ from typing import Callable
 
 from .experiments.runner import FigureResult
 from .obs import (
+    MetricsRegistry,
     RunArtifact,
+    Span,
     format_spans,
     observing,
     write_artifact,
 )
+from .parallel import parallel_context
+from .parallel.worker import run_experiment_task
 
 from .experiments import (
     ext_baselines,
@@ -91,6 +108,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced sweeps for a quick look",
     )
     run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=(
+            "worker processes: whole experiments fan out when several "
+            "were requested, independent sweep points otherwise "
+            "(default: 1, fully sequential; results are identical "
+            "for any value)"
+        ),
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the simulation cache (recompute every solve)",
+    )
+    run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=(
+            "persist the simulation cache under DIR (e.g. runs/cache); "
+            "warm reruns then skip previously-solved points"
+        ),
+    )
+    run.add_argument(
         "--json", action="store_true",
         help="write a JSON run artifact (rows + spans + metrics)",
     )
@@ -138,9 +175,71 @@ def _run_observed(name: str, args: argparse.Namespace) -> None:
             spans=tracer.to_dict(),
             metrics=metrics.snapshot(),
             fast=args.fast,
+            jobs=args.jobs,
         )
         path = write_artifact(artifact, args.out)
         print(f"artifact: {path}")
+
+
+def _emit_worker_payload(
+    payload: dict, args: argparse.Namespace
+) -> None:
+    """Re-emit one worker's experiment exactly as a sequential run."""
+    print(payload["stdout"], end="")
+    if args.trace and payload["spans"] is not None:
+        print()
+        print(format_spans(Span.from_dict(payload["spans"])))
+    if args.json:
+        artifact = RunArtifact(
+            experiment=payload["name"],
+            figures=(
+                [payload["figure"]]
+                if payload["figure"] is not None
+                else []
+            ),
+            spans=payload["spans"],
+            metrics=payload["metrics"]
+            or MetricsRegistry().snapshot(),
+            fast=args.fast,
+            jobs=args.jobs,
+            worker={
+                "pid": payload["pid"],
+                "wall_seconds": payload["seconds"],
+            },
+        )
+        path = write_artifact(artifact, args.out)
+        print(f"artifact: {path}")
+
+
+def _run_parallel(names: list[str], args: argparse.Namespace) -> None:
+    """Experiment-level fan-out: one pool task per experiment.
+
+    Tasks complete in any order; payloads are printed (and their
+    artifacts written) in the sequential schedule order, so the
+    combined stdout is byte-for-byte the ``--jobs 1`` output.
+    """
+    observe = args.json or args.trace
+    with parallel_context(
+        jobs=args.jobs,
+        cache_enabled=not args.no_cache,
+        disk_dir=args.cache_dir,
+    ) as context:
+        pool = context.pool()
+        futures = [
+            pool.submit(
+                run_experiment_task,
+                name,
+                args.fast,
+                observe,
+                not args.no_cache,
+                args.cache_dir,
+            )
+            for name in names
+        ]
+        for index, future in enumerate(futures):
+            if index:
+                print()
+            _emit_worker_payload(future.result(), args)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -151,15 +250,29 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name.ljust(width)}  {description}")
         return 0
 
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+
     names = expand_experiments(args.experiment)
-    for index, name in enumerate(names):
-        if index:
-            print()
-        if args.json or args.trace:
-            _run_observed(name, args)
-        else:
-            runner, _ = EXPERIMENTS[name]
-            runner(fast=args.fast)
+    if args.jobs > 1 and len(names) > 1:
+        _run_parallel(names, args)
+        return 0
+
+    with parallel_context(
+        jobs=args.jobs,
+        cache_enabled=not args.no_cache,
+        disk_dir=args.cache_dir,
+    ):
+        for index, name in enumerate(names):
+            if index:
+                print()
+            if args.json or args.trace:
+                _run_observed(name, args)
+            else:
+                runner, _ = EXPERIMENTS[name]
+                runner(fast=args.fast)
     return 0
 
 

@@ -20,7 +20,7 @@ from ..config import SystemSpec
 from ..model.streams import AccessProfile, skewed_regions
 from ..workloads.microbench import DICT_40_MIB, query1, query2
 from .reporting import format_table
-from .runner import ExperimentRunner, FigureResult
+from .runner import ExperimentRunner, FigureResult, PairRequest
 
 GROUPS = 10**4
 
@@ -68,9 +68,13 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
         ):
             result.add(label, f"isolated_llc_{fraction:.0%}",
                        round(normalized, 3))
-        off = runner.pair(scan_profile, profile)
-        on = runner.pair(scan_profile, profile,
-                         first_mask=runner.polluting_mask())
+        off, on = runner.pair_batch(
+            [
+                PairRequest(scan_profile, profile),
+                PairRequest(scan_profile, profile,
+                            first_mask=runner.polluting_mask()),
+            ]
+        )
         result.add(label, "with_scan",
                    round(off.normalized[profile.name], 3))
         result.add(label, "with_scan_partitioned",

@@ -25,7 +25,7 @@ from ..operators.aggregate import GroupedAggregation
 from ..operators.sort_aggregate import SortAggregation
 from ..workloads.microbench import DICT_40_MIB, query1
 from .reporting import format_table
-from .runner import ExperimentRunner, FigureResult
+from .runner import ExperimentRunner, FigureResult, PairRequest
 
 GROUPS = 10**5
 
@@ -59,13 +59,15 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
         iso_tps = isolated.throughput_tuples_per_s
         result.add(profile.name, "isolated", round(iso_tps / 1e9, 3),
                    1.0)
-        for label, scan_mask in (
-            ("with_scan", None),
-            ("with_scan_partitioned", runner.polluting_mask()),
-        ):
-            outcome = runner.pair(
-                scan_profile, profile, first_mask=scan_mask
-            )
+        labels = ("with_scan", "with_scan_partitioned")
+        outcomes = runner.pair_batch(
+            [
+                PairRequest(scan_profile, profile,
+                            first_mask=scan_mask)
+                for scan_mask in (None, runner.polluting_mask())
+            ]
+        )
+        for label, outcome in zip(labels, outcomes):
             tps = outcome.results[profile.name].throughput_tuples_per_s
             result.add(
                 profile.name, label, round(tps / 1e9, 3),

@@ -14,7 +14,7 @@ from ..workloads.microbench import query1
 from ..workloads.s4hana import oltp_query_13_columns
 from .fig12_oltp import OLTP_CORES
 from .reporting import format_table
-from .runner import ExperimentRunner, FigureResult
+from .runner import ExperimentRunner, FigureResult, PairRequest
 
 
 def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
@@ -35,16 +35,19 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
     )
     result.add("isolated", round(isolated.queries_per_s, 1), 1.0)
 
-    for label, scan_mask in (
-        ("concurrent", None),
-        ("concurrent_partitioned", runner.polluting_mask()),
-    ):
-        outcome = runner.pair(
-            scan_profile,
-            oltp_profile,
-            first_mask=scan_mask,
-            second_cores=OLTP_CORES,
-        )
+    labels = ("concurrent", "concurrent_partitioned")
+    outcomes = runner.pair_batch(
+        [
+            PairRequest(
+                scan_profile,
+                oltp_profile,
+                first_mask=scan_mask,
+                second_cores=OLTP_CORES,
+            )
+            for scan_mask in (None, runner.polluting_mask())
+        ]
+    )
+    for label, outcome in zip(labels, outcomes):
         oltp_result = outcome.results[oltp_profile.name]
         result.add(
             label,

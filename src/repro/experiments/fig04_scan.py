@@ -27,11 +27,17 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
         headers=("cache_mib", "ways", "normalized_throughput",
                  "llc_hit_ratio", "mpi"),
     )
-    baseline = runner.experiment.isolated(profile)
-    for ways in runner.sweep_ways(fast):
-        point = runner.experiment.isolated(
-            profile, mask=runner.mask_for_ways(ways)
-        )
+    # Phase 1: every point of the sweep — plus the paper's single-way
+    # observation — is independent, so they evaluate as one batch
+    # (fanned out across the process pool when one is installed).
+    ways_sequence = runner.sweep_ways(fast)
+    baseline, points = runner.isolated_sweep(
+        profile, ways_sequence + (1,)
+    )
+    *sweep_points, single_way = points
+
+    # Phase 2: assemble rows in sweep order.
+    for ways, point in zip(ways_sequence, sweep_points):
         result.add(
             round(runner.cache_mib(ways), 2),
             ways,
@@ -45,9 +51,6 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
         )
 
     # The paper's 0x1 observation: one way defeats the prefetcher.
-    single_way = runner.experiment.isolated(
-        profile, mask=runner.mask_for_ways(1)
-    )
     result.notes.append(
         "mask 0x1 (single way): normalized throughput "
         f"{single_way.throughput_tuples_per_s / baseline.throughput_tuples_per_s:.2f}"

@@ -48,6 +48,13 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
     group_sizes = GROUP_SIZES if not fast else (
         GROUP_SIZES[0], GROUP_SIZES[3], GROUP_SIZES[4]
     )
+    ways_sequence = runner.sweep_ways(fast)
+
+    # Phase 1: collect every (dictionary, groups) combination with its
+    # baseline and sweep points into one batch, in the order the
+    # sequential loops would solve them.
+    combos = []
+    requests: list[tuple] = []
     for panel, distinct, label in PANELS:
         dict_mib = round(
             runner.calibration.dictionary_bytes(distinct) / (1 << 20)
@@ -56,24 +63,33 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
             profile = query2(distinct, groups).profile(
                 runner.workers, runner.calibration
             )
-            baseline = runner.experiment.isolated(profile)
-            for ways in runner.sweep_ways(fast):
-                point = runner.experiment.isolated(
-                    profile, mask=runner.mask_for_ways(ways)
-                )
-                result.add(
-                    panel,
-                    dict_mib,
-                    groups,
-                    round(runner.cache_mib(ways), 2),
-                    ways,
-                    round(
-                        point.throughput_tuples_per_s
-                        / baseline.throughput_tuples_per_s,
-                        3,
-                    ),
-                )
+            combos.append((panel, dict_mib, groups))
+            requests.append((profile, None, None))
+            requests.extend(
+                (profile, runner.mask_for_ways(ways), None)
+                for ways in ways_sequence
+            )
         result.notes.append(f"panel {panel}: {label}")
+
+    # Phase 2: evaluate the batch (process-pool fan-out when active)
+    # and assemble rows in the original nested-loop order.
+    outcomes = iter(runner.experiment.isolated_batch(requests))
+    for panel, dict_mib, groups in combos:
+        baseline = next(outcomes)
+        for ways in ways_sequence:
+            point = next(outcomes)
+            result.add(
+                panel,
+                dict_mib,
+                groups,
+                round(runner.cache_mib(ways), 2),
+                ways,
+                round(
+                    point.throughput_tuples_per_s
+                    / baseline.throughput_tuples_per_s,
+                    3,
+                ),
+            )
     return result
 
 

@@ -25,15 +25,29 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
         headers=("primary_keys", "bit_vector_mb", "cache_mib", "ways",
                  "normalized_throughput"),
     )
+    ways_sequence = runner.sweep_ways(fast)
+
+    # Phase 1: one batch covering every key count's baseline + sweep,
+    # in sequential solve order.
+    combos = []
+    requests: list[tuple] = []
     for pk_rows in PRIMARY_KEY_SIZES:
         config = query3(pk_rows)
         profile = config.profile(runner.workers, runner.calibration)
-        baseline = runner.experiment.isolated(profile)
         vector_mb = config.bit_vector_bytes(runner.calibration) / 1e6
-        for ways in runner.sweep_ways(fast):
-            point = runner.experiment.isolated(
-                profile, mask=runner.mask_for_ways(ways)
-            )
+        combos.append((pk_rows, vector_mb))
+        requests.append((profile, None, None))
+        requests.extend(
+            (profile, runner.mask_for_ways(ways), None)
+            for ways in ways_sequence
+        )
+
+    # Phase 2: evaluate (pool fan-out when active), assemble in order.
+    outcomes = iter(runner.experiment.isolated_batch(requests))
+    for pk_rows, vector_mb in combos:
+        baseline = next(outcomes)
+        for ways in ways_sequence:
+            point = next(outcomes)
             result.add(
                 pk_rows,
                 round(vector_mb, 3),

@@ -25,7 +25,7 @@ from ..workloads.microbench import (
     query2,
 )
 from .reporting import format_table
-from .runner import ExperimentRunner, FigureResult
+from .runner import ExperimentRunner, FigureResult, PairRequest
 
 PANELS = (
     ("9a", DICT_4_MIB),
@@ -52,6 +52,9 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
     group_sizes = GROUP_SIZES if not fast else (
         GROUP_SIZES[0], GROUP_SIZES[3], GROUP_SIZES[4]
     )
+    # Phase 1: describe every pair measurement in nested-loop order.
+    points = []
+    requests = []
     for panel, distinct in PANELS:
         dict_mib = round(
             runner.calibration.dictionary_bytes(distinct) / (1 << 20)
@@ -64,19 +67,29 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
                 ("off", None),
                 ("on", runner.polluting_mask()),
             ):
-                outcome = runner.pair(
-                    scan_profile, agg_profile, first_mask=scan_mask
+                points.append((panel, dict_mib, groups, label, agg_profile))
+                requests.append(
+                    PairRequest(
+                        scan_profile, agg_profile, first_mask=scan_mask
+                    )
                 )
-                result.add(
-                    panel,
-                    dict_mib,
-                    groups,
-                    label,
-                    round(outcome.normalized[scan_profile.name], 3),
-                    round(outcome.normalized[agg_profile.name], 3),
-                    round(outcome.counters.llc_hit_ratio, 3),
-                    round(outcome.counters.misses_per_instruction, 5),
-                )
+
+    # Phase 2: evaluate the batch (pool fan-out when active) and
+    # assemble rows in the same order.
+    outcomes = runner.pair_batch(requests)
+    for (panel, dict_mib, groups, label, agg_profile), outcome in zip(
+        points, outcomes
+    ):
+        result.add(
+            panel,
+            dict_mib,
+            groups,
+            label,
+            round(outcome.normalized[scan_profile.name], 3),
+            round(outcome.normalized[agg_profile.name], 3),
+            round(outcome.counters.llc_hit_ratio, 3),
+            round(outcome.counters.misses_per_instruction, 5),
+        )
     return result
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from ..config import SystemSpec
 from ..workloads.microbench import DICT_40_MIB, GROUP_SIZES, query2, query3
 from .reporting import format_table
-from .runner import ExperimentRunner, FigureResult
+from .runner import ExperimentRunner, FigureResult, PairRequest
 
 PANELS = (("10a", 10**6), ("10b", 10**8))
 
@@ -42,6 +42,9 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
     group_sizes = GROUP_SIZES if not fast else (
         GROUP_SIZES[1], GROUP_SIZES[4]
     )
+    # Phase 1: describe every (panel, groups, scheme) measurement.
+    points = []
+    requests = []
     for panel, pk_rows in PANELS:
         join_profile = query3(pk_rows).profile(
             runner.workers, runner.calibration
@@ -56,19 +59,30 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
                 ("join_60pct", runner.adaptive_mask()),
             )
             for label, join_mask in schemes:
-                outcome = runner.pair(
-                    agg_profile, join_profile, second_mask=join_mask
+                points.append(
+                    (panel, pk_rows, groups, label,
+                     agg_profile, join_profile)
                 )
-                result.add(
-                    panel,
-                    pk_rows,
-                    groups,
-                    label,
-                    round(outcome.normalized[agg_profile.name], 3),
-                    round(outcome.normalized[join_profile.name], 3),
-                    round(outcome.counters.llc_hit_ratio, 3),
-                    round(outcome.counters.misses_per_instruction, 5),
+                requests.append(
+                    PairRequest(
+                        agg_profile, join_profile, second_mask=join_mask
+                    )
                 )
+
+    # Phase 2: evaluate and assemble in order.
+    outcomes = runner.pair_batch(requests)
+    for point, outcome in zip(points, outcomes):
+        panel, pk_rows, groups, label, agg_profile, join_profile = point
+        result.add(
+            panel,
+            pk_rows,
+            groups,
+            label,
+            round(outcome.normalized[agg_profile.name], 3),
+            round(outcome.normalized[join_profile.name], 3),
+            round(outcome.counters.llc_hit_ratio, 3),
+            round(outcome.counters.misses_per_instruction, 5),
+        )
     return result
 
 

@@ -14,7 +14,7 @@ from ..config import SystemSpec
 from ..workloads.microbench import query1
 from ..workloads.tpch import all_queries
 from .reporting import format_table
-from .runner import ExperimentRunner, FigureResult
+from .runner import ExperimentRunner, FigureResult, PairRequest
 
 
 def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
@@ -36,21 +36,31 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
         queries = tuple(
             q for q in queries if q.number in (1, 6, 7, 9, 13, 18, 22)
         )
+    # Phase 1: one pair request per (TPC-H query, partitioning) point.
+    points = []
+    requests = []
     for tpch in queries:
         tpch_profile = tpch.profile(runner.workers, runner.calibration)
         for label, scan_mask in (
             ("off", None),
             ("on", runner.polluting_mask()),
         ):
-            outcome = runner.pair(
-                scan_profile, tpch_profile, first_mask=scan_mask
+            points.append((tpch.name, label, tpch_profile))
+            requests.append(
+                PairRequest(
+                    scan_profile, tpch_profile, first_mask=scan_mask
+                )
             )
-            result.add(
-                tpch.name,
-                label,
-                round(outcome.normalized[tpch_profile.name], 3),
-                round(outcome.normalized[scan_profile.name], 3),
-            )
+
+    # Phase 2: evaluate and assemble in order.
+    outcomes = runner.pair_batch(requests)
+    for (name, label, tpch_profile), outcome in zip(points, outcomes):
+        result.add(
+            name,
+            label,
+            round(outcome.normalized[tpch_profile.name], 3),
+            round(outcome.normalized[scan_profile.name], 3),
+        )
     return result
 
 

@@ -22,7 +22,7 @@ from ..workloads.s4hana import (
     oltp_query_n_columns,
 )
 from .reporting import format_table
-from .runner import ExperimentRunner, FigureResult
+from .runner import ExperimentRunner, FigureResult, PairRequest
 
 OLTP_CORES = 2
 
@@ -45,27 +45,27 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
         ("12a", oltp_query_13_columns()),
         ("12b", oltp_query_6_columns()),
     )
+    # Phase 1: panel pairs, then the projected-column sweep (paper
+    # Sec. VI-E), all described in sequential order.
+    points = []
+    requests = []
     for panel, oltp in panels:
         oltp_profile = oltp.profile(runner.calibration)
         for label, scan_mask in (
             ("off", None),
             ("on", runner.polluting_mask()),
         ):
-            outcome = runner.pair(
-                scan_profile,
-                oltp_profile,
-                first_mask=scan_mask,
-                second_cores=OLTP_CORES,
+            points.append(
+                (panel, oltp.projected_columns, label, oltp_profile)
             )
-            result.add(
-                panel,
-                oltp.projected_columns,
-                label,
-                round(outcome.normalized[oltp_profile.name], 3),
-                round(outcome.normalized[scan_profile.name], 3),
+            requests.append(
+                PairRequest(
+                    scan_profile,
+                    oltp_profile,
+                    first_mask=scan_mask,
+                    second_cores=OLTP_CORES,
+                )
             )
-
-    # Additional experiment: projected-column sweep (2..13 columns).
     sweep_columns = (2, 4, 7, 10, 13) if not fast else (2, 13)
     for num_columns in sweep_columns:
         oltp = oltp_query_n_columns(num_columns)
@@ -74,19 +74,30 @@ def run(spec: SystemSpec | None = None, fast: bool = False) -> FigureResult:
             ("off", None),
             ("on", runner.polluting_mask()),
         ):
-            outcome = runner.pair(
-                scan_profile,
-                oltp_profile,
-                first_mask=scan_mask,
-                second_cores=OLTP_CORES,
+            points.append(
+                ("sweep", num_columns, label, oltp_profile)
             )
-            result.add(
-                "sweep",
-                num_columns,
-                label,
-                round(outcome.normalized[oltp_profile.name], 3),
-                round(outcome.normalized[scan_profile.name], 3),
+            requests.append(
+                PairRequest(
+                    scan_profile,
+                    oltp_profile,
+                    first_mask=scan_mask,
+                    second_cores=OLTP_CORES,
+                )
             )
+
+    # Phase 2: evaluate and assemble in order.
+    outcomes = runner.pair_batch(requests)
+    for (panel, columns, label, oltp_profile), outcome in zip(
+        points, outcomes
+    ):
+        result.add(
+            panel,
+            columns,
+            label,
+            round(outcome.normalized[oltp_profile.name], 3),
+            round(outcome.normalized[scan_profile.name], 3),
+        )
     return result
 
 

@@ -15,13 +15,15 @@ from dataclasses import dataclass, field
 
 from ..config import SystemSpec
 from ..core.policy import PartitioningScheme, paper_scheme
-from ..engine.cache_control import CacheController
+from ..engine.cache_control import CacheController, CuidPolicy
 from ..errors import WorkloadError
 from ..hardware.cat import CatController
 from ..hardware.counters import PerfCounters
 from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..model.simulator import QueryResult
 from ..model.streams import AccessProfile
 from ..obs import runtime
+from ..parallel import executor as parallel
 from ..resctrl.filesystem import ResctrlFilesystem
 from ..resctrl.interface import ResctrlInterface
 from ..workloads.mixed import (
@@ -45,7 +47,7 @@ class FigureResult:
         if len(values) != len(self.headers):
             raise WorkloadError(
                 f"row width {len(values)} != header width "
-                f"{len(self.headers)}"
+                f"{len(self.headers)} in {self.figure_id}"
             )
         self.rows.append(tuple(values))
 
@@ -97,6 +99,36 @@ class FigureResult:
         )
 
 
+@dataclass(frozen=True)
+class PairRequest:
+    """One concurrent-pair measurement, described by value.
+
+    The figure modules build lists of these (one per sweep point) and
+    hand them to :meth:`ExperimentRunner.pair_batch`, which evaluates
+    independent points on the active process pool while assembling
+    rows in the sequential schedule order.
+    """
+
+    first: AccessProfile
+    second: AccessProfile
+    first_mask: int | None = None
+    second_mask: int | None = None
+    first_cores: int | None = None
+    second_cores: int | None = None
+
+    def queries(self) -> list[WorkloadQuery]:
+        return [
+            WorkloadQuery(
+                self.first.name, self.first, self.first_mask,
+                self.first_cores,
+            ),
+            WorkloadQuery(
+                self.second.name, self.second, self.second_mask,
+                self.second_cores,
+            ),
+        ]
+
+
 class ExperimentRunner:
     """Common setup for all figure reproductions."""
 
@@ -129,6 +161,10 @@ class ExperimentRunner:
         # PCM analogue: per-query counter totals accumulated over every
         # concurrent measurement of this runner, published as gauges.
         self.perf = PerfCounters()
+        # Lowering the scheme's fractions to bitmasks is pure in (spec,
+        # scheme); memoize it so polluting_mask()/adaptive_mask() stay
+        # free inside sweep loops.
+        self._cuid_policy: CuidPolicy | None = None
 
     @property
     def workers(self) -> int:
@@ -151,11 +187,17 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
 
+    def cuid_policy(self) -> CuidPolicy:
+        """The scheme lowered to bitmasks, computed once per runner."""
+        if self._cuid_policy is None:
+            self._cuid_policy = self.scheme.to_cuid_policy(self.spec)
+        return self._cuid_policy
+
     def polluting_mask(self) -> int:
-        return self.scheme.to_cuid_policy(self.spec).polluting_mask
+        return self.cuid_policy().polluting_mask
 
     def adaptive_mask(self) -> int:
-        return self.scheme.to_cuid_policy(self.spec).adaptive_sensitive_mask
+        return self.cuid_policy().adaptive_sensitive_mask
 
     def pair(
         self,
@@ -183,6 +225,65 @@ class ExperimentRunner:
             )
         self._record_counters(outcome)
         return outcome
+
+    def pair_batch(
+        self, requests: list[PairRequest]
+    ) -> list[ConcurrentResult]:
+        """Evaluate many independent pair measurements.
+
+        Sequentially (no process pool installed) this is exactly
+        ``[self.pair(...) for ...]`` — identical spans, counters and
+        controller statistics.  With a pool, all simulations are
+        fanned out first and the engine-integration side (worker
+        association, PCM accumulation) then replays in request order,
+        so the association sequence the compare-before-set controller
+        sees — and therefore its elision statistics — match the
+        sequential schedule.
+        """
+        if parallel.current_pool() is None:
+            return [
+                self.pair(
+                    request.first,
+                    request.second,
+                    first_mask=request.first_mask,
+                    second_mask=request.second_mask,
+                    first_cores=request.first_cores,
+                    second_cores=request.second_cores,
+                )
+                for request in requests
+            ]
+        outcomes = self.experiment.concurrent_batch(
+            [request.queries() for request in requests]
+        )
+        for request, outcome in zip(requests, outcomes):
+            with runtime.tracer.span(
+                "pair",
+                first=request.first.name,
+                second=request.second.name,
+            ):
+                self._associate_workers(
+                    request.first_mask, request.second_mask
+                )
+            self._record_counters(outcome)
+        return outcomes
+
+    def isolated_sweep(
+        self, profile: AccessProfile, ways_sequence: tuple[int, ...]
+    ) -> tuple[QueryResult, list[QueryResult]]:
+        """Full-cache baseline plus one isolated point per way count.
+
+        The common shape of Figs. 4-6: points are independent, so they
+        fan out across the pool; the returned list preserves
+        ``ways_sequence`` order.
+        """
+        baseline = self.experiment.isolated(profile)
+        points = self.experiment.isolated_batch(
+            [
+                (profile, self.mask_for_ways(ways), None)
+                for ways in ways_sequence
+            ]
+        )
+        return baseline, points
 
     def _record_counters(self, outcome: ConcurrentResult) -> None:
         """Accumulate one second's worth of each query's counter rates

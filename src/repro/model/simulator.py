@@ -76,6 +76,22 @@ class CounterRates:
             self.llc_hits_per_s + other.llc_hits_per_s,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (exact float round trip)."""
+        return {
+            "instructions_per_s": self.instructions_per_s,
+            "llc_references_per_s": self.llc_references_per_s,
+            "llc_hits_per_s": self.llc_hits_per_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CounterRates":
+        return cls(
+            instructions_per_s=payload["instructions_per_s"],
+            llc_references_per_s=payload["llc_references_per_s"],
+            llc_hits_per_s=payload["llc_hits_per_s"],
+        )
+
 
 @dataclass
 class QueryResult:
@@ -91,6 +107,41 @@ class QueryResult:
     dram_bytes_per_s: float = 0.0
     bandwidth_slowdown: float = 1.0
     counters: CounterRates = field(default_factory=CounterRates)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form, exact to the last float bit.
+
+        JSON serializes floats via ``repr``, which round-trips every
+        finite IEEE-754 double exactly — the simulation cache relies
+        on this to keep cached reruns byte-identical to cold solves.
+        """
+        return {
+            "name": self.name,
+            "throughput_tuples_per_s": self.throughput_tuples_per_s,
+            "per_tuple_seconds": self.per_tuple_seconds,
+            "queries_per_s": self.queries_per_s,
+            "region_hit_ratios": dict(self.region_hit_ratios),
+            "region_l2_fractions": dict(self.region_l2_fractions),
+            "time_breakdown": dict(self.time_breakdown),
+            "dram_bytes_per_s": self.dram_bytes_per_s,
+            "bandwidth_slowdown": self.bandwidth_slowdown,
+            "counters": self.counters.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryResult":
+        return cls(
+            name=payload["name"],
+            throughput_tuples_per_s=payload["throughput_tuples_per_s"],
+            per_tuple_seconds=payload["per_tuple_seconds"],
+            queries_per_s=payload["queries_per_s"],
+            region_hit_ratios=dict(payload["region_hit_ratios"]),
+            region_l2_fractions=dict(payload["region_l2_fractions"]),
+            time_breakdown=dict(payload["time_breakdown"]),
+            dram_bytes_per_s=payload["dram_bytes_per_s"],
+            bandwidth_slowdown=payload["bandwidth_slowdown"],
+            counters=CounterRates.from_dict(payload["counters"]),
+        )
 
 
 def system_counters(results: dict[str, QueryResult]) -> CounterRates:

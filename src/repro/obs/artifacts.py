@@ -24,7 +24,14 @@ from pathlib import Path
 
 from ..errors import ObservabilityError
 
-SCHEMA_VERSION = 1
+#: Version 2 adds the parallel-execution fields: ``jobs`` (the
+#: ``--jobs`` value the run was launched with) and ``worker`` (per-
+#: worker timing — ``{"pid": ..., "wall_seconds": ...}`` — when the
+#: experiment ran on a pool worker).  Version-1 files remain loadable;
+#: the new fields default to a sequential run.
+SCHEMA_VERSION = 2
+
+_LOADABLE_VERSIONS = (1, 2)
 
 DEFAULT_RUNS_DIR = "runs"
 
@@ -38,6 +45,8 @@ class RunArtifact:
     metrics: dict = field(default_factory=dict)
     spans: dict | None = None
     fast: bool = False
+    jobs: int = 1
+    worker: dict | None = None
     created_at: str = ""
     schema_version: int = SCHEMA_VERSION
 
@@ -55,6 +64,8 @@ class RunArtifact:
             "experiment": self.experiment,
             "created_at": self.created_at,
             "fast": self.fast,
+            "jobs": self.jobs,
+            "worker": self.worker,
             "figures": self.figures,
             "spans": self.spans,
             "metrics": self.metrics,
@@ -63,7 +74,7 @@ class RunArtifact:
     @classmethod
     def from_dict(cls, payload: dict) -> "RunArtifact":
         version = payload.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in _LOADABLE_VERSIONS:
             raise ObservabilityError(
                 f"unsupported artifact schema version: {version!r}"
             )
@@ -73,6 +84,8 @@ class RunArtifact:
             metrics=dict(payload.get("metrics", {})),
             spans=payload.get("spans"),
             fast=bool(payload.get("fast", False)),
+            jobs=int(payload.get("jobs", 1)),
+            worker=payload.get("worker"),
             created_at=payload["created_at"],
             schema_version=version,
         )

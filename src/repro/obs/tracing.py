@@ -80,6 +80,21 @@ class Span:
             return 1
         return 1 + max(child.depth() for child in self.children.values())
 
+    def merge(self, other: "Span") -> None:
+        """Fold another subtree into this one.
+
+        The span analogue of ``MetricsRegistry.merge``: counts and
+        durations add, attributes take the incoming value (last writer
+        wins), children merge recursively by name.  Used to ship span
+        trees recorded by worker processes back into the parent run's
+        tracer.
+        """
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+        self.attributes.update(other.attributes)
+        for child in other.children.values():
+            self.child(child.name).merge(child)
+
 
 class _ActiveSpan:
     """Context manager for one entry into an aggregated span."""
@@ -141,6 +156,18 @@ class Tracer:
     def to_dict(self) -> dict:
         return self.root.to_dict()
 
+    def merge_span_dict(self, payload: dict) -> None:
+        """Merge a serialized span tree under the current span.
+
+        ``payload`` is a ``Tracer.to_dict()`` from another tracer
+        (typically a worker process); its root node is discarded and
+        its children are merged into the innermost active span, as if
+        the work had happened inline.
+        """
+        incoming = Span.from_dict(payload)
+        for child in incoming.children.values():
+            self.current.child(child.name).merge(child)
+
 
 class _NullSpan:
     """Shared no-op span handle: the disabled-tracing fast path."""
@@ -167,6 +194,9 @@ class NullTracer:
 
     def span(self, name: str, **attributes) -> _NullSpan:
         return NULL_SPAN
+
+    def merge_span_dict(self, payload: dict) -> None:
+        pass
 
 
 NULL_TRACER = NullTracer()

@@ -1,0 +1,39 @@
+"""Parallel experiment execution and simulation caching.
+
+Two cooperating pieces (see ``docs/PERFORMANCE.md``):
+
+* :mod:`repro.parallel.executor` — a process-pool context installed
+  per scope; experiments and sweep points fan out across it,
+* :mod:`repro.parallel.simcache` — a content-addressed cache around
+  ``WorkloadSimulator.simulate`` (in-memory LRU + optional on-disk
+  layer), so repeated and previously-solved workload fixed points are
+  never recomputed.
+"""
+
+from .executor import (
+    ParallelContext,
+    current,
+    current_pool,
+    parallel_context,
+)
+from .simcache import (
+    KEY_SCHEMA,
+    SimulationCache,
+    SimulationRequest,
+    decode_results,
+    encode_results,
+    evaluate,
+)
+
+__all__ = [
+    "KEY_SCHEMA",
+    "ParallelContext",
+    "SimulationCache",
+    "SimulationRequest",
+    "current",
+    "current_pool",
+    "decode_results",
+    "encode_results",
+    "evaluate",
+    "parallel_context",
+]

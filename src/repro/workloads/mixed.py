@@ -25,6 +25,8 @@ from ..model.simulator import (
 )
 from ..model.streams import AccessProfile
 from ..obs import runtime
+from ..parallel import executor as parallel_executor
+from ..parallel.simcache import SimulationRequest, evaluate
 
 
 @dataclass(frozen=True)
@@ -61,8 +63,41 @@ class ConcurrencyExperiment:
         self.calibration = calibration
         self.simulator = WorkloadSimulator(self.spec, calibration)
         self._isolated_cache: dict[str, float] = {}
+        # Content-addressed simulate() cache, configured by the active
+        # parallel context.  A fresh in-memory layer per experiment
+        # keeps the hit/miss pattern of a figure identical whether it
+        # runs inline or on a pool worker; the optional disk layer is
+        # shared across runs.
+        self.sim_cache = parallel_executor.current().new_cache()
 
     # ------------------------------------------------------------------
+
+    def _request(self, specs: list[QuerySpec]) -> SimulationRequest:
+        return SimulationRequest(
+            spec=self.spec,
+            calibration=self.calibration,
+            queries=tuple(specs),
+            max_iterations=self.simulator.max_iterations,
+            damping=self.simulator.damping,
+            tolerance=self.simulator.tolerance,
+        )
+
+    def _evaluate(
+        self, batches: list[list[QuerySpec]], fan_out: bool = False
+    ) -> list[dict[str, QueryResult]]:
+        """Evaluate simulate() batches through the cache.
+
+        ``fan_out=True`` additionally ships cache misses to the active
+        process pool (when one is installed); the batch APIs use it for
+        independent sweep points.  Results always come back in batch
+        order, decoded to fresh objects.
+        """
+        pool = parallel_executor.current_pool() if fan_out else None
+        return evaluate(
+            [self._request(specs) for specs in batches],
+            cache=self.sim_cache,
+            pool=pool,
+        )
 
     def isolated(
         self,
@@ -71,20 +106,59 @@ class ConcurrencyExperiment:
         cores: int | None = None,
     ) -> QueryResult:
         """Run one query alone (full machine unless overridden)."""
-        spec = QuerySpec(
+        spec = self._isolated_spec(profile, mask, cores)
+        with runtime.tracer.span("isolated", query=profile.name):
+            return self._evaluate([[spec]])[0][profile.name]
+
+    def _isolated_spec(
+        self,
+        profile: AccessProfile,
+        mask: int | None = None,
+        cores: int | None = None,
+    ) -> QuerySpec:
+        return QuerySpec(
             name=profile.name,
             profile=profile,
             cores=cores if cores is not None else self.spec.cores,
             mask=mask if mask is not None else self.spec.full_mask,
         )
-        with runtime.tracer.span("isolated", query=profile.name):
-            return self.simulator.simulate([spec])[profile.name]
+
+    def isolated_batch(
+        self,
+        requests: list[tuple[AccessProfile, int | None, int | None]],
+    ) -> list[QueryResult]:
+        """Evaluate many isolated (profile, mask, cores) points.
+
+        Sequentially this is exactly ``[self.isolated(*r) for r in
+        requests]``; with a process pool installed, cache misses fan
+        out across workers.  Results preserve request order.
+        """
+        pool = parallel_executor.current_pool()
+        if pool is None:
+            return [
+                self.isolated(profile, mask, cores)
+                for profile, mask, cores in requests
+            ]
+        batches = [
+            [self._isolated_spec(profile, mask, cores)]
+            for profile, mask, cores in requests
+        ]
+        outcomes = self._evaluate(batches, fan_out=True)
+        results = []
+        for (profile, _, _), outcome in zip(requests, outcomes):
+            with runtime.tracer.span("isolated", query=profile.name):
+                results.append(outcome[profile.name])
+        return results
+
+    @staticmethod
+    def _baseline_key(profile: AccessProfile, cores: int | None) -> str:
+        return f"{profile.name}/{cores}/{hash(profile)}"
 
     def isolated_throughput(
         self, profile: AccessProfile, cores: int | None = None
     ) -> float:
         """Cached isolated full-cache throughput (the paper's baseline)."""
-        key = f"{profile.name}/{cores}/{hash(profile)}"
+        key = self._baseline_key(profile, cores)
         if key not in self._isolated_cache:
             self._isolated_cache[key] = self.isolated(
                 profile, cores=cores
@@ -112,28 +186,84 @@ class ConcurrencyExperiment:
                 f"ways must lie in [1, {total_ways}]: {ways_list}"
             )
         baseline = self.isolated_throughput(profile)
-        points = []
-        for ways in sorted(set(ways_list)):
-            mask = (1 << ways) - 1
-            result = self.isolated(profile, mask=mask)
-            points.append(
-                (ways / total_ways,
-                 result.throughput_tuples_per_s / baseline)
-            )
-        return points
+        ways_sequence = sorted(set(ways_list))
+        results = self.isolated_batch(
+            [(profile, (1 << ways) - 1, None) for ways in ways_sequence]
+        )
+        return [
+            (ways / total_ways,
+             result.throughput_tuples_per_s / baseline)
+            for ways, result in zip(ways_sequence, results)
+        ]
 
     # ------------------------------------------------------------------
 
     def concurrent(self, queries: list[WorkloadQuery]) -> ConcurrentResult:
         """Run queries concurrently; normalize each to its isolated run."""
+        specs = self._concurrent_specs(queries)
+        with runtime.tracer.span("concurrent"):
+            results = self._evaluate([specs])[0]
+            return self._assemble(queries, specs, results)
+
+    def concurrent_batch(
+        self, batches: list[list[WorkloadQuery]]
+    ) -> list[ConcurrentResult]:
+        """Evaluate many independent concurrent workloads.
+
+        Sequentially this is exactly ``[self.concurrent(b) for b in
+        batches]``.  With a process pool installed, the concurrent
+        solves *and* the isolated-baseline solves needed for
+        normalization are all submitted in one wave; assembly then
+        runs in batch order, so results — and every downstream figure
+        row — are identical to the sequential schedule.
+        """
+        pool = parallel_executor.current_pool()
+        if pool is None:
+            return [self.concurrent(batch) for batch in batches]
+
+        spec_lists = [self._concurrent_specs(batch) for batch in batches]
+        # Baselines not yet memoized, deduplicated in first-use order
+        # (the same order the sequential loop would solve them in).
+        baseline_batches: list[list[QuerySpec]] = []
+        baseline_keys: list[str] = []
+        seen: set[str] = set()
+        for batch, specs in zip(batches, spec_lists):
+            for query, spec in zip(batch, specs):
+                key = self._baseline_key(spec.profile, query.cores)
+                if key in self._isolated_cache or key in seen:
+                    continue
+                seen.add(key)
+                baseline_keys.append(key)
+                baseline_batches.append(
+                    [self._isolated_spec(spec.profile, cores=query.cores)]
+                )
+        outcomes = self._evaluate(
+            spec_lists + baseline_batches, fan_out=True
+        )
+        for key, batch_specs, outcome in zip(
+            baseline_keys,
+            baseline_batches,
+            outcomes[len(spec_lists):],
+        ):
+            name = batch_specs[0].name
+            self._isolated_cache[key] = outcome[
+                name
+            ].throughput_tuples_per_s
+        results = []
+        for batch, specs, outcome in zip(
+            batches, spec_lists, outcomes[: len(spec_lists)]
+        ):
+            with runtime.tracer.span("concurrent"):
+                results.append(self._assemble(batch, specs, outcome))
+        return results
+
+    def _concurrent_specs(
+        self, queries: list[WorkloadQuery]
+    ) -> list[QuerySpec]:
         if len(queries) < 2:
             raise WorkloadError(
                 "a concurrent workload needs at least two queries"
             )
-        with runtime.tracer.span("concurrent"):
-            return self._concurrent(queries)
-
-    def _concurrent(self, queries: list[WorkloadQuery]) -> ConcurrentResult:
         specs = []
         for query in queries:
             profile = query.profile
@@ -155,7 +285,14 @@ class ConcurrencyExperiment:
                     ),
                 )
             )
-        results = self.simulator.simulate(specs)
+        return specs
+
+    def _assemble(
+        self,
+        queries: list[WorkloadQuery],
+        specs: list[QuerySpec],
+        results: dict[str, QueryResult],
+    ) -> ConcurrentResult:
         normalized = {}
         for query, spec in zip(queries, specs):
             baseline = self.isolated_throughput(

@@ -110,4 +110,8 @@ class TestJsonArtifacts:
         capsys.readouterr()
         path = next(tmp_path.glob("fig4-*.json"))
         payload = json.loads(path.read_text())
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
+        # Sequential run: launched with the default --jobs 1 and not on
+        # a pool worker.
+        assert payload["jobs"] == 1
+        assert payload["worker"] is None

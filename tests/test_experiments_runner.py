@@ -4,7 +4,11 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentRunner, FigureResult
+from repro.experiments.runner import (
+    ExperimentRunner,
+    FigureResult,
+    PairRequest,
+)
 from repro.workloads.microbench import query1
 
 
@@ -21,6 +25,12 @@ class TestFigureResult:
 
     def test_add_checks_width(self, figure):
         with pytest.raises(WorkloadError):
+            figure.add(1, 2)
+
+    def test_add_error_names_the_figure(self, figure):
+        # Regression: the width error used not to say *which* figure
+        # rejected the row — useless when 'run all' is mid-flight.
+        with pytest.raises(WorkloadError, match="figX"):
             figure.add(1, 2)
 
     def test_column(self, figure):
@@ -81,6 +91,37 @@ class TestExperimentRunner:
         outcome = runner.pair(scan_a, scan_b)
         assert set(outcome.normalized) == {"a", "b"}
         assert set(outcome.results) == {"a", "b"}
+
+    def test_cuid_policy_is_memoized(self, runner):
+        assert runner.cuid_policy() is runner.cuid_policy()
+
+    def test_pair_batch_matches_pair(self, runner):
+        scan_a = query1().profile(name="a")
+        scan_b = query1().profile(name="b")
+        requests = [
+            PairRequest(scan_a, scan_b),
+            PairRequest(scan_a, scan_b, first_mask=0x3),
+        ]
+        batched = runner.pair_batch(requests)
+        singles = [
+            runner.pair(scan_a, scan_b),
+            runner.pair(scan_a, scan_b, first_mask=0x3),
+        ]
+        for one, other in zip(batched, singles):
+            assert one.normalized == other.normalized
+            assert one.results == other.results
+
+    def test_isolated_sweep_matches_point_calls(self, runner):
+        profile = query1().profile()
+        ways = (2, 20)
+        baseline, points = runner.isolated_sweep(profile, ways)
+        assert baseline == runner.experiment.isolated(profile)
+        assert points == [
+            runner.experiment.isolated(
+                profile, mask=runner.mask_for_ways(w)
+            )
+            for w in ways
+        ]
 
 
 class TestFormatTable:

@@ -84,6 +84,33 @@ class TestRoundTrip:
         assert load_artifact(second).experiment == "figX"
 
 
+class TestSchemaVersions:
+    def test_current_version_is_2(self, tmp_path):
+        artifact = RunArtifact(
+            experiment="figX", jobs=4,
+            worker={"pid": 123, "wall_seconds": 0.5},
+        )
+        loaded = load_artifact(write_artifact(artifact, tmp_path))
+        assert loaded.schema_version == 2
+        assert loaded.jobs == 4
+        assert loaded.worker == {"pid": 123, "wall_seconds": 0.5}
+
+    def test_version_1_files_stay_loadable(self, tmp_path):
+        # Files written before the parallel executor lack the jobs /
+        # worker fields; they default to a sequential run.
+        artifact = RunArtifact(experiment="figX")
+        path = write_artifact(artifact, tmp_path)
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = 1
+        del payload["jobs"]
+        del payload["worker"]
+        path.write_text(json.dumps(payload))
+        loaded = load_artifact(path)
+        assert loaded.schema_version == 1
+        assert loaded.jobs == 1
+        assert loaded.worker is None
+
+
 class TestValidation:
     def test_missing_experiment_rejected(self):
         with pytest.raises(ObservabilityError):

@@ -102,6 +102,39 @@ class TestSpanSerialization:
             == tracer.root.children["a"].total_seconds
         )
 
+    def test_merge_adds_counts_and_children(self):
+        first = Tracer(clock=FakeClock())
+        with first.span("solve"):
+            with first.span("inner"):
+                pass
+        second = Tracer(clock=FakeClock())
+        with second.span("solve", mask=0x3):
+            pass
+        first.root.merge(second.root)
+        solve = first.root.children["solve"]
+        assert solve.count == 2
+        assert solve.attributes == {"mask": 0x3}
+        assert solve.children["inner"].count == 1
+
+    def test_merge_span_dict_under_current(self):
+        worker = Tracer(clock=FakeClock())
+        with worker.span("simulate"):
+            pass
+        parent = Tracer(clock=FakeClock())
+        with parent.span("fig9"):
+            # The worker's root is discarded; its children land under
+            # the parent's innermost active span.
+            parent.merge_span_dict(worker.to_dict())
+        fig = parent.root.children["fig9"]
+        assert fig.children["simulate"].count == 1
+        assert "root" not in fig.children
+
+    def test_merge_span_dict_on_null_tracer_is_noop(self):
+        worker = Tracer(clock=FakeClock())
+        with worker.span("simulate"):
+            pass
+        NULL_TRACER.merge_span_dict(worker.to_dict())
+
     def test_format_spans_outline(self):
         tracer = Tracer(clock=FakeClock())
         with tracer.span("fig4"):
