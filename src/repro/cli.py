@@ -34,6 +34,7 @@ import argparse
 import sys
 from typing import Callable
 
+from . import seeding
 from .experiments.runner import FigureResult
 from .obs import (
     MetricsRegistry,
@@ -49,6 +50,7 @@ from .parallel.worker import run_experiment_task
 from .experiments import (
     ext_baselines,
     ext_scheduling,
+    ext_service,
     ext_skew,
     ext_sort_vs_hash,
     ext_trace_validation,
@@ -74,6 +76,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., object], str]] = {
     "fig12": (fig12_oltp.main, "scan || S/4HANA OLTP"),
     "ext-sched": (ext_scheduling.main, "cache-aware co-scheduling"),
     "ext-coloring": (ext_baselines.main, "CAT vs page coloring"),
+    "ext-service": (
+        ext_service.main,
+        "open-loop query service: load sweep + adaptive mix shift",
+    ),
     "ext-skew": (ext_skew.main, "uniform vs Zipf-skewed access"),
     "ext-sort": (ext_sort_vs_hash.main, "hash vs sort aggregation"),
     "ext-trace": (
@@ -139,6 +145,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="print the span tree after each experiment",
     )
+    run.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help=(
+            "run-level seed: every stochastic component (data "
+            "generators, skew draws) derives its stream from it and "
+            "the value is recorded in the run artifact"
+        ),
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="simulate the open-loop query service",
+        description=(
+            "Run the discrete-event query service: seeded open-loop "
+            "arrivals over the paper's query catalog, bounded "
+            "concurrency with queueing/shedding, per-tenant SLO "
+            "tracking, and (policy 'adaptive') online CAT "
+            "repartitioning.  Deterministic: the same arguments "
+            "produce a byte-identical report."
+        ),
+    )
+    serve.add_argument(
+        "--profile", choices=("poisson", "bursty", "diurnal"),
+        default="poisson", help="arrival process (default: poisson)",
+    )
+    serve.add_argument(
+        "--policy", choices=("none", "static", "adaptive"),
+        default="adaptive",
+        help=(
+            "partitioning policy: none (full LLC for everyone), "
+            "static (the paper's scheme), adaptive (online "
+            "controller; default)"
+        ),
+    )
+    serve.add_argument(
+        "--mix", choices=("olap", "oltp", "shift"), default="olap",
+        help=(
+            "workload mix: olap-heavy, oltp-heavy, or an olap->oltp "
+            "shift at mid-run (default: olap)"
+        ),
+    )
+    serve.add_argument(
+        "--duration", type=float, default=20.0, metavar="SECONDS",
+        help="arrival horizon in simulated seconds (default: 20)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=12.0, metavar="PER_S",
+        help="nominal offered load in requests/s (default: 12)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="arrival-process seed (recorded in the report)",
+    )
+    serve.add_argument(
+        "--out", default="runs", metavar="DIR",
+        help="report directory (default: runs/)",
+    )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="print the span tree after the run",
+    )
     return parser
 
 
@@ -176,6 +243,7 @@ def _run_observed(name: str, args: argparse.Namespace) -> None:
             metrics=metrics.snapshot(),
             fast=args.fast,
             jobs=args.jobs,
+            seed=args.seed,
         )
         path = write_artifact(artifact, args.out)
         print(f"artifact: {path}")
@@ -202,6 +270,7 @@ def _emit_worker_payload(
             or MetricsRegistry().snapshot(),
             fast=args.fast,
             jobs=args.jobs,
+            seed=args.seed,
             worker={
                 "pid": payload["pid"],
                 "wall_seconds": payload["seconds"],
@@ -233,6 +302,7 @@ def _run_parallel(names: list[str], args: argparse.Namespace) -> None:
                 observe,
                 not args.no_cache,
                 args.cache_dir,
+                args.seed,
             )
             for name in names
         ]
@@ -240,6 +310,66 @@ def _run_parallel(names: list[str], args: argparse.Namespace) -> None:
             if index:
                 print()
             _emit_worker_payload(future.result(), args)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run one service simulation and write its report."""
+    from .serve import QueryService, ServiceConfig
+    from .serve.arrivals import DEFAULT_ARRIVAL_SEED
+
+    seeding.set_seed(args.seed)
+    try:
+        config = ServiceConfig(
+            profile=args.profile,
+            policy=args.policy,
+            mix=args.mix,
+            duration_s=args.duration,
+            rate_per_s=args.rate,
+            seed=seeding.derive(
+                "serve.arrivals", DEFAULT_ARRIVAL_SEED
+            ),
+        )
+        with observing() as (tracer, _):
+            with tracer.span("serve"):
+                report = QueryService(config).run()
+        if args.trace:
+            print()
+            print(format_spans(tracer.root))
+        label = "default" if args.seed is None else str(args.seed)
+        path = report.write(
+            f"{args.out}/serve-{args.profile}-{args.policy}-"
+            f"seed{label}.json"
+        )
+        print(
+            f"serve: profile={args.profile} policy={args.policy} "
+            f"mix={args.mix} duration={args.duration:g}s "
+            f"rate={args.rate:g}/s seed={label}"
+        )
+        print(
+            f"  arrived={report.arrived} admitted={report.admitted} "
+            f"queued={report.queued} shed={report.shed} "
+            f"completed={report.completed} "
+            f"({report.completed_per_s:.2f}/s)"
+        )
+        for verdict in report.slo:
+            status = "OK" if verdict.ok else "VIOLATED"
+            print(
+                f"  tenant {verdict.tenant}: n={verdict.completed} "
+                f"p50={verdict.p50_s:.3f}s p95={verdict.p95_s:.3f}s "
+                f"p99={verdict.p99_s:.3f}s [{status}]"
+            )
+        controller = report.controller
+        if controller.get("enabled"):
+            print(
+                f"  controller: ticks={controller['ticks']} "
+                f"reconfigurations="
+                f"{controller['reconfigurations']} at "
+                f"{controller['change_times_s']}"
+            )
+        print(f"report: {path}")
+    finally:
+        seeding.set_seed(None)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -250,29 +380,36 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name.ljust(width)}  {description}")
         return 0
 
+    if args.command == "serve":
+        return _run_serve(args)
+
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}",
               file=sys.stderr)
         return 2
 
     names = expand_experiments(args.experiment)
-    if args.jobs > 1 and len(names) > 1:
-        _run_parallel(names, args)
-        return 0
+    seeding.set_seed(args.seed)
+    try:
+        if args.jobs > 1 and len(names) > 1:
+            _run_parallel(names, args)
+            return 0
 
-    with parallel_context(
-        jobs=args.jobs,
-        cache_enabled=not args.no_cache,
-        disk_dir=args.cache_dir,
-    ):
-        for index, name in enumerate(names):
-            if index:
-                print()
-            if args.json or args.trace:
-                _run_observed(name, args)
-            else:
-                runner, _ = EXPERIMENTS[name]
-                runner(fast=args.fast)
+        with parallel_context(
+            jobs=args.jobs,
+            cache_enabled=not args.no_cache,
+            disk_dir=args.cache_dir,
+        ):
+            for index, name in enumerate(names):
+                if index:
+                    print()
+                if args.json or args.trace:
+                    _run_observed(name, args)
+                else:
+                    runner, _ = EXPERIMENTS[name]
+                    runner(fast=args.fast)
+    finally:
+        seeding.set_seed(None)
     return 0
 
 

@@ -68,6 +68,12 @@ class OnlineClassifier:
         self._probe_mask = mask_from_fraction(self.spec,
                                               polluter_fraction)
         self._threshold = sensitivity_threshold
+        # Precomputed once, compared with a tolerance: ``1.0 - t`` is
+        # itself rounded in IEEE-754 (1.0 - 0.05 != 0.95), so an
+        # operator sitting exactly at the boundary must not flip
+        # classification on representation noise.
+        self._cutoff = 1.0 - sensitivity_threshold
+        self._cutoff_epsilon = 1e-12
 
     def _sample(self, result: QueryResult, rmid: int) -> CmtSample:
         """Convert simulator output into a CMT-style reading."""
@@ -99,13 +105,21 @@ class OnlineClassifier:
             [QuerySpec(profile.name, profile, self.spec.cores,
                        self._probe_mask)]
         )[profile.name]
+        if full.throughput_tuples_per_s <= 0.0:
+            raise ModelError(
+                f"probe of {profile.name!r} produced non-positive "
+                "full-cache throughput: "
+                f"{full.throughput_tuples_per_s}"
+            )
         ratio = (
             restricted.throughput_tuples_per_s
             / full.throughput_tuples_per_s
         )
+        # A boundary ratio (exactly 1 - threshold) deterministically
+        # classifies as POLLUTING regardless of rounding direction.
         cuid = (
             CacheUsage.POLLUTING
-            if ratio >= 1.0 - self._threshold
+            if ratio >= self._cutoff - self._cutoff_epsilon
             else CacheUsage.SENSITIVE
         )
         return OnlineClassification(

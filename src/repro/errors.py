@@ -63,3 +63,7 @@ class WorkloadError(ReproError):
 
 class ObservabilityError(ReproError):
     """Invalid use of the tracing/metrics/artifact layer."""
+
+
+class ServeError(ReproError):
+    """Invalid operation in the query-service layer (``repro.serve``)."""

@@ -27,11 +27,14 @@ from ..errors import ObservabilityError
 #: Version 2 adds the parallel-execution fields: ``jobs`` (the
 #: ``--jobs`` value the run was launched with) and ``worker`` (per-
 #: worker timing — ``{"pid": ..., "wall_seconds": ...}`` — when the
-#: experiment ran on a pool worker).  Version-1 files remain loadable;
-#: the new fields default to a sequential run.
-SCHEMA_VERSION = 2
+#: experiment ran on a pool worker).  Version 3 adds ``seed``: the
+#: run-level ``--seed`` every stochastic component derived its stream
+#: from (``null`` when the run used the historical per-component
+#: defaults).  Older files remain loadable; missing fields take the
+#: pre-existing behaviour's values.
+SCHEMA_VERSION = 3
 
-_LOADABLE_VERSIONS = (1, 2)
+_LOADABLE_VERSIONS = (1, 2, 3)
 
 DEFAULT_RUNS_DIR = "runs"
 
@@ -47,6 +50,7 @@ class RunArtifact:
     fast: bool = False
     jobs: int = 1
     worker: dict | None = None
+    seed: int | None = None
     created_at: str = ""
     schema_version: int = SCHEMA_VERSION
 
@@ -66,6 +70,7 @@ class RunArtifact:
             "fast": self.fast,
             "jobs": self.jobs,
             "worker": self.worker,
+            "seed": self.seed,
             "figures": self.figures,
             "spans": self.spans,
             "metrics": self.metrics,
@@ -86,6 +91,7 @@ class RunArtifact:
             fast=bool(payload.get("fast", False)),
             jobs=int(payload.get("jobs", 1)),
             worker=payload.get("worker"),
+            seed=payload.get("seed"),
             created_at=payload["created_at"],
             schema_version=version,
         )

@@ -32,11 +32,17 @@ def run_experiment_task(
     observe: bool,
     cache_enabled: bool = True,
     disk_dir: str | None = None,
+    seed: int | None = None,
 ) -> dict:
     """Run one experiment sequentially in this worker process."""
+    from .. import seeding
     from ..cli import EXPERIMENTS
     from ..experiments.runner import FigureResult
 
+    # The parent's run-level seed does not cross the process boundary
+    # by itself; re-install it so worker and sequential runs derive
+    # identical component streams.
+    seeding.set_seed(seed)
     runner, _ = EXPERIMENTS[name]
     started = time.perf_counter()
     stdout = io.StringIO()

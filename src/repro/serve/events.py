@@ -1,0 +1,79 @@
+"""Discrete-event queue with deterministic tie-breaking.
+
+Events are ordered by ``(time, seq)``: ``seq`` is the global insertion
+number, so two events scheduled for the same instant always dispatch in
+the order they were created.  This is what makes the whole service a
+pure function of (configuration, seed) — ``heapq`` never has to compare
+payloads, and no ordering decision depends on hash order or object
+identity.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+
+from ..errors import ServeError
+
+
+class EventKind(enum.Enum):
+    """The service's event vocabulary."""
+
+    ARRIVAL = "arrival"          # a new request enters the system
+    COMPLETION = "completion"    # a running request finishes its work
+    CONTROL = "control"          # the adaptive controller's tick
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence."""
+
+    time_s: float
+    seq: int
+    kind: EventKind
+    payload: dict = field(default_factory=dict)
+
+    @property
+    def sort_key(self) -> tuple[float, int]:
+        return (self.time_s, self.seq)
+
+
+class EventQueue:
+    """Min-heap of events keyed by ``(time, seq)``."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self.pushed = 0
+        self.popped = 0
+
+    def push(
+        self, time_s: float, kind: EventKind, **payload
+    ) -> Event:
+        """Schedule an event; returns it (its ``seq`` is the handle)."""
+        if time_s < 0.0:
+            raise ServeError(f"event time must be >= 0: {time_s}")
+        event = Event(float(time_s), self._seq, kind, payload)
+        self._seq += 1
+        self.pushed += 1
+        heapq.heappush(self._heap, (event.time_s, event.seq, event))
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise ServeError("pop from an empty event queue")
+        _, _, event = heapq.heappop(self._heap)
+        self.popped += 1
+        return event
+
+    def peek_time(self) -> float:
+        if not self._heap:
+            raise ServeError("peek into an empty event queue")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,535 @@
+"""The query service: an open-loop discrete-event simulation.
+
+The service binds the pieces together: arrivals enter through
+admission control, run under processor sharing on the analytic
+workload model, and leave their latencies in the SLO tracker while the
+adaptive controller (policy ``adaptive``) re-programs CAT masks
+underneath them.
+
+**Service model.**  The simulation owns ``max_concurrency`` worker
+slots of ``~cores/max_concurrency`` physical cores each.  At any
+instant the running requests are grouped by (class, mask) and handed
+to :class:`~repro.model.simulator.WorkloadSimulator` as one concurrent
+workload — class ``c`` with ``n`` running instances contributes a
+``QuerySpec`` with ``n * slot_cores`` cores, so LLC and memory
+bandwidth contention (and the SMT oversubscription penalty when slots
+exceed physical cores) shape every service rate exactly as in the
+paper's figures.  Each instance progresses at ``class throughput / n``
+tuples per second — processor sharing within the class.
+
+**Event mechanics.**  Service rates only change when the running
+composition or the masks change (arrival admitted, completion,
+controller reconfiguration).  Each such *reflow* advances every
+running request's remaining work at the old rates, bumps an epoch
+counter, and schedules fresh COMPLETION events at the new rates;
+completion events from earlier epochs are recognised by their stale
+epoch and dropped (lazy invalidation).  Rate solves are memoised in a
+``rate_cache`` keyed by the exact (class, count, mask) composition —
+shareable across runs, which is what keeps policy comparisons cheap.
+
+Determinism: the only randomness is the seeded arrival process, time
+only moves through the event queue, and the report contains no wall
+clock — the same :class:`ServiceConfig` produces byte-identical
+reports (CI asserts this).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..config import SystemSpec
+from ..core.policy import paper_scheme
+from ..engine.cache_control import CacheController, CuidPolicy
+from ..errors import ServeError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..model.simulator import QuerySpec, WorkloadSimulator
+from ..obs import runtime
+from ..operators.base import CacheUsage
+from ..hardware.cat import CatController
+from ..resctrl.filesystem import ResctrlFilesystem
+from ..resctrl.interface import ResctrlInterface
+from .admission import AdmissionController, AdmissionDecision, Request
+from .arrivals import (
+    DEFAULT_ARRIVAL_SEED,
+    RequestClass,
+    build_arrivals,
+    olap_heavy_mix,
+    oltp_heavy_mix,
+)
+from .clock import SimulatedClock
+from .controller import AdaptiveController
+from .events import EventKind, EventQueue
+from .slo import SloTarget, SloTracker
+
+PROFILES = ("poisson", "bursty", "diurnal")
+POLICIES = ("none", "static", "adaptive")
+MIXES = ("olap", "oltp", "shift")
+
+#: Report schema version (bump when the JSON layout changes).
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a service run depends on (the determinism domain)."""
+
+    profile: str = "poisson"
+    policy: str = "adaptive"
+    mix: str = "olap"
+    duration_s: float = 20.0
+    rate_per_s: float = 12.0
+    seed: int = DEFAULT_ARRIVAL_SEED
+    max_concurrency: int = 8
+    queue_depth: int = 32
+    control_interval_s: float = 1.0
+    shift_at_s: float | None = None
+    olap_p99_s: float = 4.0
+    oltp_p99_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise ServeError(
+                f"profile must be one of {PROFILES}: {self.profile!r}"
+            )
+        if self.policy not in POLICIES:
+            raise ServeError(
+                f"policy must be one of {POLICIES}: {self.policy!r}"
+            )
+        if self.mix not in MIXES:
+            raise ServeError(
+                f"mix must be one of {MIXES}: {self.mix!r}"
+            )
+        if self.duration_s <= 0:
+            raise ServeError(
+                f"duration must be > 0: {self.duration_s}"
+            )
+        if self.rate_per_s <= 0:
+            raise ServeError(f"rate must be > 0: {self.rate_per_s}")
+        if self.seed < 0:
+            raise ServeError(f"seed must be >= 0: {self.seed}")
+        if self.control_interval_s <= 0:
+            raise ServeError(
+                "control interval must be > 0: "
+                f"{self.control_interval_s}"
+            )
+        if self.shift_at_s is not None and not (
+            0.0 < self.shift_at_s < self.duration_s
+        ):
+            raise ServeError(
+                "shift must fall inside the run: "
+                f"{self.shift_at_s} not in (0, {self.duration_s})"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "profile": self.profile,
+            "policy": self.policy,
+            "mix": self.mix,
+            "duration_s": self.duration_s,
+            "rate_per_s": self.rate_per_s,
+            "seed": self.seed,
+            "max_concurrency": self.max_concurrency,
+            "queue_depth": self.queue_depth,
+            "control_interval_s": self.control_interval_s,
+            "shift_at_s": self.shift_at_s,
+            "olap_p99_s": self.olap_p99_s,
+            "oltp_p99_s": self.oltp_p99_s,
+        }
+
+
+@dataclass
+class ServiceReport:
+    """Deterministic summary of one service run."""
+
+    config: ServiceConfig
+    arrived: int
+    admitted: int
+    queued: int
+    shed: int
+    completed: int
+    end_time_s: float
+    completed_per_s: float
+    slo: tuple
+    controller: dict
+    events: dict
+    cache_control: dict
+    rate_solves: int
+    rate_cache_hits: int
+
+    def to_dict(self) -> dict:
+        return {
+            "report_version": REPORT_VERSION,
+            "config": self.config.to_dict(),
+            "arrived": self.arrived,
+            "admitted": self.admitted,
+            "queued": self.queued,
+            "shed": self.shed,
+            "completed": self.completed,
+            "end_time_s": round(self.end_time_s, 9),
+            "completed_per_s": round(self.completed_per_s, 9),
+            "slo": [verdict.to_dict() for verdict in self.slo],
+            "controller": self.controller,
+            "events": self.events,
+            "cache_control": self.cache_control,
+            "rate_solves": self.rate_solves,
+            "rate_cache_hits": self.rate_cache_hits,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the report as canonical JSON (byte-stable per seed)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    def verdict_for(self, tenant: str):
+        for verdict in self.slo:
+            if verdict.tenant == tenant:
+                return verdict
+        raise ServeError(f"no SLO verdict for tenant {tenant!r}")
+
+    @property
+    def slo_ok(self) -> bool:
+        return all(verdict.ok for verdict in self.slo)
+
+
+@dataclass
+class _RunningState:
+    """Mutable per-run bookkeeping the event handlers share."""
+
+    epoch: int = 0
+    rates: dict[int, float] = field(default_factory=dict)
+    last_advance_s: float = 0.0
+    slots: dict[int, int] = field(default_factory=dict)  # req -> tid
+
+
+class QueryService:
+    """Runs one configured service simulation to completion."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        spec: SystemSpec | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        rate_cache: dict | None = None,
+        controller: AdaptiveController | None = None,
+    ) -> None:
+        self.config = config
+        self.spec = spec if spec is not None else SystemSpec()
+        self.calibration = calibration
+        self.simulator = WorkloadSimulator(self.spec, calibration)
+        self.rate_cache = rate_cache if rate_cache is not None else {}
+        self.rate_solves = 0
+        self.rate_cache_hits = 0
+        # Each worker slot is a virtual thread the cache controller
+        # associates masks with, engine-style.
+        self.slot_cores = max(
+            1, round(self.spec.cores / config.max_concurrency)
+        )
+        self.cache_controller = CacheController(
+            self.spec,
+            ResctrlInterface(
+                ResctrlFilesystem(CatController(self.spec))
+            ),
+        )
+        if config.policy == "static":
+            self.cache_controller.enable(
+                paper_scheme().to_cuid_policy(self.spec)
+            )
+        self.controller = controller
+        if config.policy == "adaptive" and self.controller is None:
+            self.controller = AdaptiveController(
+                self.spec,
+                self.cache_controller,
+                interval_s=config.control_interval_s,
+            )
+        self.admission = AdmissionController(
+            config.max_concurrency, config.queue_depth
+        )
+        self.slo = SloTracker((
+            SloTarget("olap", p99_s=config.olap_p99_s),
+            SloTarget("oltp", p99_s=config.oltp_p99_s),
+        ))
+        self._mix_schedule = self._build_mix_schedule()
+        self.arrivals = build_arrivals(
+            config.profile,
+            config.rate_per_s,
+            self._mix_schedule,
+            seed=config.seed,
+        )
+        self.clock = SimulatedClock()
+        self.queue = EventQueue()
+        self._requests: dict[int, Request] = {}
+        self._next_request_id = 0
+        self._free_tids = list(
+            range(config.max_concurrency - 1, -1, -1)
+        )
+        self._state = _RunningState()
+
+    # -- setup ---------------------------------------------------------
+
+    def _build_mix_schedule(self):
+        workers = self.spec.cores
+        if self.config.mix == "olap":
+            return ((0.0, olap_heavy_mix(workers, self.calibration)),)
+        if self.config.mix == "oltp":
+            return ((0.0, oltp_heavy_mix(workers, self.calibration)),)
+        shift_at = self.config.shift_at_s
+        if shift_at is None:
+            shift_at = self.config.duration_s / 2.0
+        return (
+            (0.0, olap_heavy_mix(workers, self.calibration)),
+            (shift_at, oltp_heavy_mix(workers, self.calibration)),
+        )
+
+    # -- masks ---------------------------------------------------------
+
+    def _static_policy(self) -> CuidPolicy:
+        return self.cache_controller.policy
+
+    def _mask_for(self, cls: RequestClass) -> int:
+        if self.config.policy == "none":
+            return self.spec.full_mask
+        if self.config.policy == "static":
+            policy = self._static_policy()
+            if cls.static_cuid is CacheUsage.POLLUTING:
+                return policy.polluting_mask
+            if cls.static_cuid is CacheUsage.SENSITIVE:
+                return policy.sensitive_mask
+            return policy.adaptive_sensitive_mask
+        assert self.controller is not None
+        return self.controller.mask_for(cls)
+
+    # -- rate model ----------------------------------------------------
+
+    def _composition_signature(self) -> tuple:
+        counts: dict[tuple[str, int], int] = {}
+        for request in self.admission.running.values():
+            key = (request.cls.name, self._mask_for(request.cls))
+            counts[key] = counts.get(key, 0) + 1
+        return tuple(
+            (name, mask, count)
+            for (name, mask), count in sorted(counts.items())
+        )
+
+    def _solve_rates(self) -> dict[int, float]:
+        """Per-request service rates for the current composition."""
+        running = self.admission.running
+        if not running:
+            return {}
+        signature = self._composition_signature()
+        per_class = self.rate_cache.get(signature)
+        if per_class is None:
+            classes = {
+                request.cls.name: request.cls
+                for request in running.values()
+            }
+            specs = [
+                QuerySpec(
+                    name=name,
+                    profile=classes[name].profile,
+                    cores=count * self.slot_cores,
+                    mask=mask,
+                )
+                for name, mask, count in signature
+            ]
+            with runtime.tracer.span(
+                "serve.rate_solve", classes=len(specs)
+            ):
+                results = self.simulator.simulate(specs)
+            per_class = {}
+            for name, _, count in signature:
+                throughput = results[name].throughput_tuples_per_s
+                if throughput <= 0.0:
+                    raise ServeError(
+                        f"non-positive service rate for {name!r}"
+                    )
+                per_class[name] = throughput / count
+            self.rate_cache[signature] = per_class
+            self.rate_solves += 1
+            runtime.metrics.counter("serve.rate_solves").inc()
+        else:
+            self.rate_cache_hits += 1
+            runtime.metrics.counter("serve.rate_cache_hits").inc()
+        return {
+            request_id: per_class[request.cls.name]
+            for request_id, request in running.items()
+        }
+
+    # -- event mechanics -----------------------------------------------
+
+    def _advance(self, now: float) -> None:
+        """Progress running work at the current rates up to ``now``."""
+        elapsed = now - self._state.last_advance_s
+        if elapsed > 0.0:
+            for request_id, rate in self._state.rates.items():
+                request = self._requests[request_id]
+                request.remaining_tuples = max(
+                    0.0, request.remaining_tuples - rate * elapsed
+                )
+        self._state.last_advance_s = now
+
+    def _reflow(self, now: float) -> None:
+        """Recompute rates and reschedule every completion."""
+        self._advance(now)
+        self._state.rates = self._solve_rates()
+        self._state.epoch += 1
+        for request_id, rate in self._state.rates.items():
+            request = self._requests[request_id]
+            request.epoch = self._state.epoch
+            eta = now + request.remaining_tuples / rate
+            self.queue.push(
+                eta,
+                EventKind.COMPLETION,
+                request_id=request_id,
+                epoch=self._state.epoch,
+            )
+
+    def _associate(self, request: Request) -> None:
+        tid = self._state.slots[request.request_id]
+        self.cache_controller.associate(
+            tid, self._mask_for(request.cls)
+        )
+
+    def _admit_bookkeeping(self, request: Request) -> None:
+        self._state.slots[request.request_id] = self._free_tids.pop()
+        self.admission.bind_tenant(
+            request.tenant, request.cls.static_cuid
+        )
+        self._associate(request)
+
+    # -- event handlers ------------------------------------------------
+
+    def _on_arrival(self, now: float, payload: dict) -> None:
+        cls = payload["cls"]
+        request = Request(
+            request_id=self._next_request_id,
+            cls=cls,
+            arrived_s=now,
+        )
+        self._next_request_id += 1
+        self._requests[request.request_id] = request
+        runtime.metrics.counter("serve.requests.arrived").inc()
+        decision = self.admission.offer(request, now)
+        if decision is AdmissionDecision.ADMITTED:
+            self._admit_bookkeeping(request)
+            self._reflow(now)
+        elif decision is AdmissionDecision.SHED:
+            # Never runs; drop it from the table.
+            del self._requests[request.request_id]
+        self._schedule_next_arrival(now)
+
+    def _schedule_next_arrival(self, now: float) -> None:
+        timestamp, cls = self.arrivals.next_arrival(now)
+        if timestamp < self.config.duration_s:
+            self.queue.push(timestamp, EventKind.ARRIVAL, cls=cls)
+
+    def _on_completion(self, now: float, payload: dict) -> None:
+        request_id = payload["request_id"]
+        if payload["epoch"] != self._state.epoch:
+            return  # stale: superseded by a later reflow
+        request = self._requests.get(request_id)
+        if request is None or request_id not in self.admission.running:
+            return
+        self._advance(now)
+        request.completed_s = now
+        request.remaining_tuples = 0.0
+        self.slo.observe(request.tenant, request.latency_s)
+        runtime.metrics.counter("serve.requests.completed").inc()
+        self._free_tids.append(self._state.slots.pop(request_id))
+        self._free_tids.sort(reverse=True)
+        del self._state.rates[request_id]
+        promoted = self.admission.release(request_id, now)
+        if promoted is not None:
+            self._admit_bookkeeping(promoted)
+        self._reflow(now)
+
+    def _on_control(self, now: float) -> None:
+        assert self.controller is not None
+        active = [
+            request.cls
+            for _, request in sorted(self.admission.running.items())
+        ]
+        decision = self.controller.tick(now, active)
+        if decision.changed:
+            for request_id in sorted(self.admission.running):
+                self._associate(self._requests[request_id])
+            self._reflow(now)
+        next_tick = now + self.controller.interval_s
+        if next_tick < self.config.duration_s:
+            self.queue.push(next_tick, EventKind.CONTROL)
+
+    # -- the loop ------------------------------------------------------
+
+    def run(self) -> ServiceReport:
+        """Run to completion (arrivals stop at the horizon, then drain)."""
+        config = self.config
+        with runtime.tracer.span(
+            "serve.run", profile=config.profile, policy=config.policy
+        ):
+            self._schedule_next_arrival(0.0)
+            if self.controller is not None:
+                self.queue.push(
+                    min(self.controller.interval_s,
+                        config.duration_s / 2.0),
+                    EventKind.CONTROL,
+                )
+            while self.queue:
+                event = self.queue.pop()
+                now = self.clock.advance_to(event.time_s)
+                if event.kind is EventKind.ARRIVAL:
+                    self._on_arrival(now, event.payload)
+                elif event.kind is EventKind.COMPLETION:
+                    self._on_completion(now, event.payload)
+                else:
+                    self._on_control(now)
+        return self._report()
+
+    def _report(self) -> ServiceReport:
+        completed = sum(
+            1 for request in self._requests.values()
+            if request.completed_s is not None
+        )
+        horizon = max(self.clock.now, self.config.duration_s)
+        controller_stats: dict = {"enabled": False}
+        if self.controller is not None:
+            controller_stats = {
+                "enabled": True,
+                "ticks": self.controller.ticks,
+                "reconfigurations": self.controller.reconfigurations,
+                "change_times_s": [
+                    round(t, 9) for t in self.controller.change_times
+                ],
+                "decisions": [
+                    d.to_dict() for d in self.controller.decisions
+                ],
+            }
+        stats = self.cache_controller.stats
+        return ServiceReport(
+            config=self.config,
+            arrived=self._next_request_id,
+            admitted=self.admission.admitted,
+            queued=self.admission.queued,
+            shed=self.admission.shed,
+            completed=completed,
+            end_time_s=self.clock.now,
+            completed_per_s=completed / horizon,
+            slo=self.slo.verdicts(),
+            controller=controller_stats,
+            events={
+                "pushed": self.queue.pushed,
+                "popped": self.queue.popped,
+            },
+            cache_control={
+                "associations_requested": stats.associations_requested,
+                "kernel_calls": stats.kernel_calls,
+                "elided_calls": stats.elided_calls,
+            },
+            rate_solves=self.rate_solves,
+            rate_cache_hits=self.rate_cache_hits,
+        )

@@ -1,0 +1,208 @@
+"""Per-tenant latency tracking and SLO verdicts.
+
+Latency percentiles are computed from a **fixed-bound log-spaced
+histogram** rather than by storing every sample: bucket boundaries are
+a deterministic geometric ladder from 100 microseconds to ~200
+seconds, so a histogram's state (and every quantile read from it) is a
+pure function of the observed latencies — independent of sample count,
+insertion order, and platform.  Quantiles are reported as the **upper
+bound** of the bucket holding the target rank; with ~24 buckets per
+decade the overestimate is bounded at ~10 %, which is the usual
+monitoring trade-off (Prometheus histograms make the same one).
+
+:class:`SloTracker` keeps one histogram per tenant, mirrors counts into
+the run's :class:`repro.obs.metrics.MetricsRegistry`, and renders
+:class:`SloVerdict` rows against per-tenant :class:`SloTarget`
+objectives — the signal the adaptive controller and the service report
+both consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ServeError
+from ..obs import runtime
+
+#: Histogram ladder: geometric from 100 us, ratio 1.1, 130 buckets
+#: (~24 per decade) tops out a little above 200 s.
+_FIRST_BOUND_S = 1.0e-4
+_BUCKET_RATIO = 1.1
+_BUCKET_COUNT = 130
+
+
+def _bucket_bounds() -> tuple[float, ...]:
+    bounds = []
+    bound = _FIRST_BOUND_S
+    for _ in range(_BUCKET_COUNT):
+        bounds.append(bound)
+        bound *= _BUCKET_RATIO
+    return tuple(bounds)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with deterministic quantiles."""
+
+    BOUNDS_S: tuple[float, ...] = _bucket_bounds()
+
+    def __init__(self) -> None:
+        # One count per bound, plus an overflow bucket at the end.
+        self._counts = [0] * (len(self.BOUNDS_S) + 1)
+        self.total = 0
+        self.sum_s = 0.0
+        self.max_s = 0.0
+
+    def observe(self, latency_s: float) -> None:
+        if latency_s < 0:
+            raise ServeError(f"latency must be >= 0: {latency_s}")
+        index = self._bucket_index(latency_s)
+        self._counts[index] += 1
+        self.total += 1
+        self.sum_s += latency_s
+        if latency_s > self.max_s:
+            self.max_s = latency_s
+
+    def _bucket_index(self, latency_s: float) -> int:
+        # Binary search over the static bounds (first bound whose
+        # upper edge is >= the sample).
+        lo, hi = 0, len(self.BOUNDS_S)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if latency_s <= self.BOUNDS_S[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile sample.
+
+        Returns 0.0 for an empty histogram.  Samples beyond the last
+        bound report the maximum observed latency.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ServeError(f"quantile must be in (0, 1]: {q}")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        cumulative = 0
+        for index, count in enumerate(self._counts):
+            cumulative += count
+            if cumulative >= rank:
+                if index < len(self.BOUNDS_S):
+                    return self.BOUNDS_S[index]
+                return self.max_s
+        return self.max_s
+
+    @property
+    def mean_s(self) -> float:
+        return self.sum_s / self.total if self.total else 0.0
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """A latency objective for one tenant."""
+
+    tenant: str
+    p99_s: float
+    p95_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.p99_s <= 0:
+            raise ServeError(f"p99 target must be > 0: {self.p99_s}")
+        if self.p95_s is not None and self.p95_s <= 0:
+            raise ServeError(f"p95 target must be > 0: {self.p95_s}")
+
+
+@dataclass(frozen=True)
+class SloVerdict:
+    """One tenant's measured percentiles against its target."""
+
+    tenant: str
+    completed: int
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_s: float
+    target_p99_s: float | None
+    ok: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "completed": self.completed,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "mean_s": self.mean_s,
+            "target_p99_s": self.target_p99_s,
+            "ok": self.ok,
+        }
+
+
+class SloTracker:
+    """Per-tenant latency histograms with SLO evaluation."""
+
+    def __init__(
+        self, targets: tuple[SloTarget, ...] = ()
+    ) -> None:
+        tenants = [t.tenant for t in targets]
+        if len(tenants) != len(set(tenants)):
+            raise ServeError(f"duplicate SLO tenants: {tenants}")
+        self._targets = {t.tenant: t for t in targets}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def observe(self, tenant: str, latency_s: float) -> None:
+        histogram = self._histograms.setdefault(
+            tenant, LatencyHistogram()
+        )
+        histogram.observe(latency_s)
+        runtime.metrics.counter(
+            f"serve.slo.{tenant}.completed"
+        ).inc()
+        runtime.metrics.histogram(
+            f"serve.slo.{tenant}.latency_s"
+        ).observe(latency_s)
+
+    def histogram(self, tenant: str) -> LatencyHistogram | None:
+        return self._histograms.get(tenant)
+
+    def p99(self, tenant: str) -> float:
+        histogram = self._histograms.get(tenant)
+        return histogram.quantile(0.99) if histogram else 0.0
+
+    def verdicts(self) -> tuple[SloVerdict, ...]:
+        """One verdict per tenant seen or targeted, sorted by name."""
+        tenants = sorted(
+            set(self._histograms) | set(self._targets)
+        )
+        rows = []
+        for tenant in tenants:
+            histogram = self._histograms.get(tenant)
+            target = self._targets.get(tenant)
+            if histogram is None or histogram.total == 0:
+                rows.append(SloVerdict(
+                    tenant=tenant, completed=0, p50_s=0.0,
+                    p95_s=0.0, p99_s=0.0, mean_s=0.0,
+                    target_p99_s=target.p99_s if target else None,
+                    ok=True,
+                ))
+                continue
+            p95 = histogram.quantile(0.95)
+            p99 = histogram.quantile(0.99)
+            ok = True
+            if target is not None:
+                ok = p99 <= target.p99_s
+                if ok and target.p95_s is not None:
+                    ok = p95 <= target.p95_s
+            rows.append(SloVerdict(
+                tenant=tenant,
+                completed=histogram.total,
+                p50_s=histogram.quantile(0.50),
+                p95_s=p95,
+                p99_s=p99,
+                mean_s=histogram.mean_s,
+                target_p99_s=target.p99_s if target else None,
+                ok=ok,
+            ))
+        return tuple(rows)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -88,10 +88,22 @@ class DriverReport:
 
 
 class MixedWorkloadDriver:
-    """Interleaves statements against a database in a repeat loop."""
+    """Interleaves statements against a database in a repeat loop.
 
-    def __init__(self, database: Database) -> None:
+    ``clock`` is any zero-argument callable returning seconds
+    (``time.perf_counter``-shaped).  The default is the real wall
+    clock; tests and the service inject a deterministic clock (e.g.
+    :class:`repro.serve.clock.TickingClock`) so duration-bounded runs
+    execute a reproducible number of iterations.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
         self.database = database
+        self._clock = clock
 
     def run(
         self,
@@ -99,14 +111,44 @@ class MixedWorkloadDriver:
         iterations: int = 10,
     ) -> DriverReport:
         """Round-robin the statements ``iterations`` times."""
-        if not statements:
-            raise WorkloadError("driver needs at least one statement")
+        self._validate(statements)
         if iterations <= 0:
             raise WorkloadError(f"iterations must be > 0: {iterations}")
+        return self._loop(statements, rounds=iterations)
+
+    def run_for(
+        self,
+        statements: Sequence[Statement],
+        duration_s: float,
+    ) -> DriverReport:
+        """Round-robin whole rounds until ``duration_s`` has elapsed.
+
+        This is the paper's "repeatedly for 90 seconds" loop shape
+        (Sec. VI-A).  At least one round always executes; the round in
+        flight when the deadline passes completes, so every statement
+        has the same execution count.
+        """
+        self._validate(statements)
+        if duration_s <= 0:
+            raise WorkloadError(
+                f"duration_s must be > 0: {duration_s}"
+            )
+        return self._loop(statements, duration_s=duration_s)
+
+    @staticmethod
+    def _validate(statements: Sequence[Statement]) -> None:
+        if not statements:
+            raise WorkloadError("driver needs at least one statement")
         names = [statement.name for statement in statements]
         if len(names) != len(set(names)):
             raise WorkloadError(f"duplicate statement names: {names}")
 
+    def _loop(
+        self,
+        statements: Sequence[Statement],
+        rounds: int | None = None,
+        duration_s: float | None = None,
+    ) -> DriverReport:
         controller_stats = self.database.controller.stats
         kernel_before = controller_stats.kernel_calls
         requested_before = controller_stats.associations_requested
@@ -116,14 +158,22 @@ class MixedWorkloadDriver:
             statement.name: StatementOutcome(statement.name)
             for statement in statements
         }
-        started = time.perf_counter()
-        for _ in range(iterations):
+        started = self._clock()
+        iterations = 0
+        while True:
             for statement in statements:
                 result = self.database.execute(
                     statement.sql, list(statement.params)
                 )
                 outcomes[statement.name].record(result)
-        elapsed = time.perf_counter() - started
+            iterations += 1
+            if rounds is not None and iterations >= rounds:
+                break
+            if duration_s is not None and (
+                self._clock() - started >= duration_s
+            ):
+                break
+        elapsed = self._clock() - started
 
         masks_seen: dict[str, set[int]] = {}
         dispatch_slice = self.database.scheduler.dispatch_log[log_start:]

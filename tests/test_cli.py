@@ -47,8 +47,8 @@ class TestExecution:
     def test_all_figures_registered(self):
         expected = {
             "fig1", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11",
-            "fig12", "ext-sched", "ext-coloring", "ext-sort",
-            "ext-trace", "ext-skew", "report",
+            "fig12", "ext-sched", "ext-coloring", "ext-service",
+            "ext-sort", "ext-trace", "ext-skew", "report",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -110,8 +110,54 @@ class TestJsonArtifacts:
         capsys.readouterr()
         path = next(tmp_path.glob("fig4-*.json"))
         payload = json.loads(path.read_text())
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         # Sequential run: launched with the default --jobs 1 and not on
-        # a pool worker.
+        # a pool worker; no --seed, so the per-component defaults.
         assert payload["jobs"] == 1
         assert payload["worker"] is None
+        assert payload["seed"] is None
+
+    def test_seed_recorded_in_artifact(self, tmp_path, capsys):
+        main(["run", "fig4", "--fast", "--json", "--seed", "11",
+              "--out", str(tmp_path)])
+        capsys.readouterr()
+        path = next(tmp_path.glob("fig4-*.json"))
+        payload = json.loads(path.read_text())
+        assert payload["seed"] == 11
+
+    def test_seed_cleared_after_run(self, tmp_path, capsys):
+        from repro import seeding
+
+        main(["run", "fig4", "--fast", "--seed", "11"])
+        capsys.readouterr()
+        assert seeding.get_seed() is None
+
+
+class TestServeCommand:
+    def test_parser_accepts_serve(self):
+        args = build_parser().parse_args(
+            ["serve", "--profile", "bursty", "--policy", "static",
+             "--seed", "3"]
+        )
+        assert args.command == "serve"
+        assert args.profile == "bursty"
+        assert args.policy == "static"
+        assert args.seed == 3
+
+    def test_serve_writes_deterministic_report(
+        self, tmp_path, capsys
+    ):
+        argv = ["serve", "--profile", "poisson", "--policy", "none",
+                "--duration", "3", "--rate", "6", "--seed", "7",
+                "--out", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "report:" in first
+        path = tmp_path / "serve-poisson-none-seed7.json"
+        first_bytes = path.read_bytes()
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert path.read_bytes() == first_bytes
+        payload = json.loads(first_bytes)
+        assert payload["config"]["policy"] == "none"
+        assert payload["completed"] > 0

@@ -79,3 +79,77 @@ class TestValidation:
             OnlineClassifier(sensitivity_threshold=0.0)
         with pytest.raises(ModelError):
             OnlineClassifier(sensitivity_threshold=1.0)
+
+
+class _ScriptedSimulator:
+    """Returns pre-scripted probe results: first call is the full-mask
+    probe, second the restricted probe."""
+
+    def __init__(self, full, restricted):
+        self._throughputs = [full, restricted]
+
+    def simulate(self, specs):
+        (spec,) = specs
+        from types import SimpleNamespace
+
+        return {
+            spec.name: SimpleNamespace(
+                throughput_tuples_per_s=self._throughputs.pop(0),
+                dram_bytes_per_s=1.0e9,
+                counters=SimpleNamespace(
+                    llc_references_per_s=1.0e8,
+                    llc_misses_per_s=5.0e7,
+                ),
+                region_hit_ratios={},
+                region_l2_fractions={},
+            )
+        }
+
+
+def _scripted(full, restricted, threshold=0.05):
+    classifier = OnlineClassifier(sensitivity_threshold=threshold)
+    classifier.simulator = _ScriptedSimulator(full, restricted)
+    return classifier
+
+
+class TestClassificationBoundary:
+    def test_ratio_exactly_at_threshold_is_polluting(self):
+        """An operator sitting exactly at 1 - threshold classifies
+        POLLUTING deterministically: the float expression
+        ``1.0 - 0.05`` rounds *above* 0.95, so a naive ``ratio >=
+        1.0 - threshold`` comparison silently flipped the boundary
+        case to SENSITIVE."""
+        outcome = _scripted(100.0, 95.0).classify(
+            query1().profile(name="boundary")
+        )
+        assert outcome.restricted_ratio == pytest.approx(0.95)
+        assert outcome.cuid is CacheUsage.POLLUTING
+
+    def test_just_below_threshold_is_sensitive(self):
+        outcome = _scripted(100.0, 94.9).classify(
+            query1().profile(name="below")
+        )
+        assert outcome.cuid is CacheUsage.SENSITIVE
+
+    def test_just_above_threshold_is_polluting(self):
+        outcome = _scripted(100.0, 95.1).classify(
+            query1().profile(name="above")
+        )
+        assert outcome.cuid is CacheUsage.POLLUTING
+
+    def test_zero_occupancy_probe_still_classifies(self):
+        """A stream-only operator leaves no residency in the CMT
+        occupancy proxy; classification must still be deterministic
+        (zero occupancy, throughput-invariant -> POLLUTING)."""
+        classifier = _scripted(100.0, 100.0)
+        outcome = classifier.classify(
+            query1().profile(name="stream_only")
+        )
+        assert outcome.cuid is CacheUsage.POLLUTING
+        assert outcome.full_sample.llc_occupancy_bytes == 0.0
+        assert outcome.restricted_sample.llc_occupancy_bytes == 0.0
+
+    def test_non_positive_full_throughput_rejected(self):
+        classifier = _scripted(0.0, 0.0)
+        with pytest.raises(ModelError):
+            classifier.classify(query1().profile(name="dead"))

@@ -1,0 +1,75 @@
+"""Tests for the ext-service experiment (open-loop service tables)."""
+
+import pytest
+
+from repro.experiments import ext_service
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_service.run(fast=True)
+
+
+class TestLoadTable:
+    def test_covers_all_rates_and_policies(self, result):
+        load_rows = result.select(table="load")
+        rates = set(ext_service.FAST_LOAD_RATES)
+        policies = set(ext_service.POLICIES)
+        assert len(load_rows) == len(rates) * len(policies)
+        assert set(result.column("policy")) >= policies
+
+    def test_partitioning_not_worse_at_high_load(self, result):
+        """At the highest offered load the unpartitioned baseline must
+        not beat the paper's static scheme on completed work — the
+        paper's core claim carried into the open-loop setting."""
+        top = max(ext_service.FAST_LOAD_RATES)
+        (none_row,) = result.select(
+            table="load", rate_per_s=top, policy="none"
+        )
+        (static_row,) = result.select(
+            table="load", rate_per_s=top, policy="static"
+        )
+        completed = result.headers.index("completed_per_s")
+        assert static_row[completed] >= none_row[completed] * 0.999
+
+    def test_adaptive_matches_static_tail(self, result):
+        """The controller, given nothing but monitoring, ends within
+        25 % of the statically-derived scheme's p99."""
+        top = max(ext_service.FAST_LOAD_RATES)
+        (static_row,) = result.select(
+            table="load", rate_per_s=top, policy="static"
+        )
+        (adaptive_row,) = result.select(
+            table="load", rate_per_s=top, policy="adaptive"
+        )
+        p99 = result.headers.index("p99_olap_s")
+        assert adaptive_row[p99] <= static_row[p99] * 1.25
+
+    def test_low_load_policies_equivalent(self, result):
+        """Uncontended, partitioning neither helps nor hurts."""
+        low = min(ext_service.FAST_LOAD_RATES)
+        rows = result.select(table="load", rate_per_s=low)
+        completed = result.headers.index("completed_per_s")
+        values = [row[completed] for row in rows]
+        assert max(values) <= min(values) * 1.05
+
+
+class TestShiftTable:
+    def test_adaptive_reconfigures(self, result):
+        (shift_row,) = result.select(table="shift")
+        reconfigs = result.headers.index("reconfigs")
+        assert shift_row[reconfigs] >= 1
+
+    def test_reconvergence_bounded(self, result):
+        """After the mix shift the controller settles within three
+        control intervals (cached class analyses make this fast)."""
+        (shift_row,) = result.select(table="shift")
+        converge = result.headers.index("converge_ticks")
+        assert shift_row[converge] <= 3
+
+
+class TestNotes:
+    def test_notes_summarise_both_tables(self, result):
+        text = " ".join(result.notes)
+        assert "completed/s" in text
+        assert "re-converged" in text

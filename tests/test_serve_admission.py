@@ -1,0 +1,114 @@
+"""Tests for session/admission control."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.operators.base import CacheUsage
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    Request,
+)
+from repro.serve.arrivals import catalog_classes
+
+
+@pytest.fixture(scope="module")
+def classes():
+    return catalog_classes()
+
+
+def _request(classes, request_id, name="scan", at=0.0):
+    return Request(
+        request_id=request_id, cls=classes[name], arrived_s=at
+    )
+
+
+class TestAdmission:
+    def test_admits_up_to_concurrency(self, classes):
+        controller = AdmissionController(2, queue_depth=1)
+        first = controller.offer(_request(classes, 0), 0.0)
+        second = controller.offer(_request(classes, 1), 0.1)
+        assert first is AdmissionDecision.ADMITTED
+        assert second is AdmissionDecision.ADMITTED
+        assert set(controller.running) == {0, 1}
+
+    def test_queues_then_sheds(self, classes):
+        controller = AdmissionController(1, queue_depth=1)
+        assert (
+            controller.offer(_request(classes, 0), 0.0)
+            is AdmissionDecision.ADMITTED
+        )
+        assert (
+            controller.offer(_request(classes, 1), 0.1)
+            is AdmissionDecision.QUEUED
+        )
+        assert (
+            controller.offer(_request(classes, 2), 0.2)
+            is AdmissionDecision.SHED
+        )
+        assert controller.admitted == 1
+        assert controller.queued == 1
+        assert controller.shed == 1
+
+    def test_release_promotes_fifo(self, classes):
+        controller = AdmissionController(1, queue_depth=2)
+        controller.offer(_request(classes, 0), 0.0)
+        controller.offer(_request(classes, 1), 0.1)
+        controller.offer(_request(classes, 2), 0.2)
+        promoted = controller.release(0, 1.0)
+        assert promoted is not None
+        assert promoted.request_id == 1  # FIFO
+        assert promoted.admitted_s == 1.0
+        assert set(controller.running) == {1}
+        assert controller.queue_length == 1
+
+    def test_release_with_empty_queue(self, classes):
+        controller = AdmissionController(1, queue_depth=0)
+        controller.offer(_request(classes, 0), 0.0)
+        assert controller.release(0, 1.0) is None
+        assert not controller.running
+
+    def test_release_unknown_request_rejected(self, classes):
+        controller = AdmissionController(1, queue_depth=0)
+        with pytest.raises(ServeError):
+            controller.release(99, 0.0)
+
+    def test_admitted_timestamp_recorded(self, classes):
+        controller = AdmissionController(1, queue_depth=0)
+        request = _request(classes, 0, at=0.5)
+        controller.offer(request, 0.5)
+        assert request.admitted_s == 0.5
+
+
+class TestRequest:
+    def test_remaining_defaults_to_class_work(self, classes):
+        request = _request(classes, 0)
+        assert request.remaining_tuples == classes["scan"].work_tuples
+
+    def test_latency_requires_completion(self, classes):
+        request = _request(classes, 0, at=1.0)
+        with pytest.raises(ServeError):
+            _ = request.latency_s
+        request.completed_s = 3.5
+        assert request.latency_s == 2.5
+
+    def test_tenant_comes_from_class(self, classes):
+        assert _request(classes, 0, "oltp").tenant == "oltp"
+
+
+class TestTenants:
+    def test_tenant_cuid_binding(self, classes):
+        controller = AdmissionController(1, queue_depth=0)
+        assert controller.tenant_cuid("olap") is None
+        controller.bind_tenant("olap", CacheUsage.POLLUTING)
+        assert (
+            controller.tenant_cuid("olap") is CacheUsage.POLLUTING
+        )
+
+
+class TestValidation:
+    def test_constructor_validation(self):
+        with pytest.raises(ServeError):
+            AdmissionController(0, queue_depth=1)
+        with pytest.raises(ServeError):
+            AdmissionController(1, queue_depth=-1)

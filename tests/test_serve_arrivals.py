@@ -1,0 +1,156 @@
+"""Tests for the open-loop arrival generators."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.arrivals import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    RequestClass,
+    WorkloadMix,
+    build_arrivals,
+    catalog_classes,
+    olap_heavy_mix,
+    oltp_heavy_mix,
+)
+
+
+@pytest.fixture(scope="module")
+def mix():
+    return olap_heavy_mix()
+
+
+@pytest.fixture(scope="module")
+def schedule(mix):
+    return ((0.0, mix),)
+
+
+def _drain(process, horizon_s):
+    events = []
+    now = 0.0
+    while True:
+        now, cls = process.next_arrival(now)
+        if now >= horizon_s:
+            return events
+        events.append((now, cls.name))
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self, schedule):
+        a = _drain(PoissonArrivals(50.0, schedule, seed=7), 5.0)
+        b = _drain(PoissonArrivals(50.0, schedule, seed=7), 5.0)
+        assert a == b
+
+    def test_different_seed_different_sequence(self, schedule):
+        a = _drain(PoissonArrivals(50.0, schedule, seed=7), 5.0)
+        b = _drain(PoissonArrivals(50.0, schedule, seed=8), 5.0)
+        assert a != b
+
+    def test_bursty_and_diurnal_deterministic(self, schedule):
+        for factory in (
+            lambda s: BurstyArrivals(10.0, 40.0, schedule, seed=s),
+            lambda s: DiurnalArrivals(10.0, 40.0, schedule, seed=s),
+        ):
+            assert _drain(factory(3), 5.0) == _drain(factory(3), 5.0)
+
+
+class TestRates:
+    def test_poisson_rate_approximately_offered(self, schedule):
+        events = _drain(PoissonArrivals(100.0, schedule, seed=1), 20.0)
+        rate = len(events) / 20.0
+        assert 85.0 < rate < 115.0
+
+    def test_bursty_rate_between_base_and_burst(self, schedule):
+        process = BurstyArrivals(10.0, 100.0, schedule, seed=2)
+        events = _drain(process, 30.0)
+        rate = len(events) / 30.0
+        assert 10.0 < rate < 100.0
+
+    def test_diurnal_trough_and_peak(self, schedule):
+        process = DiurnalArrivals(
+            10.0, 100.0, schedule, period_s=20.0, seed=4
+        )
+        # Rate curve: trough at t=0 and t=period, peak at period/2.
+        assert process.rate_at(0.0) == pytest.approx(10.0)
+        assert process.rate_at(10.0) == pytest.approx(100.0)
+        assert process.rate_at(20.0) == pytest.approx(10.0)
+
+
+class TestMixes:
+    def test_catalog_covers_paper_queries(self):
+        classes = catalog_classes()
+        assert set(classes) == {"scan", "agg", "join", "oltp"}
+        assert classes["scan"].tenant == "olap"
+        assert classes["oltp"].tenant == "oltp"
+
+    def test_mix_weights_respected(self, mix):
+        # pick() maps the unit interval through cumulative weights.
+        assert mix.pick(0.0).name == "scan"
+        assert mix.pick(0.999).name == "oltp"
+
+    def test_mix_schedule_shifts_composition(self):
+        schedule = (
+            (0.0, olap_heavy_mix()),
+            (5.0, oltp_heavy_mix()),
+        )
+        process = PoissonArrivals(200.0, schedule, seed=3)
+        events = _drain(process, 10.0)
+        early = [name for t, name in events if t < 5.0]
+        late = [name for t, name in events if t >= 5.0]
+        assert early.count("oltp") / len(early) < 0.25
+        assert late.count("oltp") / len(late) > 0.5
+
+    def test_duplicate_class_names_rejected(self):
+        cls = catalog_classes()["scan"]
+        with pytest.raises(ServeError):
+            WorkloadMix("dup", (cls, cls), (0.5, 0.5))
+
+    def test_weight_validation(self):
+        cls = catalog_classes()["scan"]
+        with pytest.raises(ServeError):
+            WorkloadMix("bad", (cls,), (-1.0,))
+        with pytest.raises(ServeError):
+            WorkloadMix("bad", (cls,), (0.5, 0.5))
+
+    def test_request_class_work_validated(self):
+        template = catalog_classes()["scan"]
+        with pytest.raises(ServeError):
+            RequestClass(
+                name="zero",
+                tenant="olap",
+                profile=template.profile,
+                work_tuples=0.0,
+                static_cuid=template.static_cuid,
+            )
+
+
+class TestFactoryAndValidation:
+    def test_build_arrivals_profiles(self, schedule):
+        assert isinstance(
+            build_arrivals("poisson", 10.0, schedule), PoissonArrivals
+        )
+        assert isinstance(
+            build_arrivals("bursty", 10.0, schedule), BurstyArrivals
+        )
+        assert isinstance(
+            build_arrivals("diurnal", 10.0, schedule), DiurnalArrivals
+        )
+
+    def test_unknown_profile_rejected(self, schedule):
+        with pytest.raises(ServeError):
+            build_arrivals("uniform", 10.0, schedule)
+
+    def test_schedule_must_start_at_zero(self, mix):
+        with pytest.raises(ServeError):
+            PoissonArrivals(10.0, ((1.0, mix),), seed=1)
+        with pytest.raises(ServeError):
+            PoissonArrivals(10.0, (), seed=1)
+
+    def test_rate_validation(self, schedule, mix):
+        with pytest.raises(ServeError):
+            build_arrivals("poisson", 0.0, schedule)
+        with pytest.raises(ServeError):
+            BurstyArrivals(50.0, 10.0, schedule)  # base > burst
+        with pytest.raises(ServeError):
+            DiurnalArrivals(10.0, 40.0, schedule, period_s=0.0)

@@ -1,0 +1,53 @@
+"""Tests for the simulation clocks."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.clock import SimulatedClock, TickingClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        clock = SimulatedClock()
+        assert clock.now == 0.0
+        assert clock() == 0.0
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        assert clock.advance_to(1.5) == 1.5
+        assert clock.now == 1.5
+        # Advancing to the same instant is allowed (simultaneous
+        # events share a timestamp).
+        assert clock.advance_to(1.5) == 1.5
+
+    def test_refuses_to_run_backwards(self):
+        clock = SimulatedClock(start=2.0)
+        with pytest.raises(ServeError):
+            clock.advance_to(1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ServeError):
+            SimulatedClock(start=-1.0)
+
+    def test_callable_matches_now(self):
+        clock = SimulatedClock()
+        clock.advance_to(3.25)
+        # Reading never advances: the event loop owns time.
+        assert clock() == clock() == 3.25
+
+
+class TestTickingClock:
+    def test_advances_per_reading(self):
+        clock = TickingClock(step=0.5)
+        assert (clock(), clock(), clock()) == (0.0, 0.5, 1.0)
+
+    def test_custom_start(self):
+        clock = TickingClock(step=1.0, start=10.0)
+        assert clock() == 10.0
+        assert clock() == 11.0
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            TickingClock(step=0.0)
+        with pytest.raises(ServeError):
+            TickingClock(step=1.0, start=-0.1)

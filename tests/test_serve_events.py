@@ -1,0 +1,67 @@
+"""Tests for the deterministic event queue."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.events import EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, EventKind.COMPLETION)
+        queue.push(1.0, EventKind.ARRIVAL)
+        queue.push(2.0, EventKind.CONTROL)
+        times = [queue.pop().time_s for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_ties_break_by_insertion_order(self):
+        """Two events at the same instant dispatch in creation order —
+        no dependence on payload comparison or hash order."""
+        queue = EventQueue()
+        first = queue.push(5.0, EventKind.ARRIVAL, tag="a")
+        second = queue.push(5.0, EventKind.COMPLETION, tag="b")
+        assert first.seq < second.seq
+        assert queue.pop().payload["tag"] == "a"
+        assert queue.pop().payload["tag"] == "b"
+
+    def test_payload_carried(self):
+        queue = EventQueue()
+        queue.push(1.0, EventKind.COMPLETION, request_id=7, epoch=2)
+        event = queue.pop()
+        assert event.kind is EventKind.COMPLETION
+        assert event.payload == {"request_id": 7, "epoch": 2}
+
+
+class TestBookkeeping:
+    def test_counters_and_len(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, EventKind.ARRIVAL)
+        queue.push(2.0, EventKind.ARRIVAL)
+        assert len(queue) == 2
+        assert queue.pushed == 2
+        queue.pop()
+        assert queue.popped == 1
+        assert len(queue) == 1
+        assert bool(queue)
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        queue.push(4.0, EventKind.CONTROL)
+        queue.push(2.0, EventKind.ARRIVAL)
+        assert queue.peek_time() == 2.0
+        assert len(queue) == 2  # peek does not consume
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ServeError):
+            EventQueue().push(-0.1, EventKind.ARRIVAL)
+
+    def test_empty_pop_and_peek(self):
+        queue = EventQueue()
+        with pytest.raises(ServeError):
+            queue.pop()
+        with pytest.raises(ServeError):
+            queue.peek_time()

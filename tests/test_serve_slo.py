@@ -1,0 +1,130 @@
+"""Tests for latency histograms and SLO verdicts."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.slo import (
+    LatencyHistogram,
+    SloTarget,
+    SloTracker,
+)
+
+
+class TestLatencyHistogram:
+    def test_empty_quantiles_are_zero(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.quantile(0.99) == 0.0
+        assert histogram.mean_s == 0.0
+
+    def test_quantile_is_bucket_upper_bound(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.010)
+        p50 = histogram.quantile(0.5)
+        # The reported quantile is the upper edge of the bucket that
+        # holds the sample: >= the sample, within one bucket ratio.
+        assert p50 >= 0.010
+        assert p50 <= 0.010 * 1.1
+
+    def test_quantiles_ordered(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 101):
+            histogram.observe(i / 100.0)
+        assert (
+            histogram.quantile(0.5)
+            <= histogram.quantile(0.95)
+            <= histogram.quantile(0.99)
+        )
+
+    def test_deterministic_independent_of_order(self):
+        values = [0.001, 0.5, 0.02, 1.7, 0.3] * 20
+        forward = LatencyHistogram()
+        backward = LatencyHistogram()
+        for value in values:
+            forward.observe(value)
+        for value in reversed(values):
+            backward.observe(value)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert forward.quantile(q) == backward.quantile(q)
+
+    def test_overflow_reports_max(self):
+        histogram = LatencyHistogram()
+        histogram.observe(10_000.0)  # beyond the last bound
+        assert histogram.quantile(0.99) == 10_000.0
+
+    def test_mean_and_max(self):
+        histogram = LatencyHistogram()
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        assert histogram.mean_s == 2.0
+        assert histogram.max_s == 3.0
+
+    def test_validation(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ServeError):
+            histogram.observe(-0.1)
+        with pytest.raises(ServeError):
+            histogram.quantile(0.0)
+        with pytest.raises(ServeError):
+            histogram.quantile(1.5)
+
+
+class TestSloTracker:
+    def test_per_tenant_isolation(self):
+        tracker = SloTracker()
+        tracker.observe("olap", 1.0)
+        tracker.observe("oltp", 0.01)
+        assert tracker.p99("olap") > tracker.p99("oltp")
+
+    def test_verdict_against_target(self):
+        tracker = SloTracker((SloTarget("olap", p99_s=0.5),))
+        for _ in range(100):
+            tracker.observe("olap", 0.1)
+        (verdict,) = tracker.verdicts()
+        assert verdict.tenant == "olap"
+        assert verdict.ok
+        assert verdict.completed == 100
+        assert verdict.target_p99_s == 0.5
+
+    def test_verdict_violation(self):
+        tracker = SloTracker((SloTarget("olap", p99_s=0.05),))
+        for _ in range(100):
+            tracker.observe("olap", 1.0)
+        (verdict,) = tracker.verdicts()
+        assert not verdict.ok
+
+    def test_p95_target_checked(self):
+        tracker = SloTracker(
+            (SloTarget("olap", p99_s=10.0, p95_s=0.01),)
+        )
+        for _ in range(100):
+            tracker.observe("olap", 1.0)
+        (verdict,) = tracker.verdicts()
+        assert not verdict.ok  # p99 fine, p95 violated
+
+    def test_untouched_target_tenant_reported_ok(self):
+        tracker = SloTracker((SloTarget("oltp", p99_s=1.0),))
+        (verdict,) = tracker.verdicts()
+        assert verdict.tenant == "oltp"
+        assert verdict.completed == 0
+        assert verdict.ok
+
+    def test_verdicts_sorted_by_tenant(self):
+        tracker = SloTracker()
+        tracker.observe("zeta", 0.1)
+        tracker.observe("alpha", 0.1)
+        assert [v.tenant for v in tracker.verdicts()] == [
+            "alpha", "zeta",
+        ]
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(ServeError):
+            SloTracker(
+                (SloTarget("a", 1.0), SloTarget("a", 2.0))
+            )
+
+    def test_target_validation(self):
+        with pytest.raises(ServeError):
+            SloTarget("a", p99_s=0.0)
+        with pytest.raises(ServeError):
+            SloTarget("a", p99_s=1.0, p95_s=-1.0)

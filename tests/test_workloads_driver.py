@@ -57,6 +57,49 @@ class TestDriverBasics:
             )
 
 
+class TestInjectableClock:
+    def test_run_for_with_ticking_clock_is_deterministic(self, db):
+        """A deterministic clock yields a reproducible iteration count
+        — the duration loop no longer depends on the wall clock."""
+        from repro.serve.clock import TickingClock
+
+        # Clock readings: start, then one per completed round.  Step
+        # 1.0s and duration 5.0s -> exactly 5 rounds.
+        driver = MixedWorkloadDriver(db, clock=TickingClock(step=1.0))
+        report = driver.run_for(MIXED, duration_s=5.0)
+        assert report.iterations == 5
+        for name in ("scan", "agg", "join"):
+            assert report.outcomes[name].executions == 5
+
+    def test_run_for_executes_at_least_one_round(self, db):
+        from repro.serve.clock import TickingClock
+
+        driver = MixedWorkloadDriver(
+            db, clock=TickingClock(step=100.0)
+        )
+        report = driver.run_for(MIXED, duration_s=1.0)
+        assert report.iterations == 1
+
+    def test_run_for_elapsed_comes_from_injected_clock(self, db):
+        from repro.serve.clock import TickingClock
+
+        driver = MixedWorkloadDriver(db, clock=TickingClock(step=1.0))
+        report = driver.run_for(MIXED, duration_s=3.0)
+        # Readings: 0 (start), 1, 2, 3 (deadline) -> elapsed reading 4.
+        assert report.elapsed_seconds == 4.0
+
+    def test_run_for_validation(self, db):
+        driver = MixedWorkloadDriver(db)
+        with pytest.raises(WorkloadError):
+            driver.run_for(MIXED, duration_s=0.0)
+        with pytest.raises(WorkloadError):
+            driver.run_for([], duration_s=1.0)
+
+    def test_default_clock_is_wall_clock(self, db):
+        report = MixedWorkloadDriver(db).run(MIXED, iterations=1)
+        assert report.elapsed_seconds >= 0.0
+
+
 class TestPartitioningUnderLoad:
     def test_results_identical_with_partitioning(self, db):
         driver = MixedWorkloadDriver(db)
