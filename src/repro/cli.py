@@ -36,6 +36,7 @@ from typing import Callable
 
 from . import seeding
 from .experiments.runner import FigureResult
+from .hardware.engine import ENGINES, set_default_engine
 from .obs import (
     MetricsRegistry,
     RunArtifact,
@@ -112,6 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--fast", action="store_true",
         help="reduced sweeps for a quick look",
+    )
+    run.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help=(
+            "trace-simulation engine for cache-level experiments: "
+            "'fast' (vectorized batch replay, the default) or 'ref' "
+            "(per-access reference loop); both produce bit-identical "
+            "results, only wall-clock differs"
+        ),
     )
     run.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -303,6 +313,7 @@ def _run_parallel(names: list[str], args: argparse.Namespace) -> None:
                 not args.no_cache,
                 args.cache_dir,
                 args.seed,
+                args.engine,
             )
             for name in names
         ]
@@ -389,6 +400,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     names = expand_experiments(args.experiment)
+    if args.engine is not None:
+        set_default_engine(args.engine)
     seeding.set_seed(args.seed)
     try:
         if args.jobs > 1 and len(names) > 1:

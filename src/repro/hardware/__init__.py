@@ -13,6 +13,14 @@ from .cmt import CmtController, CmtSample
 from .counters import CounterSample, PerfCounters
 from .cpu import Core, CpuSocket
 from .dram import BandwidthArbiter, DramModel
+from .engine import (
+    cache_state_digest,
+    engine_scope,
+    get_default_engine,
+    make_cache,
+    set_default_engine,
+)
+from .fastcache import FastSetAssociativeCache, SamplingPlan, replay_sampled
 from .hierarchy import CacheHierarchy, HierarchyAccessResult
 from .prefetcher import StreamPrefetcher
 from .trace import MemoryAccess, random_region_trace, sequential_trace
@@ -29,13 +37,21 @@ __all__ = [
     "CpuSocket",
     "DramModel",
     "EvictionEvent",
+    "FastSetAssociativeCache",
     "HierarchyAccessResult",
     "MemoryAccess",
     "PerfCounters",
+    "SamplingPlan",
     "SetAssociativeCache",
     "StreamPrefetcher",
+    "cache_state_digest",
     "contiguous_mask",
+    "engine_scope",
+    "get_default_engine",
+    "make_cache",
     "mask_from_fraction",
     "random_region_trace",
+    "replay_sampled",
     "sequential_trace",
+    "set_default_engine",
 ]

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+import numpy as np
+
 from ..config import CacheSpec
 from ..errors import CacheConfigError, CatError
 from .cat import CatController
@@ -94,6 +96,12 @@ class SetAssociativeCache:
             [_Line() for _ in range(spec.ways)] for _ in range(spec.sets)
         ]
         self._clock = 0
+        # Way lists per CLOS are memoized: rebuilding them on every
+        # install dominated the reference engine's profile.  The cache
+        # is dropped whenever the CAT controller reprograms any mask
+        # (tracked through its mask_version counter).
+        self._ways_cache: dict[int, list[int]] = {}
+        self._ways_cache_version = -1
         self.stats = CacheStats()
         self.stats_by_clos: dict[int, CacheStats] = {}
         self.stats_by_stream: dict[str, CacheStats] = {}
@@ -109,9 +117,16 @@ class SetAssociativeCache:
         return line_addr % self._spec.sets
 
     def _clos_ways(self, clos: int) -> list[int]:
-        """Way indices the given CLOS may allocate into."""
+        """Way indices the given CLOS may allocate into (memoized)."""
         if self._cat is None:
             return list(range(self._spec.ways))
+        version = self._cat.mask_version
+        if version != self._ways_cache_version:
+            self._ways_cache.clear()
+            self._ways_cache_version = version
+        cached = self._ways_cache.get(clos)
+        if cached is not None:
+            return cached
         mask = self._cat.clos_mask(clos)
         ways = [w for w in range(self._spec.ways) if mask >> w & 1]
         if not ways:
@@ -122,6 +137,7 @@ class SetAssociativeCache:
                 f"CLOS {clos} mask references way {ways[-1]} but cache has "
                 f"only {self._spec.ways} ways"
             )
+        self._ways_cache[clos] = ways
         return ways
 
     def _record(self, clos: int, stream: Optional[str], hit: bool) -> None:
@@ -206,13 +222,48 @@ class SetAssociativeCache:
         """Replay a trace of byte addresses; returns stats for this call."""
         before_hits = self.stats.hits
         before_misses = self.stats.misses
+        before_evictions = self.stats.evictions
         for addr in addrs:
             self.access(addr, clos=clos, stream=stream)
         delta = CacheStats(
             hits=self.stats.hits - before_hits,
             misses=self.stats.misses - before_misses,
+            evictions=self.stats.evictions - before_evictions,
         )
         return delta
+
+    def access_batch(
+        self,
+        addrs,
+        clos=0,
+        stream=None,
+        is_prefetch=False,
+    ):
+        """Access a batch of byte addresses; returns per-access hits.
+
+        ``clos``, ``stream`` and ``is_prefetch`` may be scalars or
+        per-access sequences.  This is the engine-agnostic entry point:
+        on the reference engine it is a per-access loop; the vectorized
+        engine (:mod:`repro.hardware.fastcache`) overrides it with a
+        whole-batch replay that produces identical results.
+        """
+        addrs = np.asarray(addrs)
+        n = len(addrs)
+        clos_seq = np.broadcast_to(np.asarray(clos), (n,))
+        prefetch_seq = np.broadcast_to(np.asarray(is_prefetch), (n,))
+        if stream is None or isinstance(stream, str):
+            stream_seq = [stream] * n
+        else:
+            stream_seq = list(stream)
+        hits = np.empty(n, dtype=bool)
+        for i in range(n):
+            hits[i] = self.access(
+                int(addrs[i]),
+                clos=int(clos_seq[i]),
+                stream=stream_seq[i],
+                is_prefetch=bool(prefetch_seq[i]),
+            )
+        return hits
 
     def contains(self, addr: int) -> bool:
         """True when the line holding ``addr`` is currently cached."""
@@ -247,6 +298,17 @@ class SetAssociativeCache:
                 if line.valid:
                     occupancy[way] = occupancy.get(way, 0) + 1
         return occupancy
+
+    def iter_lines(self):
+        """Yield ``(set_index, way, tag, stream, clos)`` per valid line.
+
+        The canonical state enumeration both engines share; equivalence
+        tests and the benchmark checksum compare engines through it.
+        """
+        for set_index, cache_set in enumerate(self._sets):
+            for way, line in enumerate(cache_set):
+                if line.valid:
+                    yield (set_index, way, line.tag, line.stream, line.clos)
 
     def valid_lines(self) -> int:
         """Total number of valid lines in the cache."""

@@ -111,6 +111,15 @@ class CatController:
         self._core_clos: dict[int, int] = {
             core: 0 for core in range(spec.cores)
         }
+        # Bumped on every bitmask change; caches keyed on CLOS way lists
+        # (the simulators memoize them) compare against this to know
+        # when a reprogrammed mask invalidates their tables.
+        self._mask_version = 0
+
+    @property
+    def mask_version(self) -> int:
+        """Monotonic counter of capacity-bitmask reprogrammings."""
+        return self._mask_version
 
     @property
     def spec(self) -> SystemSpec:
@@ -142,6 +151,7 @@ class CatController:
             )
         self.validate_mask(mask)
         self._clos_masks[clos] = mask
+        self._mask_version += 1
 
     def clos_mask(self, clos: int) -> int:
         """Read the capacity bitmask of a class of service."""
@@ -178,3 +188,4 @@ class CatController:
         self._clos_masks = {0: self._spec.full_mask}
         for core in self._core_clos:
             self._core_clos[core] = 0
+        self._mask_version += 1

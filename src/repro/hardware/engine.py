@@ -1,0 +1,96 @@
+"""Trace-engine selection: the reference loop vs the vectorized engine.
+
+Two interchangeable implementations of the CAT-aware LRU cache exist:
+
+* ``"ref"`` — :class:`repro.hardware.cache.SetAssociativeCache`, the
+  per-access pure-Python loop.  Trivially auditable; the semantic
+  ground truth.
+* ``"fast"`` — :class:`repro.hardware.fastcache.FastSetAssociativeCache`,
+  the NumPy wavefront engine.  Bit-identical results, orders of
+  magnitude faster on batched replays.
+
+Code that replays traces builds caches through :func:`make_cache` and
+never names a class; the CLI's ``--engine`` knob (and tests) select the
+process default via :func:`set_default_engine` / :func:`engine_scope`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from ..config import CacheSpec
+from ..errors import ConfigError
+from .cache import EvictionEvent, SetAssociativeCache
+from .cat import CatController
+from .fastcache import FastSetAssociativeCache
+
+ENGINES = ("ref", "fast")
+
+#: The process default.  "fast" is safe as a default because engine
+#: equivalence is exact (enforced by tests and benchmarks); "ref"
+#: remains selectable for audits and cross-checks.
+DEFAULT_ENGINE = "fast"
+
+_current_engine = DEFAULT_ENGINE
+
+
+def _validate(name: str) -> str:
+    if name not in ENGINES:
+        raise ConfigError(
+            f"unknown trace engine {name!r}; expected one of {ENGINES}"
+        )
+    return name
+
+
+def set_default_engine(name: str) -> None:
+    """Select the engine :func:`make_cache` uses when none is given."""
+    global _current_engine
+    _current_engine = _validate(name)
+
+
+def get_default_engine() -> str:
+    """The currently selected default engine name."""
+    return _current_engine
+
+
+@contextmanager
+def engine_scope(name: str) -> Iterator[str]:
+    """Temporarily switch the default engine (always restored)."""
+    global _current_engine
+    previous = _current_engine
+    _current_engine = _validate(name)
+    try:
+        yield _current_engine
+    finally:
+        _current_engine = previous
+
+
+def make_cache(
+    spec: CacheSpec,
+    cat: Optional[CatController] = None,
+    on_evict: Optional[Callable[[EvictionEvent], None]] = None,
+    engine: Optional[str] = None,
+):
+    """Build a cache with the requested (or default) trace engine."""
+    name = _validate(engine) if engine is not None else _current_engine
+    cls = SetAssociativeCache if name == "ref" else FastSetAssociativeCache
+    return cls(spec, cat=cat, on_evict=on_evict)
+
+
+def cache_state_digest(cache) -> str:
+    """SHA-256 over the canonical (sorted) valid-line enumeration.
+
+    Engine-independent: two caches holding identical content produce
+    identical digests regardless of implementation.  Benchmarks record
+    it as the equivalence checksum.
+    """
+    lines = sorted(
+        (set_index, way, tag, "\x00" if stream is None else stream, clos)
+        for set_index, way, tag, stream, clos in cache.iter_lines()
+    )
+    payload = "\n".join(
+        f"{s}:{w}:{t}:{stream}:{c}" for s, w, t, stream, c in lines
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

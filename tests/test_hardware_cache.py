@@ -89,6 +89,17 @@ class TestBasicBehaviour:
         assert delta.misses == 2
         assert delta.hits == 1
 
+    def test_access_many_delta_includes_evictions(self, tiny_cache_spec):
+        cache = SetAssociativeCache(tiny_cache_spec)
+        sets = tiny_cache_spec.sets
+        # Pre-fill set 0, then access_many forces two evictions; the
+        # returned delta must count only the evictions of this call.
+        cache.access_many([i * sets * 64 for i in range(4)])
+        delta = cache.access_many([i * sets * 64 for i in range(4, 6)])
+        assert delta.evictions == 2
+        assert delta.misses == 2
+        assert cache.stats.evictions == 2
+
 
 class TestStreamAccounting:
     def test_per_stream_stats(self, tiny_cache_spec):
@@ -153,3 +164,29 @@ class TestCatWayMasking:
         # Everything CLOS 1 cached lives in its two ways.
         outside = cache.lines_in_ways(0xC)
         assert outside == 0
+
+    def test_clos_ways_memoized_until_mask_change(self):
+        spec, cat = make_cat(ways=4, clos_masks={1: 0x3})
+        cache = SetAssociativeCache(spec.llc, cat=cat)
+        first = cache._clos_ways(1)
+        assert cache._clos_ways(1) is first  # cached, not rebuilt
+        version = cat.mask_version
+        cat.set_clos_mask(1, 0xC)
+        assert cat.mask_version > version
+        updated = cache._clos_ways(1)
+        assert updated is not first
+        assert updated == [2, 3]
+
+    def test_mask_reprogramming_respected_mid_trace(self):
+        spec, cat = make_cat(ways=4, clos_masks={1: 0x3})
+        cache = SetAssociativeCache(spec.llc, cat=cat)
+        sets = spec.llc.sets
+        cache.access(0, clos=1)
+        cat.set_clos_mask(1, 0xC)  # must invalidate the memo
+        for i in range(1, 8):
+            cache.access(i * sets * 64, clos=1)
+        # New fills landed only in ways 2-3; the old line in ways 0-1
+        # was never evicted by them.
+        assert cache.contains(0)
+        assert cache.occupancy_by_way().get(0, 0) + \
+            cache.occupancy_by_way().get(1, 0) == 1
