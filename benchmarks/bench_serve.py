@@ -34,6 +34,7 @@ import pathlib
 import time
 from datetime import datetime, timezone
 
+from repro.cluster import Cluster, ClusterConfig
 from repro.serve import QueryService, ServiceConfig
 
 MIN_EVENTS_PER_S = 500.0
@@ -141,3 +142,68 @@ def test_serve_event_rate_and_controller_overhead():
         f"the uncontrolled run ({adaptive_s:.3f}s vs {none_s:.3f}s), "
         f"need <= {MAX_CONTROLLER_OVERHEAD:.0f}x"
     )
+
+
+CLUSTER_NODE_COUNTS = (1, 2, 4)
+
+CLUSTER_BASE = dict(
+    router="least-loaded",
+    profile="poisson",
+    policy="none",
+    mix="olap",
+    duration_s=6.0,
+    rate_per_s=10.0,
+    seed=7,
+)
+
+
+def _timed_cluster(nodes: int):
+    config = ClusterConfig(nodes=nodes, **CLUSTER_BASE)
+    started = time.perf_counter()
+    report = Cluster(config).run()
+    elapsed = time.perf_counter() - started
+    # Fleet event count: arrivals routed by the fleet loop plus every
+    # DES event popped inside the nodes (completions, controls, ...).
+    events = report.generated + sum(
+        r.events["popped"] for r in report.node_reports
+    )
+    return elapsed, events, report
+
+
+def test_cluster_fleet_scaling():
+    """Cluster scaling row: fleet events/s at N=1, 2, 4 nodes.
+
+    The offered rate is per source node, so total load (and the event
+    count) grows with N — the row tracks how fleet wall time scales
+    with fleet size, not a fixed-work speedup.  Recorded, not
+    asserted, except for the determinism gate: the same config twice
+    must produce byte-identical fleet reports before timings are
+    trusted.
+    """
+    _, _, first = _timed_cluster(2)
+    _, _, second = _timed_cluster(2)
+    assert first.to_json() == second.to_json()
+
+    scaling = []
+    for nodes in CLUSTER_NODE_COUNTS:
+        elapsed, events, report = _timed_cluster(nodes)
+        scaling.append({
+            "nodes": nodes,
+            "events": events,
+            "completed": report.completed,
+            "wall_s": round(elapsed, 4),
+            "events_per_s": round(events / elapsed, 1),
+        })
+
+    record = {
+        "created_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "config": {k: CLUSTER_BASE[k] for k in sorted(CLUSTER_BASE)},
+        "cluster_scaling": scaling,
+    }
+    _append_trajectory(record)
+    print(f"bench_serve cluster: {json.dumps(record)}")
+
+    for row in scaling:
+        assert row["completed"] > 0, row

@@ -50,6 +50,7 @@ from .parallel.worker import run_experiment_task
 
 from .experiments import (
     ext_baselines,
+    ext_cluster,
     ext_scheduling,
     ext_service,
     ext_skew,
@@ -76,6 +77,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., object], str]] = {
     "fig11": (fig11_tpch.main, "scan || TPC-H (SF 100)"),
     "fig12": (fig12_oltp.main, "scan || S/4HANA OLTP"),
     "ext-sched": (ext_scheduling.main, "cache-aware co-scheduling"),
+    "ext-cluster": (
+        ext_cluster.main,
+        "sharded fleet: routing policy x node count x load",
+    ),
     "ext-coloring": (ext_baselines.main, "CAT vs page coloring"),
     "ext-service": (
         ext_service.main,
@@ -177,8 +182,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
-        "--profile", choices=("poisson", "bursty", "diurnal"),
-        default="poisson", help="arrival process (default: poisson)",
+        "--profile",
+        choices=("poisson", "bursty", "diurnal", "replay"),
+        default="poisson",
+        help=(
+            "arrival process (default: poisson); 'replay' re-drives "
+            "a recorded report's exact arrival sequence and requires "
+            "--trace-file"
+        ),
+    )
+    serve.add_argument(
+        "--trace-file", default=None, metavar="REPORT",
+        help=(
+            "recorded service report (schema v2+) whose arrival log "
+            "to replay; duration, rate, mix and seed come from the "
+            "trace, the policy under test from --policy"
+        ),
     )
     serve.add_argument(
         "--policy", choices=("none", "static", "adaptive"),
@@ -213,6 +232,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="report directory (default: runs/)",
     )
     serve.add_argument(
+        "--trace", action="store_true",
+        help="print the span tree after the run",
+    )
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="simulate a sharded multi-node service fleet",
+        description=(
+            "Run N independent service nodes behind a routing layer: "
+            "per-node seeded arrival streams, consistent-hash / "
+            "least-loaded / cache-affinity routing, optional seeded "
+            "node fault injection with ring-based failover, and a "
+            "fleet report merging per-node latency histograms into "
+            "fleet-wide SLO verdicts.  Deterministic: the same "
+            "arguments produce a byte-identical report for any "
+            "--jobs value."
+        ),
+    )
+    cluster.add_argument(
+        "--nodes", type=int, default=2, metavar="N",
+        help="fleet size (default: 2)",
+    )
+    cluster.add_argument(
+        "--router", choices=("hash", "least-loaded", "affinity"),
+        default="hash",
+        help=(
+            "routing policy: consistent hashing on tenant id, "
+            "shortest admission queue, or cache-affinity placement "
+            "(default: hash)"
+        ),
+    )
+    cluster.add_argument(
+        "--profile", choices=("poisson", "bursty", "diurnal"),
+        default="poisson",
+        help="per-node arrival process (default: poisson)",
+    )
+    cluster.add_argument(
+        "--policy", choices=("none", "static", "adaptive"),
+        default="adaptive",
+        help="per-node CAT partitioning policy (default: adaptive)",
+    )
+    cluster.add_argument(
+        "--mix", choices=("olap", "oltp"), default="olap",
+        help=(
+            "fleet workload mix over the three tenant groups "
+            "(default: olap)"
+        ),
+    )
+    cluster.add_argument(
+        "--duration", type=float, default=20.0, metavar="SECONDS",
+        help="arrival horizon in simulated seconds (default: 20)",
+    )
+    cluster.add_argument(
+        "--rate", type=float, default=12.0, metavar="PER_S",
+        help="offered load per source stream in requests/s "
+             "(default: 12)",
+    )
+    cluster.add_argument(
+        "--faults", type=int, default=0, metavar="N",
+        help=(
+            "inject N seeded node kills (with recovery) drawn from "
+            "the run seed (default: 0)"
+        ),
+    )
+    cluster.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="fleet seed (recorded in the report)",
+    )
+    cluster.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=(
+            "accepted for interface symmetry; the fleet DES is "
+            "inherently sequential (routing reads live node state), "
+            "so the report is byte-identical for any value"
+        ),
+    )
+    cluster.add_argument(
+        "--out", default="runs", metavar="DIR",
+        help="report directory (default: runs/)",
+    )
+    cluster.add_argument(
         "--trace", action="store_true",
         help="print the span tree after the run",
     )
@@ -325,36 +425,78 @@ def _run_parallel(names: list[str], args: argparse.Namespace) -> None:
 
 def _run_serve(args: argparse.Namespace) -> int:
     """Run one service simulation and write its report."""
-    from .serve import QueryService, ServiceConfig
+    from .errors import ServeError
+    from .serve import (
+        QueryService,
+        ServiceConfig,
+        load_trace,
+        trace_config,
+    )
     from .serve.arrivals import DEFAULT_ARRIVAL_SEED
 
+    if (args.profile == "replay") != (args.trace_file is not None):
+        print(
+            "error: --profile replay and --trace-file go together "
+            "(replay needs a trace; a trace implies replay)",
+            file=sys.stderr,
+        )
+        return 2
     seeding.set_seed(args.seed)
     try:
-        config = ServiceConfig(
-            profile=args.profile,
-            policy=args.policy,
-            mix=args.mix,
-            duration_s=args.duration,
-            rate_per_s=args.rate,
-            seed=seeding.derive(
-                "serve.arrivals", DEFAULT_ARRIVAL_SEED
-            ),
-        )
+        arrivals = None
+        if args.profile == "replay":
+            # The trace's envelope (duration, rate, mix, seed) is
+            # authoritative — the run differs only in the policy under
+            # test, so latency deltas are attributable to it alone.
+            try:
+                traced = trace_config(args.trace_file)
+                arrivals = load_trace(args.trace_file)
+            except ServeError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            config = ServiceConfig(
+                profile="replay",
+                policy=args.policy,
+                mix=traced["mix"],
+                duration_s=traced["duration_s"],
+                rate_per_s=traced["rate_per_s"],
+                seed=traced["seed"],
+                max_concurrency=traced["max_concurrency"],
+                queue_depth=traced["queue_depth"],
+                control_interval_s=traced["control_interval_s"],
+                shift_at_s=traced["shift_at_s"],
+                olap_p99_s=traced["olap_p99_s"],
+                oltp_p99_s=traced["oltp_p99_s"],
+            )
+            label = str(traced["seed"])
+        else:
+            config = ServiceConfig(
+                profile=args.profile,
+                policy=args.policy,
+                mix=args.mix,
+                duration_s=args.duration,
+                rate_per_s=args.rate,
+                seed=seeding.derive(
+                    "serve.arrivals", DEFAULT_ARRIVAL_SEED
+                ),
+            )
+            label = "default" if args.seed is None else str(args.seed)
         with observing() as (tracer, _):
             with tracer.span("serve"):
-                report = QueryService(config).run()
+                report = QueryService(
+                    config, arrivals=arrivals
+                ).run()
         if args.trace:
             print()
             print(format_spans(tracer.root))
-        label = "default" if args.seed is None else str(args.seed)
         path = report.write(
             f"{args.out}/serve-{args.profile}-{args.policy}-"
             f"seed{label}.json"
         )
         print(
             f"serve: profile={args.profile} policy={args.policy} "
-            f"mix={args.mix} duration={args.duration:g}s "
-            f"rate={args.rate:g}/s seed={label}"
+            f"mix={config.mix} duration={config.duration_s:g}s "
+            f"rate={config.rate_per_s:g}/s seed={label}"
         )
         print(
             f"  arrived={report.arrived} admitted={report.admitted} "
@@ -383,6 +525,96 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_cluster(args: argparse.Namespace) -> int:
+    """Run one fleet simulation and write its report."""
+    from .cluster import Cluster, ClusterConfig, seeded_faults
+    from .errors import ClusterError
+    from .serve.arrivals import DEFAULT_ARRIVAL_SEED
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    seeding.set_seed(args.seed)
+    try:
+        fleet_seed = seeding.derive("cluster", DEFAULT_ARRIVAL_SEED)
+        try:
+            faults = (
+                seeded_faults(
+                    args.nodes, args.faults, args.duration,
+                    fleet_seed,
+                )
+                if args.faults else ()
+            )
+            config = ClusterConfig(
+                nodes=args.nodes,
+                router=args.router,
+                profile=args.profile,
+                policy=args.policy,
+                mix=args.mix,
+                duration_s=args.duration,
+                rate_per_s=args.rate,
+                seed=fleet_seed,
+                faults=faults,
+            )
+        except ClusterError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        with observing() as (tracer, _):
+            with tracer.span("cluster"):
+                report = Cluster(config).run()
+        if args.trace:
+            print()
+            print(format_spans(tracer.root))
+        label = "default" if args.seed is None else str(args.seed)
+        path = report.write(
+            f"{args.out}/cluster-{args.router}-n{args.nodes}-"
+            f"seed{label}.json"
+        )
+        print(
+            f"cluster: nodes={args.nodes} router={args.router} "
+            f"policy={args.policy} mix={args.mix} "
+            f"profile={args.profile} duration={args.duration:g}s "
+            f"rate={args.rate:g}/s/node seed={label}"
+        )
+        print(
+            f"  generated={report.generated} "
+            f"completed={report.completed} "
+            f"forwarded={report.forwarded} "
+            f"failovers={report.failovers} "
+            f"shed(admission={report.shed_admission} "
+            f"failure={report.shed_failure} "
+            f"no-node={report.shed_no_node})"
+        )
+        for verdict in report.fleet_slo:
+            status = "OK" if verdict.ok else "VIOLATED"
+            print(
+                f"  fleet {verdict.tenant}: n={verdict.completed} "
+                f"p50={verdict.p50_s:.3f}s p95={verdict.p95_s:.3f}s "
+                f"p99={verdict.p99_s:.3f}s [{status}]"
+            )
+        for stats, node_report in zip(
+            report.node_stats, report.node_reports
+        ):
+            extra = ""
+            if stats["kills"]:
+                extra = (
+                    f" kills={stats['kills']} "
+                    f"down={stats['downtime_s']:.2f}s "
+                    f"lost={stats['failure_shed']}"
+                )
+            print(
+                f"  node {stats['index']}: "
+                f"routed={stats['routed_in']} "
+                f"completed={node_report.completed} "
+                f"shed={node_report.shed}{extra}"
+            )
+        print(f"report: {path}")
+    finally:
+        seeding.set_seed(None)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -393,6 +625,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "cluster":
+        return _run_cluster(args)
 
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}",

@@ -1,0 +1,530 @@
+"""The sharded fleet: N nodes, one router, one global event order.
+
+**Composition.**  Each of the N nodes is a full single-node service
+(:class:`~repro.cluster.node.ClusterNode`): its own spec-sized machine,
+discrete-event clock and queue, admission layer, and (under the
+``adaptive`` policy) its own CAT controller.  In front of them sits a
+routing layer (:mod:`repro.cluster.router`) fed by N seeded source
+streams — node ``i``'s front-end traffic, seeded
+``seeding.derive_from(seed, "node/i")`` so a node's offered load is a
+pure function of (cluster seed, node index) and never of the fleet
+size.
+
+**Global event order.**  The fleet loop repeatedly takes the earliest
+candidate across three lanes and processes exactly it:
+
+1. **faults** — the next kill/recover from the (explicit or seeded)
+   schedule,
+2. **node events** — the earliest head of any node's own event queue
+   (completions, controller ticks),
+3. **arrivals** — the earliest pending arrival across source streams.
+
+Ties break by (time, lane, index) — pure integers, no hash order — so
+one seed produces one event interleaving and therefore one
+byte-identical fleet report, regardless of ``--jobs`` (the DES is
+inherently sequential: routing reads live queue state, so node
+simulations are coupled and are *not* farmed out to workers).
+
+**Isolation of node state.**  Arrivals reach a node through
+``node.accept()`` — they never pass through the node's event queue —
+so a node's event sequence numbers, rate solves, and report depend
+only on the traffic it actually receives.  With a router that keeps an
+unloaded fleet local (``least-loaded``), node 0's report is
+byte-identical between a 1-node and a 4-node fleet (tested).  For the
+same reason each node keeps its **own** rate cache: sharing one dict
+would make a node's hit/solve counters depend on its peers' progress.
+Controller *analysis* caches (classification + way sweeps) are shared
+fleet-wide instead — those memoize pure probes whose results are
+identical on every node, so sharing changes cost, never results.
+
+**Failover and loss accounting.**  A kill evacuates the victim's
+running and queued requests (counted as ``shed_failure``), strands its
+scheduled completions via the epoch bump, and removes it from the live
+set; subsequent arrivals route around it (``failover`` decisions,
+ring successors under ``hash``).  Conservation holds fleet-wide::
+
+    generated == completed + shed_admission + shed_failure + shed_no_node
+
+**Fleet report.**  Per-tenant-group latency histograms merge across
+nodes bucket-wise (the fixed ladder makes pooled quantiles exact —
+:meth:`repro.serve.slo.LatencyHistogram.merge`), yielding per-node
+*and* fleet-wide SLO verdicts in one canonical JSON artifact
+(``FLEET_REPORT_VERSION``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .. import seeding
+from ..config import SystemSpec
+from ..errors import ClusterError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..obs import runtime
+from ..serve.admission import AdmissionDecision
+from ..serve.arrivals import DEFAULT_ARRIVAL_SEED, build_arrivals
+from ..serve.events import EventKind
+from ..serve.service import POLICIES, ServiceConfig
+from ..serve.slo import SloTarget, SloTracker
+from .faults import FaultSpec, validate_schedule
+from .node import ClusterNode
+from .ring import DEFAULT_VIRTUAL_NODES
+from .router import ROUTERS, Router, make_router
+from .workload import (
+    cluster_olap_mix,
+    cluster_oltp_mix,
+    tenant_id,
+)
+
+CLUSTER_MIXES = ("olap", "oltp")
+CLUSTER_PROFILES = ("poisson", "bursty", "diurnal")
+
+#: Fleet report schema version (independent of the per-node
+#: ``serve.service.REPORT_VERSION`` embedded inside it).
+FLEET_REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything a fleet run depends on (the determinism domain).
+
+    ``rate_per_s`` is the offered load *per source stream* (one stream
+    per node), so total fleet load scales with ``nodes``.
+    """
+
+    nodes: int = 2
+    router: str = "hash"
+    profile: str = "poisson"
+    policy: str = "adaptive"
+    mix: str = "olap"
+    duration_s: float = 20.0
+    rate_per_s: float = 12.0
+    seed: int = DEFAULT_ARRIVAL_SEED
+    max_concurrency: int = 8
+    queue_depth: int = 32
+    control_interval_s: float = 1.0
+    olap_p99_s: float = 4.0
+    oltp_p99_s: float = 2.0
+    tenants_per_group: int = 8
+    virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+    faults: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ClusterError(f"nodes must be >= 1: {self.nodes}")
+        if self.router not in ROUTERS:
+            raise ClusterError(
+                f"router must be one of {ROUTERS}: {self.router!r}"
+            )
+        if self.profile not in CLUSTER_PROFILES:
+            raise ClusterError(
+                "cluster profile must be one of "
+                f"{CLUSTER_PROFILES}: {self.profile!r}"
+            )
+        if self.policy not in POLICIES:
+            raise ClusterError(
+                f"policy must be one of {POLICIES}: {self.policy!r}"
+            )
+        if self.mix not in CLUSTER_MIXES:
+            raise ClusterError(
+                f"cluster mix must be one of {CLUSTER_MIXES}: "
+                f"{self.mix!r}"
+            )
+        if self.tenants_per_group <= 0:
+            raise ClusterError(
+                "tenants_per_group must be >= 1: "
+                f"{self.tenants_per_group}"
+            )
+        validate_schedule(tuple(self.faults), self.nodes)
+        # Delegate the shared scalar checks to the node config.
+        self.node_config(0)
+
+    def node_config(self, index: int) -> ServiceConfig:
+        """The embedded per-node service configuration.
+
+        The node seed derives from (cluster seed, node index) alone —
+        ``seeding.derive_from(seed, "node/<i>")`` — which is what makes
+        a node's traffic independent of the fleet size.
+        """
+        return ServiceConfig(
+            profile=self.profile,
+            policy=self.policy,
+            mix=self.mix,
+            duration_s=self.duration_s,
+            rate_per_s=self.rate_per_s,
+            seed=seeding.derive_from(self.seed, f"node/{index}"),
+            max_concurrency=self.max_concurrency,
+            queue_depth=self.queue_depth,
+            control_interval_s=self.control_interval_s,
+            olap_p99_s=self.olap_p99_s,
+            oltp_p99_s=self.oltp_p99_s,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "router": self.router,
+            "profile": self.profile,
+            "policy": self.policy,
+            "mix": self.mix,
+            "duration_s": self.duration_s,
+            "rate_per_s": self.rate_per_s,
+            "seed": self.seed,
+            "max_concurrency": self.max_concurrency,
+            "queue_depth": self.queue_depth,
+            "control_interval_s": self.control_interval_s,
+            "olap_p99_s": self.olap_p99_s,
+            "oltp_p99_s": self.oltp_p99_s,
+            "tenants_per_group": self.tenants_per_group,
+            "virtual_nodes": self.virtual_nodes,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+
+@dataclass
+class ClusterReport:
+    """Deterministic summary of one fleet run."""
+
+    config: ClusterConfig
+    generated: int
+    completed: int
+    forwarded: int
+    failovers: int
+    shed_admission: int
+    shed_failure: int
+    shed_no_node: int
+    fleet_slo: tuple
+    aggregate: dict
+    node_stats: tuple
+    node_reports: tuple
+    router: dict
+    faults: tuple
+
+    def to_dict(self) -> dict:
+        return {
+            "fleet_report_version": FLEET_REPORT_VERSION,
+            "config": self.config.to_dict(),
+            "generated": self.generated,
+            "completed": self.completed,
+            "forwarded": self.forwarded,
+            "failovers": self.failovers,
+            "shed_admission": self.shed_admission,
+            "shed_failure": self.shed_failure,
+            "shed_no_node": self.shed_no_node,
+            "fleet_slo": [v.to_dict() for v in self.fleet_slo],
+            "aggregate": self.aggregate,
+            "nodes": [
+                {**stats, "report": report.to_dict()}
+                for stats, report in zip(
+                    self.node_stats, self.node_reports
+                )
+            ],
+            "router": self.router,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the report as canonical JSON (byte-stable per seed)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    def fleet_verdict_for(self, tenant: str):
+        for verdict in self.fleet_slo:
+            if verdict.tenant == tenant:
+                return verdict
+        raise ClusterError(f"no fleet SLO verdict for {tenant!r}")
+
+    @property
+    def slo_ok(self) -> bool:
+        return all(verdict.ok for verdict in self.fleet_slo)
+
+
+@dataclass
+class _Source:
+    """One node's front-end stream: its next pending arrival."""
+
+    process: object
+    tenant_rng: np.random.Generator
+    pending: tuple | None = None
+    generated: int = 0
+
+    def pull(self, after_s: float, horizon_s: float) -> None:
+        timestamp, cls = self.process.next_arrival(after_s)
+        self.pending = (
+            (timestamp, cls) if timestamp < horizon_s else None
+        )
+
+
+@dataclass
+class _FaultEvent:
+    time_s: float
+    node: int
+    recover: bool
+    spec: FaultSpec = field(repr=False, default=None)
+
+
+class Cluster:
+    """Runs one configured fleet simulation to completion."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        spec: SystemSpec | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.config = config
+        self.spec = spec if spec is not None else SystemSpec()
+        self.calibration = calibration
+        self.router: Router = make_router(
+            config.router, config.nodes, self.spec,
+            virtual_nodes=config.virtual_nodes,
+        )
+        workers = self.spec.cores
+        if config.mix == "oltp":
+            mix = cluster_oltp_mix(workers, calibration)
+        else:
+            mix = cluster_olap_mix(workers, calibration)
+        self._mix_schedule = ((0.0, mix),)
+        self.nodes: list[ClusterNode] = []
+        shared_cuids: dict = {}
+        shared_reports: dict = {}
+        for index in range(config.nodes):
+            node = ClusterNode(
+                index,
+                config.node_config(index),
+                spec=self.spec,
+                calibration=calibration,
+            )
+            if node.controller is not None:
+                node.controller.share_analysis_caches(
+                    shared_cuids, shared_reports
+                )
+            self.nodes.append(node)
+        self._sources = [
+            _Source(
+                process=build_arrivals(
+                    config.profile,
+                    config.rate_per_s,
+                    self._mix_schedule,
+                    seed=seeding.derive_from(
+                        config.seed, f"node/{index}"
+                    ),
+                ),
+                tenant_rng=np.random.default_rng(
+                    seeding.derive_from(
+                        config.seed, f"node/{index}/tenants"
+                    )
+                ),
+            )
+            for index in range(config.nodes)
+        ]
+        self._fault_events = self._expand_faults(config.faults)
+        self._fault_index = 0
+        self._alive = set(range(config.nodes))
+        self._fault_log: list[dict] = []
+        # Fleet totals.
+        self.generated = 0
+        self.forwarded = 0
+        self.failovers = 0
+        self.shed_no_node = 0
+        self._ran = False
+
+    @staticmethod
+    def _expand_faults(
+        faults: tuple,
+    ) -> list[_FaultEvent]:
+        events = []
+        for fault in faults:
+            events.append(_FaultEvent(
+                fault.kill_at_s, fault.node, recover=False,
+                spec=fault,
+            ))
+            if fault.recover_at_s is not None:
+                events.append(_FaultEvent(
+                    fault.recover_at_s, fault.node, recover=True,
+                    spec=fault,
+                ))
+        # Kills before recoveries at equal instants, then node order.
+        events.sort(
+            key=lambda e: (e.time_s, 1 if e.recover else 0, e.node)
+        )
+        return events
+
+    # -- lanes ---------------------------------------------------------
+
+    def _next_candidate(self) -> tuple | None:
+        """The earliest (time, lane, index) across the three lanes."""
+        candidates = []
+        if self._fault_index < len(self._fault_events):
+            candidates.append((
+                self._fault_events[self._fault_index].time_s, 0, 0
+            ))
+        for index, node in enumerate(self.nodes):
+            if node.queue:
+                candidates.append((node.queue.peek_time(), 1, index))
+        for index, source in enumerate(self._sources):
+            if source.pending is not None:
+                candidates.append((source.pending[0], 2, index))
+        return min(candidates) if candidates else None
+
+    def _process_fault(self) -> None:
+        event = self._fault_events[self._fault_index]
+        self._fault_index += 1
+        node = self.nodes[event.node]
+        if event.recover:
+            node.recover(event.time_s)
+            self._alive.add(event.node)
+            self._fault_log.append({
+                "time_s": round(event.time_s, 9),
+                "node": event.node,
+                "event": "recover",
+            })
+            return
+        lost = node.fail(event.time_s)
+        self._alive.discard(event.node)
+        if lost:
+            runtime.metrics.counter("cluster.shed").inc(lost)
+        self._fault_log.append({
+            "time_s": round(event.time_s, 9),
+            "node": event.node,
+            "event": "kill",
+            "lost": lost,
+        })
+
+    def _process_arrival(self, index: int) -> None:
+        source = self._sources[index]
+        assert source.pending is not None
+        timestamp, cls = source.pending
+        tenant_index = int(
+            source.tenant_rng.integers(self.config.tenants_per_group)
+        )
+        key = tenant_id(cls.tenant, tenant_index)
+        self.generated += 1
+        source.generated += 1
+        decision = self.router.route(
+            index, key, cls, self.nodes, frozenset(self._alive)
+        )
+        runtime.metrics.counter("cluster.routed").inc()
+        if decision.failover:
+            self.failovers += 1
+            runtime.metrics.counter("cluster.failover").inc()
+        if decision.target is None:
+            self.shed_no_node += 1
+            runtime.metrics.counter("cluster.shed").inc()
+        else:
+            target = self.nodes[decision.target]
+            target.routed_in += 1
+            if decision.target != index:
+                self.forwarded += 1
+                target.forwarded_in += 1
+            if decision.failover:
+                target.failover_in += 1
+            target.accept(timestamp, cls)
+        source.pull(timestamp, self.config.duration_s)
+
+    # -- the loop ------------------------------------------------------
+
+    def run(self) -> ClusterReport:
+        """Run to completion (sources stop at the horizon, then drain)."""
+        if self._ran:
+            raise ClusterError("a Cluster instance runs exactly once")
+        self._ran = True
+        config = self.config
+        with runtime.tracer.span(
+            "cluster.run",
+            nodes=config.nodes,
+            router=config.router,
+            policy=config.policy,
+        ):
+            for source in self._sources:
+                source.pull(0.0, config.duration_s)
+            for node in self.nodes:
+                if node.controller is not None:
+                    node.queue.push(
+                        min(node.controller.interval_s,
+                            config.duration_s / 2.0),
+                        EventKind.CONTROL,
+                    )
+            while True:
+                candidate = self._next_candidate()
+                if candidate is None:
+                    break
+                _, lane, index = candidate
+                if lane == 0:
+                    self._process_fault()
+                elif lane == 1:
+                    node = self.nodes[index]
+                    node.dispatch(node.queue.pop())
+                else:
+                    self._process_arrival(index)
+            for node in self.nodes:
+                node.close_downtime(
+                    max(config.duration_s,
+                        *(n.clock.now for n in self.nodes))
+                )
+        return self._report()
+
+    def _report(self) -> ClusterReport:
+        node_reports = tuple(node.report() for node in self.nodes)
+        fleet_slo = SloTracker((
+            SloTarget("olap", p99_s=self.config.olap_p99_s),
+            SloTarget("oltp", p99_s=self.config.oltp_p99_s),
+        ))
+        for node in self.nodes:
+            fleet_slo.merge(node.slo)
+        pooled = fleet_slo.pooled()
+        aggregate = {
+            "completed": pooled.total,
+            "p50_s": pooled.quantile(0.50) if pooled.total else 0.0,
+            "p95_s": pooled.quantile(0.95) if pooled.total else 0.0,
+            "p99_s": pooled.quantile(0.99) if pooled.total else 0.0,
+            "mean_s": round(pooled.mean_s, 9),
+            "max_s": round(pooled.max_s, 9),
+        }
+        completed = sum(r.completed for r in node_reports)
+        shed_admission = sum(
+            node.admission.shed for node in self.nodes
+        )
+        shed_failure = sum(node.failure_shed for node in self.nodes)
+        balance = (
+            completed + shed_admission + shed_failure
+            + self.shed_no_node
+        )
+        if balance != self.generated:
+            raise ClusterError(
+                "request conservation violated: generated="
+                f"{self.generated} but completed+shed={balance}"
+            )
+        return ClusterReport(
+            config=self.config,
+            generated=self.generated,
+            completed=completed,
+            forwarded=self.forwarded,
+            failovers=self.failovers,
+            shed_admission=shed_admission,
+            shed_failure=shed_failure,
+            shed_no_node=self.shed_no_node,
+            fleet_slo=fleet_slo.verdicts(),
+            aggregate=aggregate,
+            node_stats=tuple(
+                {**node.stats(), "sourced": source.generated}
+                for node, source in zip(self.nodes, self._sources)
+            ),
+            node_reports=node_reports,
+            router=self.router.describe(),
+            faults=tuple(
+                sorted(
+                    self.config.faults,
+                    key=lambda f: (f.kill_at_s, f.node),
+                )
+            ),
+        )

@@ -1,0 +1,167 @@
+"""One fleet member: a query service plus liveness and loss accounting.
+
+A :class:`ClusterNode` **is** a :class:`~repro.serve.service.QueryService`
+— same admission, same processor-sharing rate model, same adaptive CAT
+controller — with three cluster-specific differences:
+
+* **no private arrival process** — the fleet owns the per-node seeded
+  source streams and injects traffic through
+  :meth:`~repro.serve.service.QueryService.accept` after routing, so a
+  node's event sequence numbers never depend on how many peers exist,
+* **cluster workload mixes** — the three-tenant-group catalog from
+  :mod:`repro.cluster.workload` replaces the single-node mixes,
+* **liveness** — :meth:`fail` models a crash (in-flight and queued work
+  lost, CAT state reset to the unpartitioned baseline on the replacement
+  process) and :meth:`recover` brings the node back; the fleet counts
+  the lost requests as ``failure shed``.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemSpec
+from ..core.policy import paper_scheme
+from ..errors import ClusterError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..serve.admission import AdmissionDecision
+from ..serve.arrivals import RequestClass
+from ..serve.service import QueryService, ServiceConfig, ServiceReport
+from .workload import cluster_olap_mix, cluster_oltp_mix
+
+
+class _NoArrivals:
+    """Sentinel arrival process: the fleet injects traffic directly."""
+
+    def next_arrival(self, now: float):
+        raise ClusterError(
+            "cluster nodes receive traffic from the router, not from "
+            "a private arrival process"
+        )
+
+
+class ClusterNode(QueryService):
+    """A query service driven by a routing layer instead of its own
+    arrival stream."""
+
+    def __init__(
+        self,
+        index: int,
+        config: ServiceConfig,
+        spec: SystemSpec | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        rate_cache: dict | None = None,
+    ) -> None:
+        if index < 0:
+            raise ClusterError(f"node index must be >= 0: {index}")
+        self.index = index
+        super().__init__(
+            config,
+            spec=spec,
+            calibration=calibration,
+            rate_cache=rate_cache,
+            arrivals=_NoArrivals(),
+        )
+        self.alive = True
+        # Routing-layer accounting (the fleet increments these).
+        self.routed_in = 0
+        self.forwarded_in = 0
+        self.failover_in = 0
+        # Liveness accounting.
+        self.kills = 0
+        self.failure_shed = 0
+        self.downtime_s = 0.0
+        self._failed_at: float | None = None
+
+    # -- workload ------------------------------------------------------
+
+    def _build_mix_schedule(self):
+        workers = self.spec.cores
+        if self.config.mix == "oltp":
+            return ((0.0, cluster_oltp_mix(workers, self.calibration)),)
+        return ((0.0, cluster_olap_mix(workers, self.calibration)),)
+
+    # -- traffic -------------------------------------------------------
+
+    def accept(
+        self, now: float, cls: RequestClass
+    ) -> AdmissionDecision:
+        if not self.alive:
+            raise ClusterError(
+                f"node {self.index} is down at t={now}; the router "
+                "must not target dead nodes"
+            )
+        return super().accept(now, cls)
+
+    # -- liveness ------------------------------------------------------
+
+    def fail(self, now: float) -> int:
+        """Crash the node at ``now``; returns the number of requests
+        lost (in service + queued).
+
+        In-flight work progresses at the pre-crash rates up to the
+        crash instant and is then discarded; the epoch bump strands
+        every already-scheduled completion, and the CAT configuration
+        resets to the unpartitioned full mask — a restarted process
+        starts from the baseline, exactly like a cold service.
+        """
+        if not self.alive:
+            raise ClusterError(f"node {self.index} is already down")
+        self._advance(now)
+        running, queued = self.admission.evacuate()
+        for request in running:
+            self._free_tids.append(
+                self._state.slots.pop(request.request_id)
+            )
+        self._free_tids.sort(reverse=True)
+        for request in running + queued:
+            del self._requests[request.request_id]
+        self._state.rates = {}
+        self._state.epoch += 1
+        self.cache_controller.disable()
+        if self.controller is not None:
+            self.controller._installed_masks = None
+        lost = len(running) + len(queued)
+        self.failure_shed += lost
+        self.kills += 1
+        self.alive = False
+        self._failed_at = now
+        return lost
+
+    def recover(self, now: float) -> None:
+        """Bring the node back into the routable set at ``now``."""
+        if self.alive:
+            raise ClusterError(f"node {self.index} is already up")
+        assert self._failed_at is not None
+        self.downtime_s += now - self._failed_at
+        self._failed_at = None
+        self.alive = True
+        if self.config.policy == "static":
+            # A restarted process re-applies its static CAT scheme at
+            # boot; adaptive nodes re-derive it on their next tick.
+            self.cache_controller.enable(
+                paper_scheme().to_cuid_policy(self.spec)
+            )
+
+    def close_downtime(self, end_s: float) -> None:
+        """Fold an outage still open at the horizon into downtime."""
+        if not self.alive and self._failed_at is not None:
+            self.downtime_s += end_s - self._failed_at
+            self._failed_at = end_s
+
+    # -- reporting -----------------------------------------------------
+
+    def report(self) -> ServiceReport:
+        """The node's own service report (same schema as single-node)."""
+        return self._report()
+
+    def stats(self) -> dict:
+        """Routing and liveness counters for the fleet report."""
+        return {
+            "index": self.index,
+            "alive": self.alive,
+            "routed_in": self.routed_in,
+            "forwarded_in": self.forwarded_in,
+            "failover_in": self.failover_in,
+            "kills": self.kills,
+            "failure_shed": self.failure_shed,
+            "downtime_s": round(self.downtime_s, 9),
+        }

@@ -1,0 +1,228 @@
+"""Pluggable request routing for the fleet front end.
+
+Three policies, all deterministic functions of (routing key, request
+class, node state):
+
+* ``hash`` — consistent hashing on the tenant id over a virtual-node
+  ring (:class:`~repro.cluster.ring.HashRing`).  Tenant affinity and
+  ring-based failover: a dead owner's tenants spill to its clockwise
+  successors and snap back on recovery.
+* ``least-loaded`` — pick the live node with the shortest admission
+  queue, preferring the arrival's source node on ties so an unloaded
+  fleet keeps traffic local.
+* ``affinity`` — cache-topology-aware placement.  Each request class
+  is classified once with the online probe
+  (:class:`repro.core.online.OnlineClassifier` — the paper's CMT-style
+  full-LLC vs. polluter-slice measurement); polluting traffic is
+  *consolidated* onto already-polluted nodes (bounded by a queue-slack
+  guard so the quarantine node cannot collapse) while cache-sensitive
+  traffic is steered to the least-polluted node.  Partitioning inside
+  one node caps scan damage; placement across nodes removes it from
+  most of the fleet entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..config import SystemSpec
+from ..core.online import OnlineClassifier
+from ..errors import ClusterError
+from ..operators.base import CacheUsage
+from ..serve.arrivals import RequestClass
+from .node import ClusterNode
+from .ring import DEFAULT_VIRTUAL_NODES, HashRing
+
+ROUTERS = ("hash", "least-loaded", "affinity")
+
+#: Queue-slack guard for affinity consolidation: a polluted node stays
+#: a valid target only while its queue is within this many requests of
+#: the shortest live queue.
+AFFINITY_QUEUE_SLACK = 2
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Where one arrival goes.
+
+    ``target`` is ``None`` when no live node exists (the request is
+    shed at the front end); ``failover`` marks decisions that differ
+    from what a fully-live fleet would have chosen.
+    """
+
+    target: int | None
+    failover: bool
+
+
+class Router:
+    """Base: a routing policy over a fixed node population."""
+
+    name = "base"
+
+    def route(
+        self,
+        source: int,
+        key: str,
+        cls: RequestClass,
+        nodes: Sequence[ClusterNode],
+        alive: frozenset[int],
+    ) -> RouteDecision:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {"policy": self.name}
+
+
+class HashRouter(Router):
+    """Consistent hashing on the tenant id."""
+
+    name = "hash"
+
+    def __init__(
+        self, nodes: int, virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+    ) -> None:
+        self.ring = HashRing(nodes, virtual_nodes)
+
+    def route(self, source, key, cls, nodes, alive) -> RouteDecision:
+        preferred = self.ring.owner(key)
+        target = self.ring.owner(key, alive)
+        if target is None:
+            return RouteDecision(target=None, failover=True)
+        return RouteDecision(
+            target=target, failover=target != preferred
+        )
+
+    def describe(self) -> dict:
+        return {
+            "policy": self.name,
+            "virtual_nodes": self.ring.virtual_nodes,
+        }
+
+
+class LeastLoadedRouter(Router):
+    """Shortest admission queue wins; ties stay local."""
+
+    name = "least-loaded"
+
+    def route(self, source, key, cls, nodes, alive) -> RouteDecision:
+        if not alive:
+            return RouteDecision(target=None, failover=True)
+        target = min(
+            sorted(alive),
+            key=lambda index: (
+                nodes[index].admission.queue_length,
+                0 if index == source else 1,
+                index,
+            ),
+        )
+        return RouteDecision(
+            target=target, failover=source not in alive
+        )
+
+
+class AffinityRouter(Router):
+    """Steer cache-sensitive classes away from pollution-heavy nodes."""
+
+    name = "affinity"
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        classifier: OnlineClassifier | None = None,
+        queue_slack: int = AFFINITY_QUEUE_SLACK,
+    ) -> None:
+        if queue_slack < 0:
+            raise ClusterError(
+                f"queue slack must be >= 0: {queue_slack}"
+            )
+        self.classifier = (
+            classifier if classifier is not None
+            else OnlineClassifier(spec)
+        )
+        self.queue_slack = queue_slack
+        self._cuids: dict[str, CacheUsage] = {}
+
+    def _cuid_for(self, cls: RequestClass) -> CacheUsage:
+        cuid = self._cuids.get(cls.name)
+        if cuid is None:
+            cuid = self.classifier.classify(cls.profile).cuid
+            self._cuids[cls.name] = cuid
+        return cuid
+
+    def _pollution(self, node: ClusterNode) -> int:
+        """Polluting requests currently on a node (running + queued)."""
+        count = 0
+        for request_id in sorted(node.admission.running):
+            request = node.admission.running[request_id]
+            if self._cuid_for(request.cls) is CacheUsage.POLLUTING:
+                count += 1
+        for request in node.admission.queued_requests:
+            if self._cuid_for(request.cls) is CacheUsage.POLLUTING:
+                count += 1
+        return count
+
+    def route(self, source, key, cls, nodes, alive) -> RouteDecision:
+        if not alive:
+            return RouteDecision(target=None, failover=True)
+        live = sorted(alive)
+        failover = source not in alive
+        pollution = {i: self._pollution(nodes[i]) for i in live}
+        queues = {i: nodes[i].admission.queue_length for i in live}
+        if self._cuid_for(cls) is CacheUsage.POLLUTING:
+            # Consolidate: the most-polluted node that is not already
+            # drowning (queue within `queue_slack` of the shortest).
+            shortest = min(queues.values())
+            candidates = [
+                i for i in live
+                if queues[i] <= shortest + self.queue_slack
+            ]
+            target = min(
+                candidates,
+                key=lambda i: (
+                    -pollution[i],
+                    queues[i],
+                    0 if i == source else 1,
+                    i,
+                ),
+            )
+            return RouteDecision(target=target, failover=failover)
+        # Sensitive: the cleanest node, load as tie-break.
+        target = min(
+            live,
+            key=lambda i: (
+                pollution[i],
+                queues[i],
+                0 if i == source else 1,
+                i,
+            ),
+        )
+        return RouteDecision(target=target, failover=failover)
+
+    def describe(self) -> dict:
+        return {
+            "policy": self.name,
+            "queue_slack": self.queue_slack,
+            "classifications": {
+                name: cuid.value
+                for name, cuid in sorted(self._cuids.items())
+            },
+        }
+
+
+def make_router(
+    name: str,
+    nodes: int,
+    spec: SystemSpec,
+    virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+) -> Router:
+    """Factory for the CLI-facing policy names."""
+    if name == "hash":
+        return HashRouter(nodes, virtual_nodes)
+    if name == "least-loaded":
+        return LeastLoadedRouter()
+    if name == "affinity":
+        return AffinityRouter(spec)
+    raise ClusterError(
+        f"router must be one of {ROUTERS}: {name!r}"
+    )

@@ -1,0 +1,78 @@
+"""Fleet-facing workload mixes and the synthetic tenant population.
+
+The single-node service keys SLOs on two tenant groups (olap / oltp).
+A fleet routes on *tenants* — many independent customers whose traffic
+a front end spreads over nodes — so the cluster refines the model two
+ways:
+
+* **three tenant groups** — the polluting column scan moves from the
+  ``olap`` group into its own ``batch`` group (throughput-oriented
+  background analytics with no latency SLO).  That mirrors production
+  shape — interactive analytics, transactions, and bulk scans are
+  different customers — and it is what gives the affinity router its
+  degree of freedom: it can quarantine ``batch`` traffic without
+  conflating it with latency-sensitive OLAP.
+* **a tenant population** — each arrival is attributed to one of
+  ``tenants_per_group`` synthetic tenants inside its group
+  (``olap-03``, ``batch-00``, ...).  Tenant ids are the consistent-hash
+  routing key; SLO verdicts stay per *group* so reports remain bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..serve.arrivals import WorkloadMix, catalog_classes
+
+#: The tenant group carrying the paper's polluting scan in the fleet.
+BATCH_TENANT = "batch"
+
+
+def cluster_classes(
+    workers: int = 22,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> dict:
+    """The service catalog with the scan re-tenanted to ``batch``."""
+    classes = dict(catalog_classes(workers, calibration))
+    classes["scan"] = replace(classes["scan"], tenant=BATCH_TENANT)
+    return classes
+
+
+def cluster_olap_mix(
+    workers: int = 22,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> WorkloadMix:
+    """Interactive-analytics-dominated fleet traffic.
+
+    Cache-sensitive classes (agg/join/oltp) carry most of the volume;
+    batch scans are a meaningful minority — enough to pollute every
+    node under hash placement, little enough that quarantining them
+    does not overload the quarantine node.
+    """
+    classes = cluster_classes(workers, calibration)
+    return WorkloadMix(
+        name="cluster_olap",
+        classes=(classes["scan"], classes["agg"], classes["join"],
+                 classes["oltp"]),
+        weights=(0.25, 0.35, 0.20, 0.20),
+    )
+
+
+def cluster_oltp_mix(
+    workers: int = 22,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> WorkloadMix:
+    """Transaction-dominated fleet traffic with background batch."""
+    classes = cluster_classes(workers, calibration)
+    return WorkloadMix(
+        name="cluster_oltp",
+        classes=(classes["oltp"], classes["agg"], classes["scan"],
+                 classes["join"]),
+        weights=(0.55, 0.20, 0.15, 0.10),
+    )
+
+
+def tenant_id(group: str, index: int) -> str:
+    """Canonical tenant id inside a group (the ring's routing key)."""
+    return f"{group}-{index:02d}"

@@ -67,3 +67,7 @@ class ObservabilityError(ReproError):
 
 class ServeError(ReproError):
     """Invalid operation in the query-service layer (``repro.serve``)."""
+
+
+class ClusterError(ReproError):
+    """Invalid operation in the fleet layer (``repro.cluster``)."""

@@ -36,6 +36,30 @@ def get_seed() -> int | None:
     return _global_seed
 
 
+def derive_from(seed: int, component: str) -> int:
+    """Stable per-component stream seed derived from an explicit seed.
+
+    The digest scheme is the one :func:`derive` uses for the installed
+    run-level seed, exposed for callers that carry their own seed — the
+    cluster derives each node's arrival stream as
+    ``derive_from(config.seed, "node/<i>")``, so adding a node never
+    perturbs the sequences existing nodes draw.
+
+    >>> derive_from(1, "node/0") == derive_from(1, "node/0")
+    True
+    >>> derive_from(1, "node/0") != derive_from(1, "node/1")
+    True
+    """
+    if not component:
+        raise ConfigError("component name must be non-empty")
+    if seed < 0:
+        raise ConfigError(f"seed must be >= 0: {seed}")
+    digest = hashlib.sha256(
+        f"{seed}/{component}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 def derive(component: str, default: int) -> int:
     """Seed for one named component.
 
@@ -51,7 +75,4 @@ def derive(component: str, default: int) -> int:
         raise ConfigError("component name must be non-empty")
     if _global_seed is None:
         return default
-    digest = hashlib.sha256(
-        f"{_global_seed}/{component}".encode("utf-8")
-    ).digest()
-    return int.from_bytes(digest[:8], "big")
+    return derive_from(_global_seed, component)

@@ -41,6 +41,7 @@ from .arrivals import (
 from .clock import SimulatedClock, TickingClock
 from .controller import AdaptiveController, ControlDecision
 from .events import Event, EventKind, EventQueue
+from .replay import ReplayArrivals, load_trace, trace_config
 from .service import QueryService, ServiceConfig, ServiceReport
 from .slo import LatencyHistogram, SloTarget, SloTracker, SloVerdict
 
@@ -58,6 +59,7 @@ __all__ = [
     "LatencyHistogram",
     "PoissonArrivals",
     "QueryService",
+    "ReplayArrivals",
     "Request",
     "RequestClass",
     "ServiceConfig",
@@ -69,6 +71,8 @@ __all__ = [
     "TickingClock",
     "WorkloadMix",
     "build_arrivals",
+    "load_trace",
+    "trace_config",
     "olap_heavy_mix",
     "oltp_heavy_mix",
 ]

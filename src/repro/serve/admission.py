@@ -101,6 +101,11 @@ class AdmissionController:
     def queue_length(self) -> int:
         return len(self._queue)
 
+    @property
+    def queued_requests(self) -> tuple[Request, ...]:
+        """The parked requests in FIFO order (read-only snapshot)."""
+        return tuple(self._queue)
+
     def tenant_cuid(self, tenant: str) -> CacheUsage | None:
         """The cache-usage class this tenant's sessions run under."""
         return self._tenant_cuids.get(tenant)
@@ -142,6 +147,24 @@ class AdmissionController:
         promoted = self._queue.popleft()
         self._admit(promoted, now)
         return promoted
+
+    def evacuate(self) -> tuple[list[Request], list[Request]]:
+        """Remove every running and queued request at once.
+
+        Models a node failure: in-flight work is lost, the queue is
+        dropped.  Returns ``(running, queued)`` — running in request-id
+        order, queued in FIFO order — so the caller can account for the
+        loss (the cluster counts both as failure shed).
+        """
+        running = [
+            self._running[request_id]
+            for request_id in sorted(self._running)
+        ]
+        queued = list(self._queue)
+        self._running.clear()
+        self._queue.clear()
+        self._publish_depth()
+        return running, queued
 
     def _admit(self, request: Request, now: float) -> None:
         request.admitted_s = now

@@ -124,6 +124,22 @@ class AdaptiveController:
         self.change_times: list[float] = []
         self.decisions: list[ControlDecision] = []
 
+    def share_analysis_caches(
+        self,
+        cuids: dict[str, str],
+        reports: dict[str, SensitivityReport],
+    ) -> None:
+        """Adopt shared per-class analysis caches.
+
+        A cluster's nodes run identical specs and calibrations, so the
+        classification probe and way sweep for a class produce the same
+        result on every node — sharing the dicts makes each class pay
+        its discovery cost once per fleet instead of once per node.
+        Results are unaffected (the caches only memoize pure probes).
+        """
+        self._cuids = cuids
+        self._reports = reports
+
     # -- per-class analysis (cached) -----------------------------------
 
     def _report_for(self, cls: RequestClass) -> SensitivityReport:

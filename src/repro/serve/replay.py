@@ -1,0 +1,138 @@
+"""Trace replay: re-drive a recorded run's exact arrival sequence.
+
+Every service report (schema version 2+) carries an ``arrivals`` log —
+the offered ``[time_s, class]`` sequence, shed requests included.
+:func:`load_trace` reads a report back into a :class:`ReplayArrivals`
+process, which the service consumes through the same
+``next_arrival(now)`` contract as the stochastic profiles.  That makes
+controller or router changes A/B-testable against *identical* traffic:
+
+    python -m repro serve --profile poisson --seed 7      # record
+    python -m repro serve --profile replay \\
+        --trace-file runs/serve-poisson-adaptive-seed7.json \\
+        --policy static                                   # replay
+
+The replayed run offers the same requests at the same instants; only
+the policy under test differs.  Replaying a replay is a fixed point:
+the re-recorded arrival log equals the one replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ServeError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from .arrivals import RequestClass, catalog_classes
+from .service import REPORT_VERSION
+
+
+class ReplayArrivals:
+    """An arrival process that replays a recorded sequence.
+
+    Stateful like the seeded generators: each ``next_arrival`` call
+    consumes the next recorded arrival.  ``now`` is accepted for
+    interface compatibility; the recorded timestamps are authoritative
+    (they are non-decreasing by construction — the recorder's clock
+    never runs backwards).
+    """
+
+    def __init__(
+        self, arrivals: tuple[tuple[float, RequestClass], ...]
+    ) -> None:
+        times = [time_s for time_s, _ in arrivals]
+        if times != sorted(times):
+            raise ServeError(
+                "replay trace timestamps must be non-decreasing"
+            )
+        self._arrivals = tuple(arrivals)
+        self._index = 0
+
+    def __len__(self) -> int:
+        return len(self._arrivals)
+
+    def next_arrival(self, now: float) -> tuple[float, RequestClass]:
+        """The next recorded arrival; past the end, one beyond any
+        horizon (the service only schedules arrivals inside the run)."""
+        if self._index >= len(self._arrivals):
+            return (float("inf"), self._arrivals[-1][1]) if (
+                self._arrivals
+            ) else (float("inf"), _sentinel_class())
+        timestamp, cls = self._arrivals[self._index]
+        self._index += 1
+        return timestamp, cls
+
+
+def _sentinel_class() -> RequestClass:
+    # Only reachable for an empty trace: the returned class is never
+    # offered (its timestamp is +inf, past every horizon).
+    return next(iter(catalog_classes().values()))
+
+
+def _read_report(target: Path) -> dict:
+    """Read and schema-check a service report for replay use."""
+    try:
+        payload = json.loads(target.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ServeError(f"cannot read trace file: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ServeError(
+            f"trace file {target} is not valid JSON: {error}"
+        ) from error
+    version = payload.get("report_version")
+    if not isinstance(version, int) or version < 1:
+        raise ServeError(
+            f"trace file {target} is not a service report "
+            f"(report_version={version!r})"
+        )
+    if version > REPORT_VERSION:
+        raise ServeError(
+            f"trace file {target} has report_version {version}, newer "
+            f"than this build understands ({REPORT_VERSION})"
+        )
+    if "arrivals" not in payload:
+        raise ServeError(
+            f"trace file {target} (report_version {version}) has no "
+            "arrivals log — re-record it with this version to replay"
+        )
+    return payload
+
+
+def trace_config(path: str | Path) -> dict:
+    """The recorded run's configuration block (for rebuilding the
+    service around a replay with the original envelope)."""
+    payload = _read_report(Path(path))
+    config = payload.get("config")
+    if not isinstance(config, dict):
+        raise ServeError(
+            f"trace file {path} has no config block to replay against"
+        )
+    return config
+
+
+def load_trace(
+    path: str | Path,
+    workers: int = 22,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> ReplayArrivals:
+    """Build a replay process from a recorded service report.
+
+    Accepts any report schema up to the current version; version-1
+    reports predate the arrival log and are rejected with a pointer to
+    re-record.  Class names are resolved against the service catalog.
+    """
+    target = Path(path)
+    payload = _read_report(target)
+    classes = catalog_classes(workers, calibration)
+    arrivals = []
+    for entry in payload["arrivals"]:
+        time_s, name = entry
+        cls = classes.get(name)
+        if cls is None:
+            raise ServeError(
+                f"trace class {name!r} is not in the service catalog "
+                f"({sorted(classes)})"
+            )
+        arrivals.append((float(time_s), cls))
+    return ReplayArrivals(tuple(arrivals))

@@ -63,12 +63,16 @@ from .controller import AdaptiveController
 from .events import EventKind, EventQueue
 from .slo import SloTarget, SloTracker
 
-PROFILES = ("poisson", "bursty", "diurnal")
+PROFILES = ("poisson", "bursty", "diurnal", "replay")
 POLICIES = ("none", "static", "adaptive")
 MIXES = ("olap", "oltp", "shift")
 
 #: Report schema version (bump when the JSON layout changes).
-REPORT_VERSION = 1
+#: Version 2 adds the ``arrivals`` log — the offered
+#: ``[time_s, class]`` sequence — which is what trace replay
+#: (``--profile replay``) re-drives.  Version-1 reports still load
+#: everywhere except replay, which needs the log.
+REPORT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -157,10 +161,17 @@ class ServiceReport:
     cache_control: dict
     rate_solves: int
     rate_cache_hits: int
+    #: Offered arrival log: one ``(time_s, class name)`` per arrival
+    #: (shed ones included) — the sequence replay re-drives.
+    arrivals: tuple = ()
 
     def to_dict(self) -> dict:
         return {
             "report_version": REPORT_VERSION,
+            "arrivals": [
+                [round(time_s, 9), name]
+                for time_s, name in self.arrivals
+            ],
             "config": self.config.to_dict(),
             "arrived": self.arrived,
             "admitted": self.admitted,
@@ -218,6 +229,7 @@ class QueryService:
         calibration: Calibration = DEFAULT_CALIBRATION,
         rate_cache: dict | None = None,
         controller: AdaptiveController | None = None,
+        arrivals=None,
     ) -> None:
         self.config = config
         self.spec = spec if spec is not None else SystemSpec()
@@ -256,15 +268,26 @@ class QueryService:
             SloTarget("oltp", p99_s=config.oltp_p99_s),
         ))
         self._mix_schedule = self._build_mix_schedule()
-        self.arrivals = build_arrivals(
-            config.profile,
-            config.rate_per_s,
-            self._mix_schedule,
-            seed=config.seed,
-        )
+        if arrivals is not None:
+            # Injected process (trace replay, tests): duck-typed on
+            # ``next_arrival(now) -> (timestamp, RequestClass)``.
+            self.arrivals = arrivals
+        elif config.profile == "replay":
+            raise ServeError(
+                "profile 'replay' needs an injected arrival process "
+                "(build one with repro.serve.replay.load_trace)"
+            )
+        else:
+            self.arrivals = build_arrivals(
+                config.profile,
+                config.rate_per_s,
+                self._mix_schedule,
+                seed=config.seed,
+            )
         self.clock = SimulatedClock()
         self.queue = EventQueue()
         self._requests: dict[int, Request] = {}
+        self._arrival_log: list[tuple[float, str]] = []
         self._next_request_id = 0
         self._free_tids = list(
             range(config.max_concurrency - 1, -1, -1)
@@ -406,7 +429,17 @@ class QueryService:
     # -- event handlers ------------------------------------------------
 
     def _on_arrival(self, now: float, payload: dict) -> None:
-        cls = payload["cls"]
+        self.accept(now, payload["cls"])
+        self._schedule_next_arrival(now)
+
+    def accept(self, now: float, cls: RequestClass) -> AdmissionDecision:
+        """Offer one arrival to admission (externally injectable).
+
+        The cluster's routing layer calls this directly — a node takes
+        traffic from the router exactly as it would from its own
+        arrival process.
+        """
+        self._arrival_log.append((now, cls.name))
         request = Request(
             request_id=self._next_request_id,
             cls=cls,
@@ -422,7 +455,7 @@ class QueryService:
         elif decision is AdmissionDecision.SHED:
             # Never runs; drop it from the table.
             del self._requests[request.request_id]
-        self._schedule_next_arrival(now)
+        return decision
 
     def _schedule_next_arrival(self, now: float) -> None:
         timestamp, cls = self.arrivals.next_arrival(now)
@@ -480,15 +513,22 @@ class QueryService:
                     EventKind.CONTROL,
                 )
             while self.queue:
-                event = self.queue.pop()
-                now = self.clock.advance_to(event.time_s)
-                if event.kind is EventKind.ARRIVAL:
-                    self._on_arrival(now, event.payload)
-                elif event.kind is EventKind.COMPLETION:
-                    self._on_completion(now, event.payload)
-                else:
-                    self._on_control(now)
+                self.dispatch(self.queue.pop())
         return self._report()
+
+    def dispatch(self, event) -> None:
+        """Advance the clock to one event and handle it.
+
+        Factored out of :meth:`run` so a cluster fleet can pop each
+        node's queue in global time order and dispatch here.
+        """
+        now = self.clock.advance_to(event.time_s)
+        if event.kind is EventKind.ARRIVAL:
+            self._on_arrival(now, event.payload)
+        elif event.kind is EventKind.COMPLETION:
+            self._on_completion(now, event.payload)
+        else:
+            self._on_control(now)
 
     def _report(self) -> ServiceReport:
         completed = sum(
@@ -532,4 +572,5 @@ class QueryService:
             },
             rate_solves=self.rate_solves,
             rate_cache_hits=self.rate_cache_hits,
+            arrivals=tuple(self._arrival_log),
         )

@@ -98,6 +98,22 @@ class LatencyHistogram:
     def mean_s(self) -> float:
         return self.sum_s / self.total if self.total else 0.0
 
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Pool another histogram into this one (bucket-wise add).
+
+        Because the bucket ladder is fixed, pooled state — and every
+        quantile read from it — equals the histogram of the combined
+        sample stream regardless of which node observed what.  This is
+        how the cluster folds per-node tenant histograms into
+        fleet-wide SLO verdicts.
+        """
+        for index, count in enumerate(other._counts):
+            self._counts[index] += count
+        self.total += other.total
+        self.sum_s += other.sum_s
+        if other.max_s > self.max_s:
+            self.max_s = other.max_s
+
 
 @dataclass(frozen=True)
 class SloTarget:
@@ -166,6 +182,24 @@ class SloTracker:
 
     def histogram(self, tenant: str) -> LatencyHistogram | None:
         return self._histograms.get(tenant)
+
+    def tenants(self) -> tuple[str, ...]:
+        """Tenants with at least one observation, sorted."""
+        return tuple(sorted(self._histograms))
+
+    def merge(self, other: "SloTracker") -> None:
+        """Pool another tracker's histograms (no metrics side effects)."""
+        for tenant in sorted(other._histograms):
+            self._histograms.setdefault(
+                tenant, LatencyHistogram()
+            ).merge(other._histograms[tenant])
+
+    def pooled(self) -> LatencyHistogram:
+        """All tenants' observations merged into one histogram."""
+        combined = LatencyHistogram()
+        for tenant in sorted(self._histograms):
+            combined.merge(self._histograms[tenant])
+        return combined
 
     def p99(self, tenant: str) -> float:
         histogram = self._histograms.get(tenant)

@@ -47,8 +47,9 @@ class TestExecution:
     def test_all_figures_registered(self):
         expected = {
             "fig1", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11",
-            "fig12", "ext-sched", "ext-coloring", "ext-service",
-            "ext-sort", "ext-trace", "ext-skew", "report",
+            "fig12", "ext-sched", "ext-cluster", "ext-coloring",
+            "ext-service", "ext-sort", "ext-trace", "ext-skew",
+            "report",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -161,3 +162,93 @@ class TestServeCommand:
         payload = json.loads(first_bytes)
         assert payload["config"]["policy"] == "none"
         assert payload["completed"] > 0
+
+    def test_replay_profile_requires_trace_file(self, capsys):
+        assert main(["serve", "--profile", "replay"]) == 2
+        err = capsys.readouterr().err
+        assert "--trace-file" in err
+
+    def test_trace_file_requires_replay_profile(self, capsys):
+        assert main(
+            ["serve", "--profile", "poisson", "--trace-file", "x.json"]
+        ) == 2
+        assert "--trace-file" in capsys.readouterr().err
+
+    def test_replay_redrives_recorded_arrivals(
+        self, tmp_path, capsys
+    ):
+        record = ["serve", "--profile", "poisson", "--policy", "none",
+                  "--duration", "3", "--rate", "6", "--seed", "7",
+                  "--out", str(tmp_path)]
+        assert main(record) == 0
+        capsys.readouterr()
+        trace = tmp_path / "serve-poisson-none-seed7.json"
+        replay = ["serve", "--profile", "replay", "--policy", "none",
+                  "--trace-file", str(trace), "--out", str(tmp_path)]
+        assert main(replay) == 0
+        capsys.readouterr()
+        recorded = json.loads(trace.read_text())
+        replays = list(tmp_path.glob("serve-replay-none-*.json"))
+        assert len(replays) == 1
+        replayed = json.loads(replays[0].read_text())
+        # Identical offered traffic; only the profile label differs.
+        assert replayed["arrivals"] == recorded["arrivals"]
+        assert replayed["completed"] == recorded["completed"]
+        for mine, theirs in zip(replayed["slo"], recorded["slo"]):
+            assert mine["tenant"] == theirs["tenant"]
+            assert mine["completed"] == theirs["completed"]
+            assert mine["p99_s"] == theirs["p99_s"]
+        assert replayed["config"]["profile"] == "replay"
+
+
+class TestClusterCommand:
+    def test_parser_accepts_cluster(self):
+        args = build_parser().parse_args(
+            ["cluster", "--nodes", "4", "--router", "affinity",
+             "--seed", "3", "--faults", "2"]
+        )
+        assert args.command == "cluster"
+        assert args.nodes == 4
+        assert args.router == "affinity"
+        assert args.seed == 3
+        assert args.faults == 2
+
+    def test_rejects_unknown_router(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "--router", "random"]
+            )
+
+    def test_cluster_writes_deterministic_report(
+        self, tmp_path, capsys
+    ):
+        argv = ["cluster", "--nodes", "2", "--router", "hash",
+                "--policy", "none", "--duration", "3", "--rate", "6",
+                "--seed", "7", "--out", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "report:" in first
+        assert "fleet olap" in first
+        path = tmp_path / "cluster-hash-n2-seed7.json"
+        first_bytes = path.read_bytes()
+        # Byte-identical on a rerun, and for any --jobs value (the
+        # fleet DES is sequential; --jobs is interface symmetry only).
+        assert main(argv + ["--jobs", "4"]) == 0
+        capsys.readouterr()
+        assert path.read_bytes() == first_bytes
+        payload = json.loads(first_bytes)
+        assert payload["config"]["nodes"] == 2
+        assert payload["completed"] > 0
+        assert len(payload["nodes"]) == 2
+        tenants = [v["tenant"] for v in payload["fleet_slo"]]
+        assert tenants == sorted(tenants)
+        assert {"batch", "olap", "oltp"} <= set(tenants)
+
+    def test_cluster_seed_cleared_after_run(self, tmp_path, capsys):
+        from repro import seeding
+
+        main(["cluster", "--nodes", "1", "--policy", "none",
+              "--duration", "2", "--rate", "4", "--seed", "5",
+              "--out", str(tmp_path)])
+        capsys.readouterr()
+        assert seeding.get_seed() is None

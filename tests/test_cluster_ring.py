@@ -1,0 +1,118 @@
+"""Tests for the consistent-hash ring (repro.cluster.ring)."""
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_VIRTUAL_NODES, HashRing
+from repro.cluster.workload import tenant_id
+from repro.errors import ClusterError
+
+
+def _tenant_keys(per_group: int = 64) -> list[str]:
+    return [
+        tenant_id(group, index)
+        for group in ("batch", "olap", "oltp")
+        for index in range(per_group)
+    ]
+
+
+class TestConstruction:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ClusterError):
+            HashRing(0)
+
+    def test_rejects_zero_virtual_nodes(self):
+        with pytest.raises(ClusterError):
+            HashRing(2, virtual_nodes=0)
+
+    def test_point_count(self):
+        ring = HashRing(3, virtual_nodes=16)
+        assert len(ring._points) == 48
+
+    def test_platform_stable_placement(self):
+        # SHA-256-based, so placements are constants — a regression
+        # here means every persisted assignment silently moved.
+        ring = HashRing(4)
+        assert ring.owner("olap-00") == 0
+        assert ring.owner("oltp-05") == 2
+        assert ring.owner("batch-02") == 2
+
+
+class TestOwnership:
+    def test_every_key_owned(self):
+        ring = HashRing(4)
+        for key in _tenant_keys():
+            owner = ring.owner(key)
+            assert owner is not None and 0 <= owner < 4
+
+    def test_all_nodes_receive_some_tenants(self):
+        ring = HashRing(4)
+        owners = set(ring.assignment(_tenant_keys()).values())
+        assert owners == {0, 1, 2, 3}
+
+    def test_balance_is_roughly_uniform(self):
+        ring = HashRing(4, virtual_nodes=DEFAULT_VIRTUAL_NODES)
+        keys = _tenant_keys(per_group=256)
+        counts: dict[int, int] = {}
+        for owner in ring.assignment(keys).values():
+            counts[owner] = counts.get(owner, 0) + 1
+        expected = len(keys) / 4
+        for count in counts.values():
+            assert 0.5 * expected <= count <= 1.5 * expected
+
+    def test_no_alive_nodes_means_no_owner(self):
+        ring = HashRing(3)
+        assert ring.owner("olap-00", alive=()) is None
+
+
+class TestStability:
+    """Killing 1 of N nodes remaps ~1/N tenants; recovery restores."""
+
+    @pytest.mark.parametrize("nodes", [2, 4, 8])
+    def test_single_kill_remaps_bounded_fraction(self, nodes):
+        ring = HashRing(nodes)
+        keys = _tenant_keys(per_group=128)
+        before = ring.assignment(keys)
+        dead = 0
+        alive = frozenset(range(nodes)) - {dead}
+        after = ring.assignment(keys, alive)
+        moved = [key for key in keys if after[key] != before[key]]
+        # Exactly the dead node's tenants move...
+        assert set(moved) == {
+            key for key in keys if before[key] == dead
+        }
+        # ...which is ~1/N of them (generous 2x slack on 384+ keys).
+        assert len(moved) <= 2.0 * len(keys) / nodes
+        # Survivors' tenants are pinned: no collateral remapping.
+        for key in keys:
+            if before[key] != dead:
+                assert after[key] == before[key]
+
+    def test_failover_spreads_over_successors(self):
+        # A dead node's tenants should spill to *multiple* ring
+        # successors (virtual nodes), not pile onto one machine.
+        ring = HashRing(4)
+        keys = _tenant_keys(per_group=256)
+        before = ring.assignment(keys)
+        after = ring.assignment(keys, alive=(1, 2, 3))
+        heirs = {
+            after[key] for key in keys if before[key] == 0
+        }
+        assert len(heirs) > 1
+
+    def test_recovery_restores_original_assignment(self):
+        ring = HashRing(5)
+        keys = _tenant_keys()
+        before = ring.assignment(keys)
+        ring.assignment(keys, alive=(0, 2, 3, 4))  # node 1 down
+        restored = ring.assignment(
+            keys, alive=(0, 1, 2, 3, 4)
+        )
+        assert restored == before
+        # And the liveness-free lookup agrees.
+        assert ring.assignment(keys) == before
+
+    def test_cascading_failure_still_owned(self):
+        ring = HashRing(4)
+        keys = _tenant_keys()
+        assignment = ring.assignment(keys, alive=(2,))
+        assert set(assignment.values()) == {2}

@@ -1,0 +1,187 @@
+"""Tests for the routing policies (repro.cluster.router)."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.cluster.ring import HashRing
+from repro.cluster.router import (
+    AffinityRouter,
+    HashRouter,
+    LeastLoadedRouter,
+    make_router,
+)
+from repro.cluster.workload import cluster_classes
+from repro.config import SystemSpec
+from repro.errors import ClusterError
+
+
+@dataclass
+class _StubAdmission:
+    running: dict = field(default_factory=dict)
+    queued_requests: tuple = ()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queued_requests)
+
+
+@dataclass
+class _StubRequest:
+    cls: object
+
+
+class _StubNode:
+    def __init__(self, running=(), queued=()):
+        self.admission = _StubAdmission(
+            running={
+                index: _StubRequest(cls)
+                for index, cls in enumerate(running)
+            },
+            queued_requests=tuple(
+                _StubRequest(cls) for cls in queued
+            ),
+        )
+
+
+@pytest.fixture(scope="module")
+def classes():
+    return cluster_classes()
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SystemSpec()
+
+
+class TestHashRouter:
+    def test_matches_ring_owner(self):
+        router = HashRouter(nodes=4)
+        ring = HashRing(4)
+        nodes = [_StubNode() for _ in range(4)]
+        alive = frozenset(range(4))
+        for key in ("olap-00", "oltp-03", "batch-07"):
+            decision = router.route(0, key, None, nodes, alive)
+            assert decision.target == ring.owner(key)
+            assert not decision.failover
+
+    def test_failover_flagged_when_owner_dead(self):
+        router = HashRouter(nodes=4)
+        nodes = [_StubNode() for _ in range(4)]
+        key = "olap-00"
+        owner = router.ring.owner(key)
+        alive = frozenset(range(4)) - {owner}
+        decision = router.route(0, key, None, nodes, alive)
+        assert decision.failover
+        assert decision.target in alive
+
+    def test_no_alive_nodes_sheds(self):
+        router = HashRouter(nodes=2)
+        decision = router.route(
+            0, "olap-00", None, [_StubNode(), _StubNode()],
+            frozenset(),
+        )
+        assert decision.target is None
+        assert decision.failover
+
+
+class TestLeastLoadedRouter:
+    def test_picks_shortest_queue(self, classes):
+        agg = classes["agg"]
+        nodes = [
+            _StubNode(queued=(agg, agg)),
+            _StubNode(queued=(agg,)),
+            _StubNode(queued=()),
+        ]
+        decision = LeastLoadedRouter().route(
+            0, "olap-00", agg, nodes, frozenset(range(3))
+        )
+        assert decision.target == 2
+        assert not decision.failover
+
+    def test_tie_prefers_source_node(self, classes):
+        agg = classes["agg"]
+        nodes = [_StubNode(), _StubNode(), _StubNode()]
+        for source in range(3):
+            decision = LeastLoadedRouter().route(
+                source, "olap-00", agg, nodes, frozenset(range(3))
+            )
+            assert decision.target == source
+
+    def test_dead_source_is_failover(self, classes):
+        agg = classes["agg"]
+        nodes = [_StubNode(), _StubNode()]
+        decision = LeastLoadedRouter().route(
+            0, "olap-00", agg, nodes, frozenset({1})
+        )
+        assert decision.target == 1
+        assert decision.failover
+
+
+class TestAffinityRouter:
+    def test_classifications_match_online_probe(self, spec, classes):
+        router = AffinityRouter(spec)
+        nodes = [_StubNode(), _StubNode()]
+        for cls in classes.values():
+            router.route(
+                0, "olap-00", cls, nodes, frozenset({0, 1})
+            )
+        described = router.describe()["classifications"]
+        # The online probe's verdicts over the catalog: streaming
+        # classes pollute, the hash-table classes are sensitive.
+        assert described["scan"] == "polluting"
+        assert described["agg"] == "sensitive"
+        assert described["join"] == "sensitive"
+
+    def test_sensitive_avoids_polluted_node(self, spec, classes):
+        router = AffinityRouter(spec)
+        scan, agg = classes["scan"], classes["agg"]
+        nodes = [_StubNode(running=(scan, scan)), _StubNode()]
+        decision = router.route(
+            0, "olap-00", agg, nodes, frozenset({0, 1})
+        )
+        assert decision.target == 1
+
+    def test_polluting_consolidates(self, spec, classes):
+        router = AffinityRouter(spec)
+        scan = classes["scan"]
+        nodes = [_StubNode(), _StubNode(running=(scan,))]
+        decision = router.route(
+            0, "olap-00", scan, nodes, frozenset({0, 1})
+        )
+        assert decision.target == 1
+
+    def test_queue_slack_guards_consolidation(self, spec, classes):
+        # The polluted node is overloaded: its queue exceeds the
+        # shortest by more than the slack, so the polluting arrival
+        # goes elsewhere instead of feeding the hotspot.
+        router = AffinityRouter(spec, queue_slack=2)
+        scan, agg = classes["scan"], classes["agg"]
+        nodes = [
+            _StubNode(running=(scan,), queued=(agg, agg, agg)),
+            _StubNode(),
+        ]
+        decision = router.route(
+            0, "olap-00", scan, nodes, frozenset({0, 1})
+        )
+        assert decision.target == 1
+
+    def test_no_alive_nodes_sheds(self, spec, classes):
+        router = AffinityRouter(spec)
+        decision = router.route(
+            0, "olap-00", classes["agg"], [_StubNode()], frozenset()
+        )
+        assert decision.target is None
+
+
+class TestFactory:
+    def test_builds_each_policy(self, spec):
+        assert make_router("hash", 2, spec).name == "hash"
+        assert make_router(
+            "least-loaded", 2, spec
+        ).name == "least-loaded"
+        assert make_router("affinity", 2, spec).name == "affinity"
+
+    def test_rejects_unknown_policy(self, spec):
+        with pytest.raises(ClusterError):
+            make_router("random", 2, spec)

@@ -1,0 +1,88 @@
+"""Tests for the ext-cluster experiment (fleet routing tables)."""
+
+import pytest
+
+from repro.experiments import ext_cluster
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_cluster.run(fast=True)
+
+
+class TestGridTable:
+    def test_covers_all_routers_nodes_and_rates(self, result):
+        grid_rows = result.select(table="grid")
+        expected = (
+            len(ext_cluster.FAST_NODE_COUNTS)
+            * len(ext_cluster.FAST_LOAD_RATES)
+            * len(ext_cluster.ROUTERS)
+        )
+        assert len(grid_rows) == expected
+        assert set(result.column("router")) >= set(
+            ext_cluster.ROUTERS
+        )
+
+    def test_affinity_beats_hash_on_fleet_p99(self, result):
+        """The acceptance scenario: with enough nodes to give the
+        router freedom, classifying traffic with the paper's online
+        probe and placing it accordingly beats cache-blind consistent
+        hashing on the fleet-wide OLAP p99."""
+        nodes = max(ext_cluster.FAST_NODE_COUNTS)
+        rate = max(ext_cluster.FAST_LOAD_RATES)
+        (hash_row,) = result.select(
+            table="grid", nodes=nodes, rate_per_s=rate,
+            router="hash",
+        )
+        (affinity_row,) = result.select(
+            table="grid", nodes=nodes, rate_per_s=rate,
+            router="affinity",
+        )
+        p99 = result.headers.index("fleet_p99_olap_s")
+        assert affinity_row[p99] < hash_row[p99]
+        # And it is not trading the other tenant group away.
+        oltp_p99 = result.headers.index("fleet_p99_oltp_s")
+        assert affinity_row[oltp_p99] <= hash_row[oltp_p99]
+
+    def test_affinity_completes_at_least_as_much(self, result):
+        nodes = max(ext_cluster.FAST_NODE_COUNTS)
+        rate = max(ext_cluster.FAST_LOAD_RATES)
+        (hash_row,) = result.select(
+            table="grid", nodes=nodes, rate_per_s=rate,
+            router="hash",
+        )
+        (affinity_row,) = result.select(
+            table="grid", nodes=nodes, rate_per_s=rate,
+            router="affinity",
+        )
+        completed = result.headers.index("completed")
+        assert affinity_row[completed] >= hash_row[completed]
+
+    def test_no_failovers_without_faults(self, result):
+        failovers = result.headers.index("failovers")
+        for row in result.select(table="grid"):
+            assert row[failovers] == 0
+
+
+class TestFaultsTable:
+    def test_failover_and_loss_accounted(self, result):
+        (fault_row,) = result.select(table="faults")
+        failovers = result.headers.index("failovers")
+        shed = result.headers.index("shed")
+        completed = result.headers.index("completed")
+        assert fault_row[failovers] > 0
+        assert fault_row[shed] > 0
+        assert fault_row[completed] > 0
+
+    def test_notes_state_the_headline_and_conservation(self, result):
+        assert any("fleet OLAP p99" in note for note in result.notes)
+        assert any("conservation" in note for note in result.notes)
+
+
+class TestMain:
+    def test_main_prints_table_and_notes(self, capsys):
+        ext_cluster.main(fast=True)
+        output = capsys.readouterr().out
+        assert "sharded service fleet" in output
+        assert "note:" in output
+        assert "affinity" in output
