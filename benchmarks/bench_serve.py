@@ -40,6 +40,14 @@ from repro.serve import QueryService, ServiceConfig
 MIN_EVENTS_PER_S = 500.0
 MAX_CONTROLLER_OVERHEAD = 3.0
 
+# Fleet scaling guards: consecutive node counts must not lose more
+# than 10% events/s (the anti-scaling regression this catches dropped
+# N=4 to 0.81x of N=2), and N=4 must stay within 20% of the last
+# recorded trajectory baseline.
+MIN_SCALING_SLACK = 0.9
+BASELINE_SLACK = 0.8
+MAX_SAMPLED_SMOKE_WALL_S = 60.0
+
 TRAJECTORY = pathlib.Path(__file__).resolve().parent.parent / (
     "BENCH_serve.json"
 )
@@ -157,6 +165,21 @@ CLUSTER_BASE = dict(
 )
 
 
+def _last_recorded_fleet_rate(nodes: int):
+    """Most recent trajectory events/s for a ``nodes``-node fleet."""
+    if not TRAJECTORY.exists():
+        return None
+    try:
+        history = json.loads(TRAJECTORY.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    for record in reversed(history):
+        for row in record.get("cluster_scaling", ()):
+            if row.get("nodes") == nodes:
+                return row.get("events_per_s")
+    return None
+
+
 def _timed_cluster(nodes: int):
     config = ClusterConfig(nodes=nodes, **CLUSTER_BASE)
     started = time.perf_counter()
@@ -175,11 +198,18 @@ def test_cluster_fleet_scaling():
 
     The offered rate is per source node, so total load (and the event
     count) grows with N — the row tracks how fleet wall time scales
-    with fleet size, not a fixed-work speedup.  Recorded, not
-    asserted, except for the determinism gate: the same config twice
-    must produce byte-identical fleet reports before timings are
-    trusted.
+    with fleet size, not a fixed-work speedup.  Three gates:
+
+    * determinism: the same config twice must produce byte-identical
+      fleet reports before any timing is trusted,
+    * anti-scaling: events/s must be monotone non-decreasing in N
+      (within ``MIN_SCALING_SLACK`` timer noise) — a bigger fleet
+      doing *more total work per wall second* is the whole point,
+    * baseline: N=4 events/s must stay within ``BASELINE_SLACK`` of
+      the most recent rate recorded in the trajectory file.
     """
+    baseline_n4 = _last_recorded_fleet_rate(CLUSTER_NODE_COUNTS[-1])
+
     _, _, first = _timed_cluster(2)
     _, _, second = _timed_cluster(2)
     assert first.to_json() == second.to_json()
@@ -207,3 +237,81 @@ def test_cluster_fleet_scaling():
 
     for row in scaling:
         assert row["completed"] > 0, row
+
+    for prev, cur in zip(scaling, scaling[1:]):
+        floor = prev["events_per_s"] * MIN_SCALING_SLACK
+        assert cur["events_per_s"] >= floor, (
+            f"fleet anti-scaling: {cur['nodes']} nodes ran at "
+            f"{cur['events_per_s']:.0f} events/s, below "
+            f"{floor:.0f} ({MIN_SCALING_SLACK}x the "
+            f"{prev['nodes']}-node rate of "
+            f"{prev['events_per_s']:.0f})"
+        )
+
+    if baseline_n4 is not None:
+        current = scaling[-1]["events_per_s"]
+        floor = baseline_n4 * BASELINE_SLACK
+        assert current >= floor, (
+            f"fleet baseline regression: {CLUSTER_NODE_COUNTS[-1]} "
+            f"nodes ran at {current:.0f} events/s, below "
+            f"{floor:.0f} ({BASELINE_SLACK}x the last recorded "
+            f"{baseline_n4:.0f})"
+        )
+
+
+SAMPLED_SMOKE = dict(
+    profile="poisson",
+    policy="none",
+    mix="olap",
+    duration_s=500.0,
+    rate_per_s=2000.0,
+    seed=7,
+    sample_window_s=1.0,
+    sample_period=10,
+    sample_warmup=0.5,
+)
+
+
+def test_serve_sampled_trace_smoke():
+    """Million-arrival smoke: interval sampling at scale.
+
+    A nominal 10^6-arrival trace (2000 req/s for 500 s) runs with a
+    1-in-10 window sampling plan, so the service only simulates ~10%
+    of the offered load while the skipped windows are jumped in O(1).
+    The gates are tractability (bounded wall time) and that sampling
+    actually thinned the trace; the absolute rate is recorded in the
+    trajectory, not asserted.
+    """
+    nominal = int(
+        SAMPLED_SMOKE["duration_s"] * SAMPLED_SMOKE["rate_per_s"]
+    )
+    config = ServiceConfig(**SAMPLED_SMOKE)
+    started = time.perf_counter()
+    report = QueryService(config).run()
+    elapsed = time.perf_counter() - started
+    events = report.events["popped"]
+
+    record = {
+        "created_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "config": {k: SAMPLED_SMOKE[k] for k in sorted(SAMPLED_SMOKE)},
+        "nominal_arrivals": nominal,
+        "arrived": report.arrived,
+        "completed": report.completed,
+        "events": events,
+        "wall_s": round(elapsed, 4),
+        "events_per_s": round(events / elapsed, 1),
+    }
+    _append_trajectory(record)
+    print(f"bench_serve sampled: {json.dumps(record)}")
+
+    assert report.arrived > 0
+    assert report.arrived < nominal * 0.2, (
+        f"sampling did not thin the trace: {report.arrived} arrivals "
+        f"simulated out of a nominal {nominal}"
+    )
+    assert elapsed <= MAX_SAMPLED_SMOKE_WALL_S, (
+        f"sampled trace smoke took {elapsed:.1f}s, "
+        f"need <= {MAX_SAMPLED_SMOKE_WALL_S:.0f}s"
+    )

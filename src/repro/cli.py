@@ -228,6 +228,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="arrival-process seed (recorded in the report)",
     )
     serve.add_argument(
+        "--engine", dest="serve_engine",
+        choices=("scalar", "vector"), default="vector",
+        help=(
+            "hot-path implementation: 'vector' (NumPy batched; "
+            "default) or 'scalar' (pure-Python reference) — both "
+            "produce byte-identical reports"
+        ),
+    )
+    serve.add_argument(
+        "--sample-window", type=float, default=None,
+        metavar="SECONDS",
+        help=(
+            "interval sampling: window length in simulated seconds "
+            "(default: off — every arrival is simulated)"
+        ),
+    )
+    serve.add_argument(
+        "--sample-period", type=int, default=10, metavar="K",
+        help=(
+            "simulate every K-th window, skipping the rest at O(1) "
+            "cost (default: 10; needs --sample-window)"
+        ),
+    )
+    serve.add_argument(
+        "--sample-warmup", type=float, default=0.5,
+        metavar="FRACTION",
+        help=(
+            "leading fraction of each simulated window treated as "
+            "warmup: arrivals run but are not measured "
+            "(default: 0.5)"
+        ),
+    )
+    serve.add_argument(
         "--out", default="runs", metavar="DIR",
         help="report directory (default: runs/)",
     )
@@ -306,6 +339,37 @@ def build_parser() -> argparse.ArgumentParser:
             "accepted for interface symmetry; the fleet DES is "
             "inherently sequential (routing reads live node state), "
             "so the report is byte-identical for any value"
+        ),
+    )
+    cluster.add_argument(
+        "--engine", dest="serve_engine",
+        choices=("scalar", "vector"), default="vector",
+        help=(
+            "per-node hot-path implementation (default: vector; "
+            "byte-identical reports either way)"
+        ),
+    )
+    cluster.add_argument(
+        "--sample-window", type=float, default=None,
+        metavar="SECONDS",
+        help=(
+            "interval sampling: window length in simulated seconds, "
+            "applied to every source stream (default: off)"
+        ),
+    )
+    cluster.add_argument(
+        "--sample-period", type=int, default=10, metavar="K",
+        help=(
+            "simulate every K-th window (default: 10; needs "
+            "--sample-window)"
+        ),
+    )
+    cluster.add_argument(
+        "--sample-warmup", type=float, default=0.5,
+        metavar="FRACTION",
+        help=(
+            "leading fraction of each simulated window treated as "
+            "warmup (default: 0.5)"
         ),
     )
     cluster.add_argument(
@@ -467,6 +531,10 @@ def _run_serve(args: argparse.Namespace) -> int:
                 shift_at_s=traced["shift_at_s"],
                 olap_p99_s=traced["olap_p99_s"],
                 oltp_p99_s=traced["oltp_p99_s"],
+                # v2 traces predate interval sampling.
+                sample_window_s=traced.get("sample_window_s"),
+                sample_period=traced.get("sample_period", 1),
+                sample_warmup=traced.get("sample_warmup", 0.5),
             )
             label = str(traced["seed"])
         else:
@@ -479,12 +547,16 @@ def _run_serve(args: argparse.Namespace) -> int:
                 seed=seeding.derive(
                     "serve.arrivals", DEFAULT_ARRIVAL_SEED
                 ),
+                sample_window_s=args.sample_window,
+                sample_period=args.sample_period,
+                sample_warmup=args.sample_warmup,
             )
             label = "default" if args.seed is None else str(args.seed)
         with observing() as (tracer, _):
             with tracer.span("serve"):
                 report = QueryService(
-                    config, arrivals=arrivals
+                    config, arrivals=arrivals,
+                    engine=args.serve_engine,
                 ).run()
         if args.trace:
             print()
@@ -556,13 +628,18 @@ def _run_cluster(args: argparse.Namespace) -> int:
                 rate_per_s=args.rate,
                 seed=fleet_seed,
                 faults=faults,
+                sample_window_s=args.sample_window,
+                sample_period=args.sample_period,
+                sample_warmup=args.sample_warmup,
             )
         except ClusterError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         with observing() as (tracer, _):
             with tracer.span("cluster"):
-                report = Cluster(config).run()
+                report = Cluster(
+                    config, engine=args.serve_engine
+                ).run()
         if args.trace:
             print()
             print(format_spans(tracer.root))

@@ -19,6 +19,15 @@ candidate across three lanes and processes exactly it:
    (completions, controller ticks),
 3. **arrivals** — the earliest pending arrival across source streams.
 
+The candidates live in one **merged event heap** keyed
+``(time, lane, index)`` with per-``(lane, index)`` version counters
+for lazy invalidation: a lane whose candidate changes pushes a fresh
+entry and bumps its version, and stale entries are discarded on pop —
+the same lazy-invalidation idea the nodes use for superseded
+completions.  Selecting the next event is therefore O(log n) instead
+of an O(N)-per-event scan over every node and source, which is what
+made fleet throughput *fall* as N grew.
+
 Ties break by (time, lane, index) — pure integers, no hash order — so
 one seed produces one event interleaving and therefore one
 byte-identical fleet report, regardless of ``--jobs`` (the DES is
@@ -35,7 +44,14 @@ same reason each node keeps its **own** rate cache: sharing one dict
 would make a node's hit/solve counters depend on its peers' progress.
 Controller *analysis* caches (classification + way sweeps) are shared
 fleet-wide instead — those memoize pure probes whose results are
-identical on every node, so sharing changes cost, never results.
+identical on every node, so sharing changes cost, never results.  The
+same distinction powers the fleet-shared **solve memo**: all nodes run
+identical (spec, calibration), so a composition signature determines
+its service rates fleet-wide; the memo sits *behind* each node's rate
+cache and elides only the redundant ``simulate()`` call — the node
+still counts its own ``rate_solves``, keeping its report independent
+of which peer populated the memo.  This is what makes fleet events/s
+scale with N instead of re-solving every composition once per node.
 
 **Failover and loss accounting.**  A kill evacuates the victim's
 running and queued requests (counted as ``shed_failure``), strands its
@@ -54,6 +70,7 @@ nodes bucket-wise (the fixed ladder makes pooled quantiles exact —
 
 from __future__ import annotations
 
+import heapq
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -66,9 +83,13 @@ from ..errors import ClusterError
 from ..model.calibration import DEFAULT_CALIBRATION, Calibration
 from ..obs import runtime
 from ..serve.admission import AdmissionDecision
-from ..serve.arrivals import DEFAULT_ARRIVAL_SEED, build_arrivals
+from ..serve.arrivals import (
+    DEFAULT_ARRIVAL_SEED,
+    SampleGrid,
+    build_arrivals,
+)
 from ..serve.events import EventKind
-from ..serve.service import POLICIES, ServiceConfig
+from ..serve.service import POLICIES, SERVE_ENGINES, ServiceConfig
 from ..serve.slo import SloTarget, SloTracker
 from .faults import FaultSpec, validate_schedule
 from .node import ClusterNode
@@ -84,8 +105,9 @@ CLUSTER_MIXES = ("olap", "oltp")
 CLUSTER_PROFILES = ("poisson", "bursty", "diurnal")
 
 #: Fleet report schema version (independent of the per-node
-#: ``serve.service.REPORT_VERSION`` embedded inside it).
-FLEET_REPORT_VERSION = 1
+#: ``serve.service.REPORT_VERSION`` embedded inside it).  Version 2
+#: adds the interval-sampling knobs to the config block.
+FLEET_REPORT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -112,6 +134,13 @@ class ClusterConfig:
     tenants_per_group: int = 8
     virtual_nodes: int = DEFAULT_VIRTUAL_NODES
     faults: tuple = ()
+    #: Interval sampling (see repro.serve.arrivals.SampleGrid): every
+    #: source stream skips arrivals outside simulated windows, and
+    #: nodes record only post-warmup arrivals — million-arrival
+    #: diurnal traces complete in CI-scale wall time.
+    sample_window_s: float | None = None
+    sample_period: int = 1
+    sample_warmup: float = 0.5
 
     def __post_init__(self) -> None:
         if self.nodes <= 0:
@@ -162,7 +191,14 @@ class ClusterConfig:
             control_interval_s=self.control_interval_s,
             olap_p99_s=self.olap_p99_s,
             oltp_p99_s=self.oltp_p99_s,
+            sample_window_s=self.sample_window_s,
+            sample_period=self.sample_period,
+            sample_warmup=self.sample_warmup,
         )
+
+    def sample_grid(self) -> SampleGrid | None:
+        """The fleet-wide interval-sampling grid (None = unsampled)."""
+        return self.node_config(0).sample_grid()
 
     def to_dict(self) -> dict:
         return {
@@ -182,6 +218,9 @@ class ClusterConfig:
             "tenants_per_group": self.tenants_per_group,
             "virtual_nodes": self.virtual_nodes,
             "faults": [fault.to_dict() for fault in self.faults],
+            "sample_window_s": self.sample_window_s,
+            "sample_period": self.sample_period,
+            "sample_warmup": self.sample_warmup,
         }
 
 
@@ -257,8 +296,25 @@ class _Source:
     pending: tuple | None = None
     generated: int = 0
 
-    def pull(self, after_s: float, horizon_s: float) -> None:
+    def pull(
+        self,
+        after_s: float,
+        horizon_s: float,
+        grid: SampleGrid | None = None,
+    ) -> None:
         timestamp, cls = self.process.next_arrival(after_s)
+        if grid is not None:
+            # Jump over skipped windows without drawing their
+            # arrivals (O(1) per skipped stretch).
+            while timestamp < horizon_s and not grid.simulated(
+                timestamp
+            ):
+                runtime.metrics.counter(
+                    "serve.sample.window_jumps"
+                ).inc()
+                timestamp, cls = self.process.next_arrival(
+                    grid.next_simulated_start(timestamp)
+                )
         self.pending = (
             (timestamp, cls) if timestamp < horizon_s else None
         )
@@ -280,8 +336,14 @@ class Cluster:
         config: ClusterConfig,
         spec: SystemSpec | None = None,
         calibration: Calibration = DEFAULT_CALIBRATION,
+        engine: str = "vector",
     ) -> None:
+        if engine not in SERVE_ENGINES:
+            raise ClusterError(
+                f"engine must be one of {SERVE_ENGINES}: {engine!r}"
+            )
         self.config = config
+        self.engine = engine
         self.spec = spec if spec is not None else SystemSpec()
         self.calibration = calibration
         self.router: Router = make_router(
@@ -297,12 +359,18 @@ class Cluster:
         self.nodes: list[ClusterNode] = []
         shared_cuids: dict = {}
         shared_reports: dict = {}
+        # Fleet-shared solve memo: one model solve per distinct
+        # composition signature across the whole fleet (nodes run
+        # identical specs, so results are shareable; see module doc).
+        self.solve_memo: dict = {}
         for index in range(config.nodes):
             node = ClusterNode(
                 index,
                 config.node_config(index),
                 spec=self.spec,
                 calibration=calibration,
+                engine=engine,
+                solve_memo=self.solve_memo,
             )
             if node.controller is not None:
                 node.controller.share_analysis_caches(
@@ -327,10 +395,15 @@ class Cluster:
             )
             for index in range(config.nodes)
         ]
+        self._sample_grid = config.sample_grid()
         self._fault_events = self._expand_faults(config.faults)
         self._fault_index = 0
         self._alive = set(range(config.nodes))
         self._fault_log: list[dict] = []
+        # Merged event heap: (time, lane, index, version) entries with
+        # per-(lane, index) versions for lazy invalidation.
+        self._frontier: list[tuple[float, int, int, int]] = []
+        self._lane_versions: dict[tuple[int, int], int] = {}
         # Fleet totals.
         self.generated = 0
         self.forwarded = 0
@@ -360,25 +433,56 @@ class Cluster:
         return events
 
     # -- lanes ---------------------------------------------------------
+    #
+    # Lane 0 is the fault schedule, lane 1 the node event queues, lane
+    # 2 the source streams.  Each (lane, index) pair has at most one
+    # *current* heap entry — the one whose version matches
+    # ``_lane_versions`` — so popping the heap yields exactly the
+    # (time, lane, index) minimum the previous O(N) scan computed.
 
-    def _next_candidate(self) -> tuple | None:
-        """The earliest (time, lane, index) across the three lanes."""
-        candidates = []
-        if self._fault_index < len(self._fault_events):
-            candidates.append((
-                self._fault_events[self._fault_index].time_s, 0, 0
-            ))
-        for index, node in enumerate(self.nodes):
-            if node.queue:
-                candidates.append((node.queue.peek_time(), 1, index))
-        for index, source in enumerate(self._sources):
-            if source.pending is not None:
-                candidates.append((source.pending[0], 2, index))
-        return min(candidates) if candidates else None
+    def _lane_time(self, lane: int, index: int) -> float | None:
+        """The lane's current candidate time, or None when idle."""
+        if lane == 0:
+            if self._fault_index < len(self._fault_events):
+                return self._fault_events[self._fault_index].time_s
+            return None
+        if lane == 1:
+            node = self.nodes[index]
+            return node.queue.peek_time() if node.queue else None
+        source = self._sources[index]
+        return source.pending[0] if source.pending is not None else None
+
+    def _refresh_lane(self, lane: int, index: int) -> None:
+        """Re-stage a lane's candidate after its state changed.
+
+        Bumps the lane's version (invalidating any staged entry) and
+        pushes the fresh candidate, if one exists.
+        """
+        key = (lane, index)
+        version = self._lane_versions.get(key, 0) + 1
+        self._lane_versions[key] = version
+        time_s = self._lane_time(lane, index)
+        if time_s is not None:
+            heapq.heappush(
+                self._frontier, (time_s, lane, index, version)
+            )
+
+    def _pop_candidate(self) -> tuple | None:
+        """The earliest (time, lane, index), discarding stale entries."""
+        while self._frontier:
+            time_s, lane, index, version = heapq.heappop(
+                self._frontier
+            )
+            if self._lane_versions.get((lane, index)) != version:
+                continue  # superseded by a later refresh
+            return time_s, lane, index
+        return None
 
     def _process_fault(self) -> None:
         event = self._fault_events[self._fault_index]
         self._fault_index += 1
+        self._refresh_lane(0, 0)
+        self._refresh_lane(1, event.node)
         node = self.nodes[event.node]
         if event.recover:
             node.recover(event.time_s)
@@ -429,7 +533,11 @@ class Cluster:
             if decision.failover:
                 target.failover_in += 1
             target.accept(timestamp, cls)
-        source.pull(timestamp, self.config.duration_s)
+            self._refresh_lane(1, decision.target)
+        source.pull(
+            timestamp, self.config.duration_s, self._sample_grid
+        )
+        self._refresh_lane(2, index)
 
     # -- the loop ------------------------------------------------------
 
@@ -446,7 +554,7 @@ class Cluster:
             policy=config.policy,
         ):
             for source in self._sources:
-                source.pull(0.0, config.duration_s)
+                source.pull(0.0, config.duration_s, self._sample_grid)
             for node in self.nodes:
                 if node.controller is not None:
                     node.queue.push(
@@ -454,8 +562,13 @@ class Cluster:
                             config.duration_s / 2.0),
                         EventKind.CONTROL,
                     )
+            # Seed the merged heap with every lane's first candidate.
+            self._refresh_lane(0, 0)
+            for index in range(config.nodes):
+                self._refresh_lane(1, index)
+                self._refresh_lane(2, index)
             while True:
-                candidate = self._next_candidate()
+                candidate = self._pop_candidate()
                 if candidate is None:
                     break
                 _, lane, index = candidate
@@ -464,6 +577,7 @@ class Cluster:
                 elif lane == 1:
                     node = self.nodes[index]
                     node.dispatch(node.queue.pop())
+                    self._refresh_lane(1, index)
                 else:
                     self._process_arrival(index)
             for node in self.nodes:

@@ -49,6 +49,8 @@ class ClusterNode(QueryService):
         spec: SystemSpec | None = None,
         calibration: Calibration = DEFAULT_CALIBRATION,
         rate_cache: dict | None = None,
+        engine: str = "vector",
+        solve_memo: dict | None = None,
     ) -> None:
         if index < 0:
             raise ClusterError(f"node index must be >= 0: {index}")
@@ -59,6 +61,8 @@ class ClusterNode(QueryService):
             calibration=calibration,
             rate_cache=rate_cache,
             arrivals=_NoArrivals(),
+            engine=engine,
+            solve_memo=solve_memo,
         )
         self.alive = True
         # Routing-layer accounting (the fleet increments these).

@@ -63,15 +63,27 @@ def solve_bandwidth(
     arbiter = BandwidthArbiter(capacity_bytes_per_s)
     demands = {u.query: u.total for u in usages}
     grants = arbiter.allocate(demands)
-    slowdowns = arbiter.slowdown(demands)
+    # Derive slowdowns from the grants already in hand (allocation is
+    # deterministic, so this matches ``arbiter.slowdown`` without a
+    # second max-min pass — one allocation per fixed-point round).
+    slowdowns = {}
+    for name, demand in demands.items():
+        grant = grants[name]
+        if demand <= 0 or grant >= demand:
+            slowdowns[name] = 1.0
+        else:
+            slowdowns[name] = (
+                demand / grant if grant > 0 else float("inf")
+            )
     # One solve per round of the simulator's throughput fixed point.
     metrics = runtime.metrics
     metrics.counter("bandwidth.solves").inc()
-    if sum(demands.values()) > capacity_bytes_per_s * (1 - 1e-9):
+    total_demand = sum(demands.values())
+    if total_demand > capacity_bytes_per_s * (1 - 1e-9):
         metrics.counter("bandwidth.saturated_solves").inc()
     return BandwidthSolution(
         grants=grants,
         slowdowns=slowdowns,
-        total_demand=sum(demands.values()),
+        total_demand=total_demand,
         capacity=capacity_bytes_per_s,
     )

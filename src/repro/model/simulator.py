@@ -18,13 +18,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import math
+
+import numpy as np
+
 from ..config import SystemSpec
 from ..errors import ModelError
 from ..obs import runtime
 from .bandwidth import BandwidthUsage, solve_bandwidth
 from .calibration import DEFAULT_CALIBRATION, Calibration
 from .latency import LatencyModel
-from .occupancy import RegionActor, StreamActor, solve_segment
+from .occupancy import (
+    RegionActor,
+    StreamActor,
+    solve_characteristic_time_arrays,
+    solve_segment,
+)
 from .segments import decompose_masks
 from .streams import AccessProfile
 
@@ -144,6 +153,24 @@ class QueryResult:
         )
 
 
+@dataclass
+class _SingleSegmentContext:
+    """Rate-independent arrays for a one-segment composition.
+
+    Built once per ``simulate()`` call; every fixed-point round scales
+    ``per_line_coeff``/``stream_coeff`` by the current throughput
+    vector instead of rebuilding actor objects.
+    """
+
+    capacity_lines: float
+    working: "np.ndarray"
+    per_line_coeff: "np.ndarray"
+    owner: "np.ndarray"
+    keys: list
+    idle_hits: dict
+    stream_coeff: "np.ndarray"
+
+
 def system_counters(results: dict[str, QueryResult]) -> CounterRates:
     """Socket-wide counter rates (what PCM reports for the machine)."""
     total = CounterRates()
@@ -231,6 +258,13 @@ class WorkloadSimulator:
             q.name: {r.name: 1.0 for r in q.profile.regions} for q in queries
         }
         slowdowns = {q.name: 1.0 for q in queries}
+        single_ctx = (
+            self._single_segment_context(
+                queries, prepared, segments[0], way_lines
+            )
+            if len(segments) == 1
+            else None
+        )
 
         rounds = 0
         converged = False
@@ -238,7 +272,7 @@ class WorkloadSimulator:
             rounds += 1
             hit_ratios = self._solve_occupancy(
                 queries, prepared, throughput, segments, allowed_lines,
-                way_lines,
+                way_lines, single_ctx=single_ctx,
             )
             usages = [
                 self._bandwidth_usage(q, prepared[q.name], throughput[q.name],
@@ -332,6 +366,22 @@ class WorkloadSimulator:
             "compute_seconds": compute_seconds,
             "ways": ways,
             "base_tuple_seconds": base,
+            # Hot-loop constants: the properties/lookups below are
+            # re-read on every fixed-point round.
+            "stream_bytes_per_tuple": profile.stream_bytes_per_tuple,
+            "base_stream_seconds": base_stream_seconds,
+            # (name, llc accesses/tuple, raw accesses/tuple,
+            #  l2 fraction, software_managed) per region.
+            "region_rows": tuple(
+                (
+                    region.name,
+                    llc_accesses_per_tuple[region.name],
+                    region.accesses_per_tuple,
+                    l2_fractions[region.name],
+                    region.software_managed,
+                )
+                for region in profile.regions
+            ),
         }
 
     def _solve_occupancy(
@@ -342,6 +392,7 @@ class WorkloadSimulator:
         segments,
         allowed_lines: dict[str, float],
         way_lines: float,
+        single_ctx: _SingleSegmentContext | None = None,
     ) -> dict[str, dict[str, float]]:
         """Solve every way-mask segment; blend per-region hit ratios.
 
@@ -360,6 +411,20 @@ class WorkloadSimulator:
         line_bytes = self.spec.llc.line_bytes
         by_name = {q.name: q for q in queries}
 
+        if len(segments) == 1:
+            # Uniform-mask compositions (the "none" policy, and any
+            # scheme where every class shares one mask) collapse to a
+            # single segment with unit weights and no re-placement —
+            # solve it struct-of-arrays, skipping actor objects and
+            # the placement machinery entirely.
+            if single_ctx is None:
+                single_ctx = self._single_segment_context(
+                    queries, prepared, segments[0], way_lines
+                )
+            return self._solve_occupancy_single(
+                queries, throughput, single_ctx
+            )
+
         # region weights: (query, region_name) -> {segment_index: weight}
         weights: dict[tuple[str, str], dict[int, float]] = {}
         for seg_index, segment in enumerate(segments):
@@ -372,7 +437,11 @@ class WorkloadSimulator:
                     ] = base
 
         blended: dict[str, dict[str, float]] = {}
-        for _ in range(3):
+        # Re-placement only moves regions that span >= 2 segments, so a
+        # single-segment composition (e.g. policy "none") converges in
+        # one round — the extra rounds would re-solve identical inputs.
+        placement_rounds = 3 if len(segments) > 1 else 1
+        for _ in range(placement_rounds):
             blended = {q.name: {} for q in queries}
             seg_times: dict[int, float] = {}
             for seg_index, segment in enumerate(segments):
@@ -488,6 +557,88 @@ class WorkloadSimulator:
                 )
         return blended
 
+    def _single_segment_context(
+        self,
+        queries: list[QuerySpec],
+        prepared: dict[str, dict],
+        segment,
+        way_lines: float,
+    ) -> _SingleSegmentContext:
+        """Precompute the rate-independent arrays for a one-segment
+        composition — built once per ``simulate()`` call, scaled by the
+        current throughput vector on every fixed-point round."""
+        line_bytes = self.spec.llc.line_bytes
+        working: list[float] = []
+        per_line_coeff: list[float] = []
+        owner: list[int] = []
+        keys: list[tuple[str, str]] = []
+        idle_hits: dict[str, dict[str, float]] = {}
+        stream_coeff: list[float] = []
+        for q_index, q in enumerate(queries):
+            prep = prepared[q.name]
+            hits: dict[str, float] = {}
+            for region in q.profile.regions:
+                coeff = prep["llc_accesses_per_tuple"][region.name]
+                if coeff > 0:
+                    lines = max(1.0, region.total_bytes / line_bytes)
+                    working.append(lines)
+                    per_line_coeff.append(coeff / lines)
+                    owner.append(q_index)
+                    keys.append((q.name, region.name))
+                else:
+                    # Idle regions never miss (same as the actor path).
+                    hits[region.name] = 1.0
+            idle_hits[q.name] = hits
+            stream_coeff.append(prep["stream_lines_per_tuple"])
+        return _SingleSegmentContext(
+            capacity_lines=segment.ways * way_lines,
+            working=np.asarray(working, dtype=np.float64),
+            per_line_coeff=np.asarray(
+                per_line_coeff, dtype=np.float64
+            ),
+            owner=np.asarray(owner, dtype=np.intp),
+            keys=keys,
+            idle_hits=idle_hits,
+            stream_coeff=np.asarray(stream_coeff, dtype=np.float64),
+        )
+
+    def _solve_occupancy_single(
+        self,
+        queries: list[QuerySpec],
+        throughput: dict[str, float],
+        ctx: _SingleSegmentContext,
+    ) -> dict[str, dict[str, float]]:
+        """Struct-of-arrays solve for a one-segment composition.
+
+        Equivalent to the general path with every placement weight
+        equal to one: each query's whole working set and traffic lands
+        in the single shared segment, so blended hit ratios come
+        straight from one characteristic-time solve over flat arrays
+        — no per-round actor objects, no placement rounds.
+        """
+        rates = np.fromiter(
+            (throughput[q.name] for q in queries),
+            dtype=np.float64,
+            count=len(queries),
+        )
+        per_line = rates[ctx.owner] * ctx.per_line_coeff
+        streaming = float(rates @ ctx.stream_coeff)
+        with runtime.tracer.span("solve_segment"):
+            t_char = solve_characteristic_time_arrays(
+                ctx.working, per_line, streaming, ctx.capacity_lines
+            )
+        blended = {
+            name: dict(hits) for name, hits in ctx.idle_hits.items()
+        }
+        if math.isinf(t_char):
+            solved = np.ones(len(ctx.keys), dtype=np.float64)
+        else:
+            with np.errstate(over="ignore"):
+                solved = -np.expm1(-per_line * t_char)
+        for (name, region_name), hit in zip(ctx.keys, solved.tolist()):
+            blended[name][region_name] = min(1.0, max(0.0, hit))
+        return blended
+
     def _effective_hit(self, region, hit: float) -> float:
         """Apply the software-blocking discount to a region's hit ratio.
 
@@ -508,14 +659,16 @@ class WorkloadSimulator:
         hits: dict[str, float],
     ) -> BandwidthUsage:
         line_bytes = self.spec.llc.line_bytes
-        stream_bytes = throughput * query.profile.stream_bytes_per_tuple
-        miss_bytes = sum(
-            throughput
-            * prep["llc_accesses_per_tuple"][region.name]
-            * (1.0 - self._effective_hit(region, hits[region.name]))
-            * line_bytes
-            for region in query.profile.regions
-        )
+        stream_bytes = throughput * prep["stream_bytes_per_tuple"]
+        discount = self.calibration.software_managed_miss_discount
+        miss_bytes = 0.0
+        for name, coeff, _, _, managed in prep["region_rows"]:
+            hit = hits[name]
+            if managed:
+                hit = 1.0 - (1.0 - hit) * discount
+            miss_bytes += (
+                throughput * coeff * (1.0 - hit) * line_bytes
+            )
         return BandwidthUsage(query.name, stream_bytes, miss_bytes)
 
     def _per_tuple_time(
@@ -527,27 +680,33 @@ class WorkloadSimulator:
     ) -> tuple[float, dict[str, float]]:
         profile = query.profile
         cycle_s = self.spec.cycle_s
+        slow = max(1.0, slowdown)
+        # Inlined LatencyModel.random_access_cycles (same arithmetic,
+        # constants hoisted): this loop runs once per query per
+        # fixed-point round and dominated the non-solver round cost.
+        mlp = profile.mlp
+        l2_cycles = self.latency.l2_cycles
+        llc_cycles = self.latency.llc_cycles
+        dram_cycles = self.latency.dram_cycles * slow
+        discount = self.calibration.software_managed_miss_discount
         random_seconds = 0.0
-        for region in profile.regions:
-            l2_fraction = prep["l2_fractions"][region.name]
-            hit = self._effective_hit(region, hits[region.name])
-            cycles = self.latency.random_access_cycles(
-                l2_fraction, hit, profile.mlp, max(1.0, slowdown)
+        for name, _, accesses, l2_fraction, managed in prep[
+            "region_rows"
+        ]:
+            hit = hits[name]
+            if managed:
+                hit = 1.0 - (1.0 - hit) * discount
+            raw = l2_fraction * l2_cycles + (1.0 - l2_fraction) * (
+                hit * llc_cycles + (1.0 - hit) * dram_cycles
             )
-            random_seconds += region.accesses_per_tuple * cycles * cycle_s
+            random_seconds += accesses * (raw / mlp) * cycle_s
 
-        stream_seconds = (
-            profile.stream_bytes_per_tuple
-            / self.calibration.per_core_stream_bandwidth
-            * max(1.0, slowdown)
-        )
+        stream_seconds = prep["base_stream_seconds"] * slow
         # Single-way masks defeat the prefetcher (paper Sec. V-B): add a
         # demand-latency charge per streamed line.
         stream_seconds += (
             prep["stream_lines_per_tuple"]
-            * self.latency.streaming_cycles_per_line(
-                prep["ways"], max(1.0, slowdown)
-            )
+            * self.latency.streaming_cycles_per_line(prep["ways"], slow)
             * cycle_s
         )
 

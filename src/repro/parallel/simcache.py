@@ -52,7 +52,8 @@ from ..obs.runtime import observing
 #: the simulator's semantics or the stored-result format changes; the
 #: disk layer namespaces entries by it, so stale caches are simply
 #: never read.
-KEY_SCHEMA = 1
+KEY_SCHEMA = 2  # v2: vectorized Che solver (section search + chunked
+#     bracket) shifts results within tolerance; old entries are stale.
 
 #: Default in-memory LRU capacity (entries, not bytes; one entry is a
 #: few KiB of result rows).

@@ -33,6 +33,7 @@ from .arrivals import (
     DiurnalArrivals,
     PoissonArrivals,
     RequestClass,
+    SampleGrid,
     WorkloadMix,
     build_arrivals,
     olap_heavy_mix,
@@ -42,7 +43,13 @@ from .clock import SimulatedClock, TickingClock
 from .controller import AdaptiveController, ControlDecision
 from .events import Event, EventKind, EventQueue
 from .replay import ReplayArrivals, load_trace, trace_config
-from .service import QueryService, ServiceConfig, ServiceReport
+from .service import (
+    SERVE_ENGINES,
+    QueryService,
+    RateCache,
+    ServiceConfig,
+    ServiceReport,
+)
 from .slo import LatencyHistogram, SloTarget, SloTracker, SloVerdict
 
 __all__ = [
@@ -59,9 +66,12 @@ __all__ = [
     "LatencyHistogram",
     "PoissonArrivals",
     "QueryService",
+    "RateCache",
     "ReplayArrivals",
     "Request",
     "RequestClass",
+    "SERVE_ENGINES",
+    "SampleGrid",
     "ServiceConfig",
     "ServiceReport",
     "SimulatedClock",

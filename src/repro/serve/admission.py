@@ -48,6 +48,10 @@ class Request:
     #: Completion-event epoch: bumped every time service rates change,
     #: so stale COMPLETION events can be recognised and dropped.
     epoch: int = 0
+    #: Whether the request's latency counts toward SLO measurement.
+    #: False for arrivals landing in the warmup slice of a sampled
+    #: window — they run (warming queue state) but are not observed.
+    recorded: bool = True
 
     def __post_init__(self) -> None:
         if self.remaining_tuples == 0.0:

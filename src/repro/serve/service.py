@@ -36,8 +36,11 @@ reports (CI asserts this).
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
+
+import numpy as np
 
 from ..config import SystemSpec
 from ..core.policy import paper_scheme
@@ -54,6 +57,7 @@ from .admission import AdmissionController, AdmissionDecision, Request
 from .arrivals import (
     DEFAULT_ARRIVAL_SEED,
     RequestClass,
+    SampleGrid,
     build_arrivals,
     olap_heavy_mix,
     oltp_heavy_mix,
@@ -67,12 +71,75 @@ PROFILES = ("poisson", "bursty", "diurnal", "replay")
 POLICIES = ("none", "static", "adaptive")
 MIXES = ("olap", "oltp", "shift")
 
+#: Event-loop engines.  ``vector`` (the default) advances running work
+#: and files latencies through NumPy batch operations; ``scalar`` is
+#: the element-at-a-time reference path.  Both produce byte-identical
+#: reports (the equivalence suite asserts it), so the engine is NOT
+#: part of :class:`ServiceConfig` — it changes cost, never results.
+SERVE_ENGINES = ("scalar", "vector")
+
 #: Report schema version (bump when the JSON layout changes).
 #: Version 2 adds the ``arrivals`` log — the offered
 #: ``[time_s, class]`` sequence — which is what trace replay
-#: (``--profile replay``) re-drives.  Version-1 reports still load
+#: (``--profile replay``) re-drives.  Version 3 adds the sampling
+#: knobs (``sample_window_s`` / ``sample_period`` /
+#: ``sample_warmup``) to the config block and the
+#: ``rate_cache_evictions`` counter.  Version-1 reports still load
 #: everywhere except replay, which needs the log.
-REPORT_VERSION = 2
+REPORT_VERSION = 3
+
+#: Default bound on the rate cache (entries, not bytes; one entry is a
+#: small per-class dict).  Long diurnal mix schedules can produce an
+#: unbounded stream of distinct composition signatures — the LRU keeps
+#: the resident set to the compositions actually recurring.
+DEFAULT_RATE_CACHE_CAPACITY = 4096
+
+
+class RateCache:
+    """Bounded LRU over composition signatures (the rate-solve memo).
+
+    The same shape as the in-memory layer of
+    :class:`repro.parallel.simcache.SimulationCache`: an
+    ``OrderedDict`` with move-to-end on hit and pop-oldest on
+    overflow.  Duck-type compatible with the plain ``dict`` callers
+    used to pass (``get`` / item assignment / ``len``), so a shared
+    unbounded dict still works where a caller wants one.  Evictions
+    are counted on the instance and published as
+    ``serve.rate_cache_evictions``.
+    """
+
+    def __init__(
+        self, capacity: int = DEFAULT_RATE_CACHE_CAPACITY
+    ) -> None:
+        if capacity < 1:
+            raise ServeError(
+                f"rate cache capacity must be >= 1: {capacity}"
+            )
+        self.capacity = capacity
+        self.evictions = 0
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+
+    def get(self, key: tuple) -> dict | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def __setitem__(self, key: tuple, value: dict) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            runtime.metrics.counter(
+                "serve.rate_cache_evictions"
+            ).inc()
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclass(frozen=True)
@@ -91,6 +158,14 @@ class ServiceConfig:
     shift_at_s: float | None = None
     olap_p99_s: float = 4.0
     oltp_p99_s: float = 2.0
+    #: Interval sampling for long traces (None = simulate everything):
+    #: windows of ``sample_window_s`` seconds, every
+    #: ``sample_period``-th window simulated, the first
+    #: ``sample_warmup`` fraction of each simulated window excluded
+    #: from measurement.  See :class:`repro.serve.arrivals.SampleGrid`.
+    sample_window_s: float | None = None
+    sample_period: int = 1
+    sample_warmup: float = 0.5
 
     def __post_init__(self) -> None:
         if self.profile not in PROFILES:
@@ -125,6 +200,18 @@ class ServiceConfig:
                 "shift must fall inside the run: "
                 f"{self.shift_at_s} not in (0, {self.duration_s})"
             )
+        # Delegate the sampling-knob checks to the grid itself.
+        self.sample_grid()
+
+    def sample_grid(self) -> SampleGrid | None:
+        """The interval-sampling grid, or None when unsampled."""
+        if self.sample_window_s is None:
+            return None
+        return SampleGrid(
+            window_s=self.sample_window_s,
+            period=self.sample_period,
+            warmup_fraction=self.sample_warmup,
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -140,6 +227,9 @@ class ServiceConfig:
             "shift_at_s": self.shift_at_s,
             "olap_p99_s": self.olap_p99_s,
             "oltp_p99_s": self.oltp_p99_s,
+            "sample_window_s": self.sample_window_s,
+            "sample_period": self.sample_period,
+            "sample_warmup": self.sample_warmup,
         }
 
 
@@ -161,6 +251,7 @@ class ServiceReport:
     cache_control: dict
     rate_solves: int
     rate_cache_hits: int
+    rate_cache_evictions: int = 0
     #: Offered arrival log: one ``(time_s, class name)`` per arrival
     #: (shed ones included) — the sequence replay re-drives.
     arrivals: tuple = ()
@@ -186,6 +277,7 @@ class ServiceReport:
             "cache_control": self.cache_control,
             "rate_solves": self.rate_solves,
             "rate_cache_hits": self.rate_cache_hits,
+            "rate_cache_evictions": self.rate_cache_evictions,
         }
 
     def to_json(self) -> str:
@@ -230,14 +322,31 @@ class QueryService:
         rate_cache: dict | None = None,
         controller: AdaptiveController | None = None,
         arrivals=None,
+        engine: str = "vector",
+        solve_memo: dict | None = None,
     ) -> None:
+        if engine not in SERVE_ENGINES:
+            raise ServeError(
+                f"engine must be one of {SERVE_ENGINES}: {engine!r}"
+            )
         self.config = config
+        self.engine = engine
         self.spec = spec if spec is not None else SystemSpec()
         self.calibration = calibration
         self.simulator = WorkloadSimulator(self.spec, calibration)
-        self.rate_cache = rate_cache if rate_cache is not None else {}
+        self.rate_cache = (
+            rate_cache if rate_cache is not None else RateCache()
+        )
+        #: Optional fleet-shared solve memo (signature -> per-class
+        #: rates).  Sits BEHIND the per-service rate cache: a service
+        #: still counts its own ``rate_solves`` on a local cache miss,
+        #: so its report is independent of who populated the memo —
+        #: only the redundant ``simulate()`` call is elided.  Sharers
+        #: must run identical (spec, calibration).
+        self.solve_memo = solve_memo
         self.rate_solves = 0
         self.rate_cache_hits = 0
+        self._sample_grid = config.sample_grid()
         # Each worker slot is a virtual thread the cache controller
         # associates masks with, engine-style.
         self.slot_cores = max(
@@ -263,10 +372,13 @@ class QueryService:
         self.admission = AdmissionController(
             config.max_concurrency, config.queue_depth
         )
-        self.slo = SloTracker((
-            SloTarget("olap", p99_s=config.olap_p99_s),
-            SloTarget("oltp", p99_s=config.oltp_p99_s),
-        ))
+        self.slo = SloTracker(
+            (
+                SloTarget("olap", p99_s=config.olap_p99_s),
+                SloTarget("oltp", p99_s=config.oltp_p99_s),
+            ),
+            engine=engine,
+        )
         self._mix_schedule = self._build_mix_schedule()
         if arrivals is not None:
             # Injected process (trace replay, tests): duck-typed on
@@ -348,34 +460,24 @@ class QueryService:
         signature = self._composition_signature()
         per_class = self.rate_cache.get(signature)
         if per_class is None:
-            classes = {
-                request.cls.name: request.cls
-                for request in running.values()
-            }
-            specs = [
-                QuerySpec(
-                    name=name,
-                    profile=classes[name].profile,
-                    cores=count * self.slot_cores,
-                    mask=mask,
-                )
-                for name, mask, count in signature
-            ]
-            with runtime.tracer.span(
-                "serve.rate_solve", classes=len(specs)
-            ):
-                results = self.simulator.simulate(specs)
-            per_class = {}
-            for name, _, count in signature:
-                throughput = results[name].throughput_tuples_per_s
-                if throughput <= 0.0:
-                    raise ServeError(
-                        f"non-positive service rate for {name!r}"
-                    )
-                per_class[name] = throughput / count
-            self.rate_cache[signature] = per_class
+            # This service had to resolve the composition: the counter
+            # (part of the report) moves regardless of whether a
+            # fleet-shared memo already holds the answer, so a node's
+            # report never depends on its peers' progress.
             self.rate_solves += 1
             runtime.metrics.counter("serve.rate_solves").inc()
+            memo = self.solve_memo
+            per_class = memo.get(signature) if memo is not None else None
+            if per_class is None:
+                per_class = self._solve_signature(signature)
+                if memo is not None:
+                    memo[signature] = per_class
+                    runtime.metrics.counter(
+                        "serve.batch.memo_misses"
+                    ).inc()
+            else:
+                runtime.metrics.counter("serve.batch.memo_hits").inc()
+            self.rate_cache[signature] = per_class
         else:
             self.rate_cache_hits += 1
             runtime.metrics.counter("serve.rate_cache_hits").inc()
@@ -384,17 +486,74 @@ class QueryService:
             for request_id, request in running.items()
         }
 
+    def _solve_signature(self, signature: tuple) -> dict[str, float]:
+        """One batched model solve for a whole composition frontier.
+
+        Every class running under every mask goes into a single
+        ``simulator.simulate(specs)`` call — LLC and bandwidth
+        contention across the entire frontier are solved as one fixed
+        point, never per arrival.
+        """
+        classes = {
+            request.cls.name: request.cls
+            for request in self.admission.running.values()
+        }
+        specs = [
+            QuerySpec(
+                name=name,
+                profile=classes[name].profile,
+                cores=count * self.slot_cores,
+                mask=mask,
+            )
+            for name, mask, count in signature
+        ]
+        with runtime.tracer.span(
+            "serve.rate_solve", classes=len(specs)
+        ):
+            results = self.simulator.simulate(specs)
+        runtime.metrics.counter("serve.batch.solves").inc()
+        runtime.metrics.counter("serve.batch.specs").inc(len(specs))
+        per_class = {}
+        for name, _, count in signature:
+            throughput = results[name].throughput_tuples_per_s
+            if throughput <= 0.0:
+                raise ServeError(
+                    f"non-positive service rate for {name!r}"
+                )
+            per_class[name] = throughput / count
+        return per_class
+
     # -- event mechanics -----------------------------------------------
 
     def _advance(self, now: float) -> None:
         """Progress running work at the current rates up to ``now``."""
         elapsed = now - self._state.last_advance_s
-        if elapsed > 0.0:
-            for request_id, rate in self._state.rates.items():
-                request = self._requests[request_id]
-                request.remaining_tuples = max(
-                    0.0, request.remaining_tuples - rate * elapsed
+        rates = self._state.rates
+        if elapsed > 0.0 and rates:
+            if self.engine == "vector" and len(rates) > 1:
+                # Struct-of-arrays decrement; elementwise IEEE-754 ops
+                # identical to the scalar loop, so both engines keep
+                # bit-equal remaining work.
+                ids = list(rates)
+                rate_arr = np.fromiter(
+                    rates.values(), dtype=np.float64, count=len(ids)
                 )
+                remaining = np.fromiter(
+                    (self._requests[i].remaining_tuples for i in ids),
+                    dtype=np.float64,
+                    count=len(ids),
+                )
+                remaining = np.maximum(
+                    0.0, remaining - rate_arr * elapsed
+                )
+                for request_id, value in zip(ids, remaining.tolist()):
+                    self._requests[request_id].remaining_tuples = value
+            else:
+                for request_id, rate in rates.items():
+                    request = self._requests[request_id]
+                    request.remaining_tuples = max(
+                        0.0, request.remaining_tuples - rate * elapsed
+                    )
         self._state.last_advance_s = now
 
     def _reflow(self, now: float) -> None:
@@ -440,10 +599,19 @@ class QueryService:
         arrival process.
         """
         self._arrival_log.append((now, cls.name))
+        recorded = (
+            self._sample_grid is None
+            or self._sample_grid.measured(now)
+        )
+        if not recorded:
+            runtime.metrics.counter(
+                "serve.sample.warmup_arrivals"
+            ).inc()
         request = Request(
             request_id=self._next_request_id,
             cls=cls,
             arrived_s=now,
+            recorded=recorded,
         )
         self._next_request_id += 1
         self._requests[request.request_id] = request
@@ -459,6 +627,20 @@ class QueryService:
 
     def _schedule_next_arrival(self, now: float) -> None:
         timestamp, cls = self.arrivals.next_arrival(now)
+        grid = self._sample_grid
+        if grid is not None:
+            # Skipped windows cost O(1): instead of drawing (and
+            # discarding) their arrivals, jump the process straight to
+            # the next simulated window's start.
+            while timestamp < self.config.duration_s and not (
+                grid.simulated(timestamp)
+            ):
+                runtime.metrics.counter(
+                    "serve.sample.window_jumps"
+                ).inc()
+                timestamp, cls = self.arrivals.next_arrival(
+                    grid.next_simulated_start(timestamp)
+                )
         if timestamp < self.config.duration_s:
             self.queue.push(timestamp, EventKind.ARRIVAL, cls=cls)
 
@@ -472,7 +654,8 @@ class QueryService:
         self._advance(now)
         request.completed_s = now
         request.remaining_tuples = 0.0
-        self.slo.observe(request.tenant, request.latency_s)
+        if request.recorded:
+            self.slo.observe(request.tenant, request.latency_s)
         runtime.metrics.counter("serve.requests.completed").inc()
         self._free_tids.append(self._state.slots.pop(request_id))
         self._free_tids.sort(reverse=True)
@@ -572,5 +755,8 @@ class QueryService:
             },
             rate_solves=self.rate_solves,
             rate_cache_hits=self.rate_cache_hits,
+            rate_cache_evictions=getattr(
+                self.rate_cache, "evictions", 0
+            ),
             arrivals=tuple(self._arrival_log),
         )

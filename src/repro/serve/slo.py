@@ -10,6 +10,16 @@ bound** of the bucket holding the target rank; with ~24 buckets per
 decade the overestimate is bounded at ~10 %, which is the usual
 monitoring trade-off (Prometheus histograms make the same one).
 
+Bucket counts live in a NumPy ``int64`` struct-of-arrays.  Indexing is
+``bisect_right`` over the static bounds (bucket ``i`` holds samples in
+``[bounds[i-1], bounds[i])``; a sample exactly on a bound lands in the
+bucket whose upper edge is the *next* bound).  The vectorized engine
+buffers observations and files them in one ``searchsorted`` sweep on
+the next read — ``numpy.searchsorted(side="right")`` computes exactly
+``bisect.bisect_right``, so the scalar and vectorized engines produce
+identical state.  ``NaN`` latencies raise (they would otherwise be
+misfiled silently); negative inputs to the index clamp to bucket 0.
+
 :class:`SloTracker` keeps one histogram per tenant, mirrors counts into
 the run's :class:`repro.obs.metrics.MetricsRegistry`, and renders
 :class:`SloVerdict` rows against per-tenant :class:`SloTarget`
@@ -19,7 +29,11 @@ both consume.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..errors import ServeError
 from ..obs import runtime
@@ -29,6 +43,11 @@ from ..obs import runtime
 _FIRST_BOUND_S = 1.0e-4
 _BUCKET_RATIO = 1.1
 _BUCKET_COUNT = 130
+
+#: Histogram engines: ``scalar`` files each observation immediately via
+#: ``bisect_right``; ``vector`` buffers and files them in one
+#: ``searchsorted`` sweep.  Both produce identical counts.
+HISTOGRAM_ENGINES = ("scalar", "vector")
 
 
 def _bucket_bounds() -> tuple[float, ...]:
@@ -44,35 +63,66 @@ class LatencyHistogram:
     """Fixed-bucket latency histogram with deterministic quantiles."""
 
     BOUNDS_S: tuple[float, ...] = _bucket_bounds()
+    _BOUNDS_ARRAY = np.array(BOUNDS_S, dtype=np.float64)
 
-    def __init__(self) -> None:
+    def __init__(self, engine: str = "vector") -> None:
+        if engine not in HISTOGRAM_ENGINES:
+            raise ServeError(
+                f"histogram engine must be one of {HISTOGRAM_ENGINES}: "
+                f"{engine!r}"
+            )
+        self._engine = engine
         # One count per bound, plus an overflow bucket at the end.
-        self._counts = [0] * (len(self.BOUNDS_S) + 1)
+        self._counts = np.zeros(len(self.BOUNDS_S) + 1, dtype=np.int64)
+        self._pending: list[float] = []
         self.total = 0
         self.sum_s = 0.0
         self.max_s = 0.0
 
     def observe(self, latency_s: float) -> None:
+        if math.isnan(latency_s):
+            raise ServeError("latency must not be NaN")
         if latency_s < 0:
             raise ServeError(f"latency must be >= 0: {latency_s}")
-        index = self._bucket_index(latency_s)
-        self._counts[index] += 1
         self.total += 1
         self.sum_s += latency_s
         if latency_s > self.max_s:
             self.max_s = latency_s
+        if self._engine == "scalar":
+            self._counts[self._bucket_index(latency_s)] += 1
+        else:
+            self._pending.append(latency_s)
 
-    def _bucket_index(self, latency_s: float) -> int:
-        # Binary search over the static bounds (first bound whose
-        # upper edge is >= the sample).
-        lo, hi = 0, len(self.BOUNDS_S)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if latency_s <= self.BOUNDS_S[mid]:
-                hi = mid
-            else:
-                lo = mid + 1
-        return lo
+    @classmethod
+    def _bucket_index(cls, latency_s: float) -> int:
+        """Bucket for one sample: ``bisect_right`` over the bounds.
+
+        Raises on ``NaN`` (every comparison against NaN is false, so a
+        search would misfile it silently); negative values clamp to
+        bucket 0.  ``+inf`` lands in the overflow bucket.
+        """
+        if math.isnan(latency_s):
+            raise ServeError("latency must not be NaN")
+        if latency_s < 0:
+            return 0
+        return bisect_right(cls.BOUNDS_S, latency_s)
+
+    def _flush(self) -> None:
+        """File buffered observations into the bucket counts."""
+        if not self._pending:
+            return
+        indexes = np.searchsorted(
+            self._BOUNDS_ARRAY,
+            np.asarray(self._pending, dtype=np.float64),
+            side="right",
+        )
+        np.add.at(self._counts, indexes, 1)
+        self._pending.clear()
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """The bucket counts (overflow last), flushed and copied."""
+        self._flush()
+        return tuple(int(count) for count in self._counts)
 
     def quantile(self, q: float) -> float:
         """Upper bound of the bucket holding the ``q``-quantile sample.
@@ -84,14 +134,12 @@ class LatencyHistogram:
             raise ServeError(f"quantile must be in (0, 1]: {q}")
         if self.total == 0:
             return 0.0
+        self._flush()
         rank = q * self.total
-        cumulative = 0
-        for index, count in enumerate(self._counts):
-            cumulative += count
-            if cumulative >= rank:
-                if index < len(self.BOUNDS_S):
-                    return self.BOUNDS_S[index]
-                return self.max_s
+        cumulative = np.cumsum(self._counts)
+        index = int(np.searchsorted(cumulative, rank, side="left"))
+        if index < len(self.BOUNDS_S):
+            return self.BOUNDS_S[index]
         return self.max_s
 
     @property
@@ -105,10 +153,12 @@ class LatencyHistogram:
         quantile read from it — equals the histogram of the combined
         sample stream regardless of which node observed what.  This is
         how the cluster folds per-node tenant histograms into
-        fleet-wide SLO verdicts.
+        fleet-wide SLO verdicts.  The add is one vectorized ``int64``
+        array operation per merged histogram.
         """
-        for index, count in enumerate(other._counts):
-            self._counts[index] += count
+        self._flush()
+        other._flush()
+        self._counts += other._counts
         self.total += other.total
         self.sum_s += other.sum_s
         if other.max_s > self.max_s:
@@ -160,18 +210,27 @@ class SloTracker:
     """Per-tenant latency histograms with SLO evaluation."""
 
     def __init__(
-        self, targets: tuple[SloTarget, ...] = ()
+        self,
+        targets: tuple[SloTarget, ...] = (),
+        engine: str = "vector",
     ) -> None:
         tenants = [t.tenant for t in targets]
         if len(tenants) != len(set(tenants)):
             raise ServeError(f"duplicate SLO tenants: {tenants}")
+        if engine not in HISTOGRAM_ENGINES:
+            raise ServeError(
+                f"histogram engine must be one of {HISTOGRAM_ENGINES}: "
+                f"{engine!r}"
+            )
+        self._engine = engine
         self._targets = {t.tenant: t for t in targets}
         self._histograms: dict[str, LatencyHistogram] = {}
 
     def observe(self, tenant: str, latency_s: float) -> None:
-        histogram = self._histograms.setdefault(
-            tenant, LatencyHistogram()
-        )
+        histogram = self._histograms.get(tenant)
+        if histogram is None:
+            histogram = LatencyHistogram(engine=self._engine)
+            self._histograms[tenant] = histogram
         histogram.observe(latency_s)
         runtime.metrics.counter(
             f"serve.slo.{tenant}.completed"
@@ -190,13 +249,15 @@ class SloTracker:
     def merge(self, other: "SloTracker") -> None:
         """Pool another tracker's histograms (no metrics side effects)."""
         for tenant in sorted(other._histograms):
-            self._histograms.setdefault(
-                tenant, LatencyHistogram()
-            ).merge(other._histograms[tenant])
+            target = self._histograms.get(tenant)
+            if target is None:
+                target = LatencyHistogram(engine=self._engine)
+                self._histograms[tenant] = target
+            target.merge(other._histograms[tenant])
 
     def pooled(self) -> LatencyHistogram:
         """All tenants' observations merged into one histogram."""
-        combined = LatencyHistogram()
+        combined = LatencyHistogram(engine=self._engine)
         for tenant in sorted(self._histograms):
             combined.merge(self._histograms[tenant])
         return combined

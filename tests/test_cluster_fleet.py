@@ -76,11 +76,11 @@ class TestConservationAndReport:
     def test_report_structure_roundtrips_as_json(self):
         report = _run()
         payload = json.loads(report.to_json())
-        assert payload["fleet_report_version"] == 1
+        assert payload["fleet_report_version"] == 2
         assert len(payload["nodes"]) == 2
         for node in payload["nodes"]:
-            # Each node embeds a full v2 single-node service report.
-            assert node["report"]["report_version"] == 2
+            # Each node embeds a full v3 single-node service report.
+            assert node["report"]["report_version"] == 3
             assert node["routed_in"] == node["report"]["arrived"]
         tenants = [v["tenant"] for v in payload["fleet_slo"]]
         assert {"batch", "olap", "oltp"} <= set(tenants)
@@ -154,6 +154,107 @@ class TestDeterminism:
             for node_report in report.node_reports
         ]
         assert logs[0] != logs[1]
+
+
+class TestScalingMachinery:
+    """Structural guarantees behind the fleet-scaling fix: the shared
+    solve memo dedupes model solves across nodes, the merged event heap
+    replaces the per-event scan, and neither perturbs node reports."""
+
+    def test_solve_memo_shared_and_deduping(self):
+        cluster = Cluster(ClusterConfig(
+            nodes=4, router="least-loaded", policy="none",
+            duration_s=3.0, rate_per_s=6.0, seed=7,
+        ))
+        cluster.run()
+        solves = sum(node.rate_solves for node in cluster.nodes)
+        assert len(cluster.solve_memo) > 0
+        # Peers hit compositions their siblings already solved, so the
+        # fleet performs fewer model solves than the nodes report.
+        assert len(cluster.solve_memo) < solves
+        for node in cluster.nodes:
+            assert node.solve_memo is cluster.solve_memo
+
+    def test_memo_does_not_change_node_counters(self):
+        # A node's rate_solves counts its own cache misses whether or
+        # not a peer already populated the memo — so the counter is
+        # identical between a 1-node and a 4-node fleet.
+        def node0_solves(n):
+            cluster = Cluster(ClusterConfig(
+                nodes=n, router="least-loaded", policy="none",
+                duration_s=3.0, rate_per_s=6.0, seed=7,
+            ))
+            cluster.run()
+            return cluster.nodes[0].rate_solves
+
+        assert node0_solves(1) == node0_solves(4)
+
+    def test_frontier_heap_drains_clean(self):
+        cluster = Cluster(ClusterConfig(
+            nodes=3, router="least-loaded", policy="none",
+            duration_s=3.0, rate_per_s=6.0, seed=7,
+        ))
+        cluster.run()
+        # Only stale (version-superseded) entries may remain staged.
+        for time_s, lane, index, version in cluster._frontier:
+            assert cluster._lane_versions[(lane, index)] != version
+
+    def test_scalar_and_vector_fleets_identical(self):
+        config = ClusterConfig(
+            nodes=2, router="least-loaded", policy="none",
+            duration_s=3.0, rate_per_s=6.0, seed=7,
+        )
+        vector = Cluster(config, engine="vector").run()
+        scalar = Cluster(config, engine="scalar").run()
+        assert vector.to_json() == scalar.to_json()
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ClusterError):
+            Cluster(ClusterConfig(nodes=1), engine="turbo")
+
+
+class TestSampling:
+    def test_sampled_fleet_sees_fewer_arrivals(self):
+        full = _run(duration_s=6.0)
+        sampled = _run(
+            duration_s=6.0, sample_window_s=1.0, sample_period=3,
+        )
+        assert 0 < sampled.generated < full.generated
+
+    def test_sampled_fleet_deterministic(self):
+        kwargs = dict(
+            duration_s=6.0, sample_window_s=1.0, sample_period=3,
+            sample_warmup=0.5,
+        )
+        assert _run(**kwargs).to_json() == _run(**kwargs).to_json()
+
+    def test_sampling_knobs_in_report_config(self):
+        report = _run(
+            duration_s=6.0, sample_window_s=1.0, sample_period=3,
+        )
+        payload = json.loads(report.to_json())
+        assert payload["config"]["sample_window_s"] == 1.0
+        assert payload["config"]["sample_period"] == 3
+        assert payload["config"]["sample_warmup"] == 0.5
+
+    def test_node0_invariance_holds_under_sampling(self):
+        def node0(n):
+            return _run(
+                nodes=n, router="least-loaded", rate_per_s=4.0,
+                duration_s=6.0, sample_window_s=1.0,
+                sample_period=3,
+            ).node_reports[0].to_json()
+
+        assert node0(1) == node0(4)
+
+    def test_arrivals_confined_to_simulated_windows(self):
+        report = _run(
+            duration_s=9.0, sample_window_s=1.0, sample_period=3,
+        )
+        for node_report in report.node_reports:
+            for entry in node_report.arrivals:
+                window = int(entry[0] // 1.0)
+                assert window % 3 == 0
 
 
 class TestFaults:

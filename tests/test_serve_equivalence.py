@@ -1,0 +1,80 @@
+"""Cross-implementation equivalence: scalar vs vectorized serve path.
+
+The vectorized engine is the default hot path; the scalar engine is
+the reference implementation.  The contract is *byte-identical
+reports*: every float in the report must match exactly, not within a
+tolerance — the vector path may only batch the same arithmetic, never
+reorder it.  This is what keeps the engine choice out of the
+determinism domain (``ServiceConfig``).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import QueryService, ServiceConfig
+
+
+def _report(engine: str, **overrides) -> str:
+    defaults = dict(
+        profile="poisson", policy="none", mix="olap",
+        duration_s=4.0, rate_per_s=8.0, seed=7,
+    )
+    defaults.update(overrides)
+    config = ServiceConfig(**defaults)
+    return QueryService(config, engine=engine).run().to_json()
+
+
+def _assert_engines_agree(**overrides) -> None:
+    assert _report("vector", **overrides) == _report(
+        "scalar", **overrides
+    )
+
+
+class TestPolicies:
+    def test_none(self):
+        _assert_engines_agree(policy="none")
+
+    def test_static(self):
+        _assert_engines_agree(policy="static")
+
+    def test_adaptive(self):
+        _assert_engines_agree(policy="adaptive", duration_s=6.0)
+
+
+class TestProfiles:
+    def test_bursty(self):
+        _assert_engines_agree(profile="bursty")
+
+    def test_diurnal(self):
+        _assert_engines_agree(profile="diurnal")
+
+    def test_mix_shift(self):
+        _assert_engines_agree(mix="shift", duration_s=6.0)
+
+
+class TestSampling:
+    def test_sampled_run_identical(self):
+        _assert_engines_agree(
+            duration_s=9.0, sample_window_s=1.0, sample_period=3,
+            sample_warmup=0.5,
+        )
+
+    def test_warmup_disabled(self):
+        _assert_engines_agree(
+            duration_s=9.0, sample_window_s=1.5, sample_period=2,
+            sample_warmup=0.0,
+        )
+
+
+class TestPropertyBased:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        profile=st.sampled_from(("poisson", "bursty", "diurnal")),
+        policy=st.sampled_from(("none", "static", "adaptive")),
+    )
+    def test_reports_byte_identical(self, seed, profile, policy):
+        _assert_engines_agree(
+            seed=seed, profile=profile, policy=policy,
+            duration_s=3.0, rate_per_s=6.0,
+        )

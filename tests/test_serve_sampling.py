@@ -1,0 +1,139 @@
+"""Tests for interval sampling (SampleGrid) in the serve layer."""
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import QueryService, SampleGrid, ServiceConfig
+
+
+class TestSampleGrid:
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            SampleGrid(window_s=0.0)
+        with pytest.raises(ServeError):
+            SampleGrid(window_s=1.0, period=0)
+        with pytest.raises(ServeError):
+            SampleGrid(window_s=1.0, warmup_fraction=1.0)
+        with pytest.raises(ServeError):
+            SampleGrid(window_s=1.0, warmup_fraction=-0.1)
+
+    def test_window_of(self):
+        grid = SampleGrid(window_s=2.0, period=3)
+        assert grid.window_of(0.0) == 0
+        assert grid.window_of(1.99) == 0
+        assert grid.window_of(2.0) == 1
+        assert grid.window_of(13.5) == 6
+
+    def test_simulated_every_period_th_window(self):
+        grid = SampleGrid(window_s=1.0, period=3)
+        assert grid.simulated(0.5)
+        assert not grid.simulated(1.5)
+        assert not grid.simulated(2.5)
+        assert grid.simulated(3.5)
+
+    def test_period_one_simulates_everything(self):
+        grid = SampleGrid(window_s=1.0, period=1, warmup_fraction=0.0)
+        for t in (0.1, 0.9, 5.3, 17.7):
+            assert grid.simulated(t)
+            assert grid.measured(t)
+
+    def test_measured_requires_post_warmup(self):
+        grid = SampleGrid(
+            window_s=2.0, period=2, warmup_fraction=0.5
+        )
+        assert grid.simulated(0.5) and not grid.measured(0.5)
+        assert grid.measured(1.5)
+        # Skipped windows are never measured.
+        assert not grid.measured(2.5)
+
+    def test_next_simulated_start(self):
+        grid = SampleGrid(window_s=1.0, period=3)
+        # From a skipped window, jump to the next simulated one.
+        assert grid.next_simulated_start(1.5) == 3.0
+        assert grid.next_simulated_start(2.2) == 3.0
+        # From a simulated window, the *next* simulated window.
+        assert grid.next_simulated_start(0.5) == 3.0
+        assert grid.next_simulated_start(3.1) == 6.0
+
+
+class TestConfigKnobs:
+    def test_defaults_off(self):
+        assert ServiceConfig().sample_grid() is None
+
+    def test_grid_built_from_config(self):
+        config = ServiceConfig(
+            sample_window_s=2.0, sample_period=4,
+            sample_warmup=0.25,
+        )
+        grid = config.sample_grid()
+        assert grid == SampleGrid(
+            window_s=2.0, period=4, warmup_fraction=0.25
+        )
+
+    def test_invalid_knobs_rejected_at_config(self):
+        with pytest.raises(ServeError):
+            ServiceConfig(sample_window_s=-1.0)
+        with pytest.raises(ServeError):
+            ServiceConfig(sample_window_s=1.0, sample_period=0)
+
+    def test_knobs_serialized(self):
+        config = ServiceConfig(
+            sample_window_s=1.0, sample_period=5
+        )
+        payload = config.to_dict()
+        assert payload["sample_window_s"] == 1.0
+        assert payload["sample_period"] == 5
+        assert payload["sample_warmup"] == 0.5
+
+
+def _run(**overrides):
+    defaults = dict(
+        profile="poisson", policy="none", mix="olap",
+        duration_s=9.0, rate_per_s=10.0, seed=7,
+    )
+    defaults.update(overrides)
+    return QueryService(ServiceConfig(**defaults)).run()
+
+
+class TestSampledService:
+    def test_sampled_run_sees_fewer_arrivals(self):
+        full = _run()
+        sampled = _run(sample_window_s=1.0, sample_period=3)
+        assert 0 < sampled.arrived < full.arrived
+
+    def test_arrivals_confined_to_simulated_windows(self):
+        report = _run(sample_window_s=1.0, sample_period=3)
+        for entry in report.arrivals:
+            assert int(entry[0] // 1.0) % 3 == 0
+
+    def test_warmup_arrivals_run_but_are_not_measured(self):
+        report = _run(
+            sample_window_s=1.0, sample_period=3,
+            sample_warmup=0.5,
+        )
+        measured = sum(v.completed for v in report.slo)
+        # Warmup arrivals complete (they shape queue state) without
+        # contributing latency observations.
+        assert 0 < measured < report.completed
+
+    def test_zero_warmup_measures_everything(self):
+        report = _run(
+            sample_window_s=1.0, sample_period=3,
+            sample_warmup=0.0,
+        )
+        assert sum(v.completed for v in report.slo) == (
+            report.completed
+        )
+
+    def test_sampled_run_deterministic(self):
+        kwargs = dict(sample_window_s=1.0, sample_period=3)
+        assert _run(**kwargs).to_json() == _run(**kwargs).to_json()
+
+    def test_report_records_knobs(self):
+        report = _run(sample_window_s=1.0, sample_period=3)
+        payload = json.loads(report.to_json())
+        assert payload["config"]["sample_window_s"] == 1.0
+        assert payload["config"]["sample_period"] == 3
+        assert payload["report_version"] == 3

@@ -1,9 +1,13 @@
 """Tests for latency histograms and SLO verdicts."""
 
+import math
+from bisect import bisect_right
+
 import pytest
 
 from repro.errors import ServeError
 from repro.serve.slo import (
+    HISTOGRAM_ENGINES,
     LatencyHistogram,
     SloTarget,
     SloTracker,
@@ -67,6 +71,82 @@ class TestLatencyHistogram:
             histogram.quantile(0.0)
         with pytest.raises(ServeError):
             histogram.quantile(1.5)
+
+
+class TestBucketBoundaries:
+    def test_bucket_index_matches_bisect_right(self):
+        # The ladder is the contract: an exact bound value belongs to
+        # the *next* bucket (bisect_right semantics), so a sample at a
+        # bound is reported as that bound by quantile().
+        for bound in LatencyHistogram.BOUNDS_S:
+            assert LatencyHistogram._bucket_index(bound) == (
+                bisect_right(LatencyHistogram.BOUNDS_S, bound)
+            )
+
+    def test_exact_bound_lands_in_next_bucket(self):
+        bounds = LatencyHistogram.BOUNDS_S
+        below = LatencyHistogram._bucket_index(bounds[3] * 0.999)
+        at = LatencyHistogram._bucket_index(bounds[3])
+        assert at == below + 1
+
+    def test_nan_raises(self):
+        with pytest.raises(ServeError):
+            LatencyHistogram._bucket_index(float("nan"))
+        histogram = LatencyHistogram()
+        with pytest.raises(ServeError):
+            histogram.observe(float("nan"))
+
+    def test_negative_clamps_to_first_bucket(self):
+        # observe() rejects negatives outright; the raw bucketing
+        # clamps them (merged/deserialised data defensiveness).
+        assert LatencyHistogram._bucket_index(-1.0) == 0
+        assert LatencyHistogram._bucket_index(0.0) == 0
+
+    def test_zero_latency_observable(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.0)
+        assert sum(histogram.bucket_counts()) == 1
+
+    def test_infinity_goes_to_overflow_bucket(self):
+        assert LatencyHistogram._bucket_index(math.inf) == len(
+            LatencyHistogram.BOUNDS_S
+        )
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("engine", HISTOGRAM_ENGINES)
+    def test_engine_validated(self, engine):
+        LatencyHistogram(engine=engine)
+        with pytest.raises(ServeError):
+            LatencyHistogram(engine="bogus")
+
+    def test_scalar_and_vector_identical(self):
+        values = [0.0, 1e-6, 0.001, 0.0099, 0.01, 0.5, 3.2, 900.0]
+        scalar = LatencyHistogram(engine="scalar")
+        vector = LatencyHistogram(engine="vector")
+        for value in values * 7:
+            scalar.observe(value)
+            vector.observe(value)
+        assert scalar.bucket_counts() == vector.bucket_counts()
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert scalar.quantile(q) == vector.quantile(q)
+        assert scalar.mean_s == vector.mean_s
+        assert scalar.max_s == vector.max_s
+
+    def test_cross_engine_merge(self):
+        scalar = LatencyHistogram(engine="scalar")
+        vector = LatencyHistogram(engine="vector")
+        for value in (0.01, 0.2, 5.0):
+            scalar.observe(value)
+            vector.observe(value)
+        merged = LatencyHistogram(engine="vector")
+        merged.merge(scalar)
+        merged.merge(vector)
+        assert sum(merged.bucket_counts()) == 6
+        reference = LatencyHistogram(engine="scalar")
+        for value in (0.01, 0.2, 5.0) * 2:
+            reference.observe(value)
+        assert merged.bucket_counts() == reference.bucket_counts()
 
 
 class TestSloTracker:
