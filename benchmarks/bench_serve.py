@@ -20,6 +20,11 @@ and asserts the two guard rails:
   (per-class analyses are cached after discovery, so a control tick
   is a dictionary merge plus an occasional rate re-solve).
 
+Fleet benches ride along: least-loaded scaling rows at N=1/2/4 with
+anti-scaling and trajectory-baseline gates, and hash-router
+epoch-parallel rows at N=8/16 with a ``fleet_jobs=4`` speedup gate
+(>= 2x sequential at N=8, asserted only on >= 4-CPU runners).
+
 A determinism check runs the baseline config twice and requires
 byte-identical reports before any timing is trusted.
 
@@ -30,6 +35,7 @@ so the numbers form a trajectory across commits.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 from datetime import datetime, timezone
@@ -256,6 +262,105 @@ def test_cluster_fleet_scaling():
             f"nodes ran at {current:.0f} events/s, below "
             f"{floor:.0f} ({BASELINE_SLACK}x the last recorded "
             f"{baseline_n4:.0f})"
+        )
+
+
+# Epoch-parallel gates: with >= 4 CPUs, a 4-worker hash-router fleet
+# at N=8 must run >= 2x faster than the sequential loop on the same
+# config.  On smaller runners the speedup is recorded, not asserted
+# (same self-gating as bench_parallel.py).
+PARALLEL_FLEET_NODE_COUNTS = (8, 16)
+PARALLEL_FLEET_JOBS = 4
+MIN_PARALLEL_FLEET_SPEEDUP = 2.0
+MIN_CPUS_FOR_FLEET_ASSERT = 4
+
+HASH_FLEET_BASE = dict(
+    router="hash",
+    profile="poisson",
+    policy="none",
+    mix="olap",
+    duration_s=6.0,
+    rate_per_s=10.0,
+    seed=7,
+)
+
+
+def _timed_hash_fleet(nodes: int, fleet_jobs: int):
+    config = ClusterConfig(nodes=nodes, **HASH_FLEET_BASE)
+    started = time.perf_counter()
+    report = Cluster(config).run(fleet_jobs=fleet_jobs)
+    elapsed = time.perf_counter() - started
+    events = report.generated + sum(
+        r.events["popped"] for r in report.node_reports
+    )
+    return elapsed, events, report
+
+
+def test_cluster_epoch_parallel_scaling():
+    """Hash-router scaling rows at N=8/16 plus the parallel gate.
+
+    Byte-identity comes first: the ``fleet_jobs=4`` report must equal
+    the sequential one exactly before any timing is trusted.  Then the
+    N=8 run must hit ``MIN_PARALLEL_FLEET_SPEEDUP`` with 4 workers —
+    asserted only when the runner has >= 4 CPUs; always recorded in
+    the trajectory either way.
+    """
+    cpus = os.cpu_count() or 1
+
+    scaling = []
+    speedup_n8 = None
+    for nodes in PARALLEL_FLEET_NODE_COUNTS:
+        seq_s, events, seq_report = _timed_hash_fleet(nodes, 1)
+        par_s, _, par_report = _timed_hash_fleet(
+            nodes, PARALLEL_FLEET_JOBS
+        )
+        assert par_report.to_json() == seq_report.to_json(), (
+            f"fleet_jobs={PARALLEL_FLEET_JOBS} diverged from the "
+            f"sequential report at N={nodes}"
+        )
+        speedup = seq_s / par_s
+        if nodes == 8:
+            speedup_n8 = speedup
+        scaling.append({
+            "nodes": nodes,
+            "events": events,
+            "completed": seq_report.completed,
+            "sequential_s": round(seq_s, 4),
+            "parallel_s": round(par_s, 4),
+            "sequential_events_per_s": round(events / seq_s, 1),
+            "parallel_speedup": round(speedup, 2),
+        })
+
+    record = {
+        "created_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "config": {
+            k: HASH_FLEET_BASE[k] for k in sorted(HASH_FLEET_BASE)
+        },
+        "cpu_count": cpus,
+        "fleet_jobs": PARALLEL_FLEET_JOBS,
+        "cluster_parallel": scaling,
+    }
+    _append_trajectory(record)
+    print(f"bench_serve epoch-parallel: {json.dumps(record)}")
+
+    for row in scaling:
+        assert row["completed"] > 0, row
+
+    if cpus >= MIN_CPUS_FOR_FLEET_ASSERT:
+        assert speedup_n8 >= MIN_PARALLEL_FLEET_SPEEDUP, (
+            f"epoch-parallel fleet: {speedup_n8:.2f}x vs sequential "
+            f"at N=8 with {PARALLEL_FLEET_JOBS} workers, "
+            f"need >= {MIN_PARALLEL_FLEET_SPEEDUP:.0f}x"
+        )
+    else:
+        print(
+            f"bench_serve: {cpus} CPU(s) < "
+            f"{MIN_CPUS_FOR_FLEET_ASSERT} — recorded "
+            f"{speedup_n8:.2f}x at N=8 with "
+            f"{PARALLEL_FLEET_JOBS} workers without asserting the "
+            f">= {MIN_PARALLEL_FLEET_SPEEDUP:.0f}x bound"
         )
 
 

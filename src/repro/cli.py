@@ -336,9 +336,19 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help=(
-            "accepted for interface symmetry; the fleet DES is "
-            "inherently sequential (routing reads live node state), "
-            "so the report is byte-identical for any value"
+            "accepted for interface symmetry; the report is "
+            "byte-identical for any value (see --fleet-jobs for "
+            "actual fan-out)"
+        ),
+    )
+    cluster.add_argument(
+        "--fleet-jobs", type=int, default=1, metavar="N",
+        help=(
+            "simulate nodes on N worker processes (hash router "
+            "only — epoch-parallel execution; byte-identical "
+            "reports for any value; stateful routers fall back to "
+            "sequential with a report-recorded warning) "
+            "(default: 1)"
         ),
     )
     cluster.add_argument(
@@ -607,6 +617,13 @@ def _run_cluster(args: argparse.Namespace) -> int:
         print(f"error: --jobs must be >= 1, got {args.jobs}",
               file=sys.stderr)
         return 2
+    if args.fleet_jobs < 1:
+        print(
+            f"error: --fleet-jobs must be >= 1, got "
+            f"{args.fleet_jobs}",
+            file=sys.stderr,
+        )
+        return 2
     seeding.set_seed(args.seed)
     try:
         fleet_seed = seeding.derive("cluster", DEFAULT_ARRIVAL_SEED)
@@ -639,7 +656,7 @@ def _run_cluster(args: argparse.Namespace) -> int:
             with tracer.span("cluster"):
                 report = Cluster(
                     config, engine=args.serve_engine
-                ).run()
+                ).run(fleet_jobs=args.fleet_jobs)
         if args.trace:
             print()
             print(format_spans(tracer.root))
@@ -652,8 +669,12 @@ def _run_cluster(args: argparse.Namespace) -> int:
             f"cluster: nodes={args.nodes} router={args.router} "
             f"policy={args.policy} mix={args.mix} "
             f"profile={args.profile} duration={args.duration:g}s "
-            f"rate={args.rate:g}/s/node seed={label}"
+            f"rate={args.rate:g}/s/node seed={label} "
+            f"fleet-jobs={args.fleet_jobs} "
+            f"epochs={report.execution['epochs']}"
         )
+        for warning in report.execution["warnings"]:
+            print(f"  warning: {warning}")
         print(
             f"  generated={report.generated} "
             f"completed={report.completed} "

@@ -7,7 +7,21 @@ routing layer (consistent hashing, least-loaded, or cache-affinity
 placement), with seeded fault injection and fleet-wide SLO reporting.
 """
 
-from .faults import FaultSpec, seeded_faults, validate_schedule
+from .epoch import (
+    Epoch,
+    FleetPlan,
+    epoch_index_for,
+    plan_fleet,
+    simulate_node_task,
+    split_epochs,
+)
+from .faults import (
+    FaultEvent,
+    FaultSpec,
+    expand_schedule,
+    seeded_faults,
+    validate_schedule,
+)
 from .fleet import (
     CLUSTER_MIXES,
     CLUSTER_PROFILES,
@@ -45,8 +59,11 @@ __all__ = [
     "ClusterNode",
     "ClusterReport",
     "DEFAULT_VIRTUAL_NODES",
+    "Epoch",
     "FLEET_REPORT_VERSION",
+    "FaultEvent",
     "FaultSpec",
+    "FleetPlan",
     "HashRing",
     "HashRouter",
     "LeastLoadedRouter",
@@ -56,8 +73,13 @@ __all__ = [
     "cluster_classes",
     "cluster_olap_mix",
     "cluster_oltp_mix",
+    "epoch_index_for",
+    "expand_schedule",
     "make_router",
+    "plan_fleet",
     "seeded_faults",
+    "simulate_node_task",
+    "split_epochs",
     "tenant_id",
     "validate_schedule",
 ]

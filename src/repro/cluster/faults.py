@@ -54,6 +54,44 @@ class FaultSpec:
         }
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """One side of an outage: a kill or a recovery instant.
+
+    The expanded form of a :class:`FaultSpec` the fleet loop and the
+    epoch planner both consume.
+    """
+
+    time_s: float
+    node: int
+    recover: bool
+    spec: FaultSpec | None = None
+
+
+def expand_schedule(
+    faults: tuple[FaultSpec, ...],
+) -> tuple[FaultEvent, ...]:
+    """Flatten outages into time-ordered kill/recover events.
+
+    Kills sort before recoveries at equal instants, then node order —
+    the processing order the merged heap's fault lane delivers.
+    """
+    events = []
+    for fault in faults:
+        events.append(FaultEvent(
+            fault.kill_at_s, fault.node, recover=False, spec=fault,
+        ))
+        if fault.recover_at_s is not None:
+            events.append(FaultEvent(
+                fault.recover_at_s, fault.node, recover=True,
+                spec=fault,
+            ))
+    return tuple(sorted(
+        events,
+        key=lambda e: (e.time_s, 1 if e.recover else 0, e.node),
+    ))
+
+
 def validate_schedule(
     faults: tuple[FaultSpec, ...], nodes: int
 ) -> tuple[FaultSpec, ...]:

@@ -30,9 +30,22 @@ made fleet throughput *fall* as N grew.
 
 Ties break by (time, lane, index) — pure integers, no hash order — so
 one seed produces one event interleaving and therefore one
-byte-identical fleet report, regardless of ``--jobs`` (the DES is
-inherently sequential: routing reads live queue state, so node
-simulations are coupled and are *not* farmed out to workers).
+byte-identical fleet report, regardless of ``--jobs``.
+
+**Epoch-parallel execution.**  Under the ``hash`` router a routing
+decision reads only the ring and the alive set — never node state — so
+each node's event stream is a pure function of (cluster seed, node
+index, fault schedule).  ``run(fleet_jobs=N)`` then skips the merged
+heap entirely: :mod:`repro.cluster.epoch` splits the timeline into
+epochs at fault boundaries, pre-routes every arrival in a vectorized
+batch, fans the per-node simulations out through ``repro.parallel``
+workers, and this module splices the results back into the same
+canonical report — byte-identical to the sequential loop (the
+equivalence suite in ``tests/test_cluster_parallel.py`` pins it).
+Stateful routers (``least-loaded``, ``affinity``) read live queue
+state per decision, so ``fleet_jobs > 1`` degrades gracefully to the
+sequential loop with a warning recorded in the report's ``execution``
+block.
 
 **Isolation of node state.**  Arrivals reach a node through
 ``node.accept()`` — they never pass through the node's event queue —
@@ -72,8 +85,9 @@ from __future__ import annotations
 
 import heapq
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter_ns
 
 import numpy as np
 
@@ -82,6 +96,7 @@ from ..config import SystemSpec
 from ..errors import ClusterError
 from ..model.calibration import DEFAULT_CALIBRATION, Calibration
 from ..obs import runtime
+from ..parallel import executor as parallel_executor
 from ..serve.admission import AdmissionDecision
 from ..serve.arrivals import (
     DEFAULT_ARRIVAL_SEED,
@@ -91,7 +106,8 @@ from ..serve.arrivals import (
 from ..serve.events import EventKind
 from ..serve.service import POLICIES, SERVE_ENGINES, ServiceConfig
 from ..serve.slo import SloTarget, SloTracker
-from .faults import FaultSpec, validate_schedule
+from .epoch import plan_fleet, simulate_node_task, split_epochs
+from .faults import FaultSpec, expand_schedule, validate_schedule
 from .node import ClusterNode
 from .ring import DEFAULT_VIRTUAL_NODES
 from .router import ROUTERS, Router, make_router
@@ -106,8 +122,12 @@ CLUSTER_PROFILES = ("poisson", "bursty", "diurnal")
 
 #: Fleet report schema version (independent of the per-node
 #: ``serve.service.REPORT_VERSION`` embedded inside it).  Version 2
-#: adds the interval-sampling knobs to the config block.
-FLEET_REPORT_VERSION = 2
+#: adds the interval-sampling knobs to the config block.  Version 3
+#: adds the ``execution`` block — the epoch count and any execution
+#: warnings (e.g. a stateful router degrading ``fleet_jobs`` to the
+#: sequential path).  The block is a pure function of the config, so
+#: reports stay byte-identical across ``fleet_jobs`` values.
+FLEET_REPORT_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -242,10 +262,16 @@ class ClusterReport:
     node_reports: tuple
     router: dict
     faults: tuple
+    #: How the run executed: ``{"epochs": int, "warnings": [...]}``.
+    #: Pure function of the config (the warning text names the
+    #: requested jobs value only on the degraded stateful-router path,
+    #: where cross-jobs byte-identity is not promised).
+    execution: dict
 
     def to_dict(self) -> dict:
         return {
             "fleet_report_version": FLEET_REPORT_VERSION,
+            "execution": self.execution,
             "config": self.config.to_dict(),
             "generated": self.generated,
             "completed": self.completed,
@@ -320,14 +346,6 @@ class _Source:
         )
 
 
-@dataclass
-class _FaultEvent:
-    time_s: float
-    node: int
-    recover: bool
-    spec: FaultSpec = field(repr=False, default=None)
-
-
 class Cluster:
     """Runs one configured fleet simulation to completion."""
 
@@ -396,9 +414,12 @@ class Cluster:
             for index in range(config.nodes)
         ]
         self._sample_grid = config.sample_grid()
-        self._fault_events = self._expand_faults(config.faults)
+        self._fault_events = expand_schedule(config.faults)
+        self._epochs = split_epochs(self._fault_events, config.nodes)
         self._fault_index = 0
         self._alive = set(range(config.nodes))
+        self._alive_frozen = frozenset(self._alive)
+        self._warnings: list[str] = []
         self._fault_log: list[dict] = []
         # Merged event heap: (time, lane, index, version) entries with
         # per-(lane, index) versions for lazy invalidation.
@@ -410,27 +431,6 @@ class Cluster:
         self.failovers = 0
         self.shed_no_node = 0
         self._ran = False
-
-    @staticmethod
-    def _expand_faults(
-        faults: tuple,
-    ) -> list[_FaultEvent]:
-        events = []
-        for fault in faults:
-            events.append(_FaultEvent(
-                fault.kill_at_s, fault.node, recover=False,
-                spec=fault,
-            ))
-            if fault.recover_at_s is not None:
-                events.append(_FaultEvent(
-                    fault.recover_at_s, fault.node, recover=True,
-                    spec=fault,
-                ))
-        # Kills before recoveries at equal instants, then node order.
-        events.sort(
-            key=lambda e: (e.time_s, 1 if e.recover else 0, e.node)
-        )
-        return events
 
     # -- lanes ---------------------------------------------------------
     #
@@ -487,6 +487,7 @@ class Cluster:
         if event.recover:
             node.recover(event.time_s)
             self._alive.add(event.node)
+            self._alive_frozen = frozenset(self._alive)
             self._fault_log.append({
                 "time_s": round(event.time_s, 9),
                 "node": event.node,
@@ -495,6 +496,7 @@ class Cluster:
             return
         lost = node.fail(event.time_s)
         self._alive.discard(event.node)
+        self._alive_frozen = frozenset(self._alive)
         if lost:
             runtime.metrics.counter("cluster.shed").inc(lost)
         self._fault_log.append({
@@ -514,9 +516,23 @@ class Cluster:
         key = tenant_id(cls.tenant, tenant_index)
         self.generated += 1
         source.generated += 1
-        decision = self.router.route(
-            index, key, cls, self.nodes, frozenset(self._alive)
-        )
+        metrics = runtime.metrics
+        if metrics.enabled:
+            # cluster.route_ns: aggregate time inside the routing
+            # policy — the win from the precomputed hash tables shows
+            # up here.  The clock reads are gated on observability so
+            # the silent hot path stays two calls cheaper.
+            route_started = perf_counter_ns()
+            decision = self.router.route(
+                index, key, cls, self.nodes, self._alive_frozen
+            )
+            metrics.counter("cluster.route_ns").inc(
+                perf_counter_ns() - route_started
+            )
+        else:
+            decision = self.router.route(
+                index, key, cls, self.nodes, self._alive_frozen
+            )
         runtime.metrics.counter("cluster.routed").inc()
         if decision.failover:
             self.failovers += 1
@@ -541,18 +557,45 @@ class Cluster:
 
     # -- the loop ------------------------------------------------------
 
-    def run(self) -> ClusterReport:
-        """Run to completion (sources stop at the horizon, then drain)."""
+    def run(self, fleet_jobs: int = 1) -> ClusterReport:
+        """Run to completion (sources stop at the horizon, then drain).
+
+        ``fleet_jobs > 1`` runs the node simulations on worker
+        processes when the router is stateless (``hash``) — the report
+        is byte-identical to the sequential loop for any value.
+        Stateful routers fall back to the sequential path and record a
+        warning in the report's ``execution`` block.
+        """
         if self._ran:
             raise ClusterError("a Cluster instance runs exactly once")
+        if fleet_jobs < 1:
+            raise ClusterError(
+                f"fleet_jobs must be >= 1: {fleet_jobs}"
+            )
         self._ran = True
         config = self.config
+        if fleet_jobs > 1 and config.nodes > 1:
+            if config.router == "hash":
+                return self._run_parallel(
+                    min(fleet_jobs, config.nodes)
+                )
+            self._warnings.append(
+                f"fleet_jobs={fleet_jobs} requested but router "
+                f"{config.router!r} reads live node state per "
+                "decision; ran sequentially"
+            )
+            runtime.metrics.counter(
+                "cluster.parallel.fallbacks"
+            ).inc()
         with runtime.tracer.span(
             "cluster.run",
             nodes=config.nodes,
             router=config.router,
             policy=config.policy,
         ):
+            runtime.metrics.counter("cluster.epoch.count").inc(
+                len(self._epochs)
+            )
             for source in self._sources:
                 source.pull(0.0, config.duration_s, self._sample_grid)
             for node in self.nodes:
@@ -567,28 +610,213 @@ class Cluster:
             for index in range(config.nodes):
                 self._refresh_lane(1, index)
                 self._refresh_lane(2, index)
+            # Bound locals: the loop body runs once per fleet event,
+            # so attribute lookups on self are paid millions of times.
+            pop_candidate = self._pop_candidate
+            process_fault = self._process_fault
+            process_arrival = self._process_arrival
+            refresh_lane = self._refresh_lane
+            nodes = self.nodes
             while True:
-                candidate = self._pop_candidate()
+                candidate = pop_candidate()
                 if candidate is None:
                     break
                 _, lane, index = candidate
                 if lane == 0:
-                    self._process_fault()
+                    process_fault()
                 elif lane == 1:
-                    node = self.nodes[index]
+                    node = nodes[index]
                     node.dispatch(node.queue.pop())
-                    self._refresh_lane(1, index)
+                    refresh_lane(1, index)
                 else:
-                    self._process_arrival(index)
+                    process_arrival(index)
             for node in self.nodes:
                 node.close_downtime(
                     max(config.duration_s,
                         *(n.clock.now for n in self.nodes))
                 )
-        return self._report()
+        return self._assemble_report(
+            tuple(node.report() for node in self.nodes)
+        )
 
-    def _report(self) -> ClusterReport:
-        node_reports = tuple(node.report() for node in self.nodes)
+    def _run_parallel(self, jobs: int) -> ClusterReport:
+        """The epoch-parallel path: plan, fan out, splice (hash only).
+
+        Workers are pre-warmed with the parent's solve memo and their
+        additions merge back after every wave, so later waves never
+        re-solve a composition an earlier wave already paid for — the
+        cross-node sharing the sequential loop gets for free.  Sharing
+        changes cost, never results: a node still counts its own
+        ``rate_solves`` on a local cache miss.
+        """
+        config = self.config
+        metrics = runtime.metrics
+        with runtime.tracer.span(
+            "cluster.run",
+            nodes=config.nodes,
+            router=config.router,
+            policy=config.policy,
+            fleet_jobs=jobs,
+        ):
+            metrics.counter("cluster.epoch.count").inc(
+                len(self._epochs)
+            )
+            with runtime.tracer.span("cluster.plan"):
+                plan = plan_fleet(
+                    config, self._sources, self._fault_events,
+                    self.router,
+                )
+            metrics.counter("cluster.routed").inc(plan.generated)
+            metrics.counter("cluster.failover").inc(plan.failovers)
+            metrics.counter("cluster.shed").inc(plan.shed_no_node)
+            metrics.counter("cluster.parallel.tasks").inc(
+                config.nodes
+            )
+            observe = (
+                runtime.tracer.enabled or runtime.metrics.enabled
+            )
+            run_seed = seeding.get_seed()
+            results: list = [None] * config.nodes
+            # Inherit the ambient caching configuration (including a
+            # configured simcache disk layer) so worker-side solves
+            # share whatever storage the caller set up.
+            ambient = parallel_executor.current()
+            with parallel_executor.parallel_context(
+                jobs=jobs,
+                cache_enabled=ambient.cache_enabled,
+                disk_dir=ambient.disk_dir,
+                capacity=ambient.capacity,
+            ) as context:
+                pool = context.pool()
+                for start in range(0, config.nodes, jobs):
+                    indices = range(
+                        start, min(start + jobs, config.nodes)
+                    )
+                    # Snapshot once per wave: every worker in the wave
+                    # starts from the same pre-warmed memo.
+                    memo = dict(self.solve_memo)
+                    futures = {
+                        index: pool.submit(simulate_node_task, {
+                            "index": index,
+                            "config": config,
+                            "spec": self.spec,
+                            "calibration": self.calibration,
+                            "engine": self.engine,
+                            "arrivals": plan.node_arrivals[index],
+                            "faults": plan.node_faults[index],
+                            "memo": memo,
+                            "run_seed": run_seed,
+                            "observe": observe,
+                            "cache_enabled": ambient.cache_enabled,
+                            "disk_dir": (
+                                None if ambient.disk_dir is None
+                                else str(ambient.disk_dir)
+                            ),
+                            "capacity": ambient.capacity,
+                        })
+                        for index in indices
+                    }
+                    for index in indices:
+                        payload = futures[index].result()
+                        results[index] = payload
+                        additions = payload["memo_additions"]
+                        self.solve_memo.update(additions)
+                        metrics.counter(
+                            "cluster.parallel.memo_merged"
+                        ).inc(len(additions))
+                    metrics.counter("cluster.parallel.waves").inc()
+            self._splice(plan, results)
+        return self._assemble_report(
+            tuple(payload["report"] for payload in results)
+        )
+
+    def _splice(self, plan, results: list[dict]) -> None:
+        """Fold worker payloads back into the parent's fleet state.
+
+        After this the parent nodes carry the same counters, caches,
+        SLO trackers and liveness state a sequential run would have
+        left on them — the report assembly and post-run introspection
+        are path-independent.
+        """
+        metrics = runtime.metrics
+        tracer = runtime.tracer
+        for payload in results:
+            if payload["spans"] is not None:
+                tracer.merge_span_dict(payload["spans"])
+            if payload["metrics"] is not None and metrics.enabled:
+                metrics.merge(payload["metrics"])
+        self.generated = plan.generated
+        self.forwarded = plan.forwarded
+        self.failovers = plan.failovers
+        self.shed_no_node = plan.shed_no_node
+        self._fault_index = len(self._fault_events)
+        self._alive = set(plan.epochs[-1].alive)
+        self._alive_frozen = frozenset(self._alive)
+        cursors = [0] * self.config.nodes
+        total_lost = 0
+        for event in self._fault_events:
+            if event.recover:
+                self._fault_log.append({
+                    "time_s": round(event.time_s, 9),
+                    "node": event.node,
+                    "event": "recover",
+                })
+                continue
+            lost = results[event.node]["fault_lost"][
+                cursors[event.node]
+            ]
+            cursors[event.node] += 1
+            total_lost += lost
+            self._fault_log.append({
+                "time_s": round(event.time_s, 9),
+                "node": event.node,
+                "event": "kill",
+                "lost": lost,
+            })
+        if total_lost:
+            metrics.counter("cluster.shed").inc(total_lost)
+        horizon = max(
+            self.config.duration_s,
+            *(payload["clock_now"] for payload in results),
+        )
+        for index, (node, payload) in enumerate(
+            zip(self.nodes, results)
+        ):
+            node.routed_in = plan.routed_in[index]
+            node.forwarded_in = plan.forwarded_in[index]
+            node.failover_in = plan.failover_in[index]
+            node.alive = payload["alive"]
+            node._failed_at = payload["failed_at"]
+            node.downtime_s = payload["downtime_s"]
+            node.kills = payload["kills"]
+            node.failure_shed = payload["failure_shed"]
+            node.admission.shed = payload["shed_admission"]
+            node.clock.advance_to(payload["clock_now"])
+            node.slo = payload["slo"]
+            node.rate_solves = payload["rate_solves"]
+            node.rate_cache_hits = payload["rate_cache_hits"]
+            cache = node.rate_cache
+            if hasattr(cache, "load"):
+                cache.load(payload["rate_cache_entries"])
+                cache.evictions = payload["rate_cache_evictions"]
+            else:
+                cache.update(dict(payload["rate_cache_entries"]))
+            # Same downtime closure the sequential loop applies, with
+            # the same global horizon (max over every node's clock).
+            node.close_downtime(horizon)
+
+    def _execution_block(self) -> dict:
+        """The report's ``execution`` entry (path-independent)."""
+        return {
+            "epochs": len(self._epochs),
+            "warnings": list(self._warnings),
+        }
+
+    def _assemble_report(
+        self, node_reports: tuple
+    ) -> ClusterReport:
+        """The canonical fleet report from per-node reports plus the
+        fleet state both execution paths leave on ``self``."""
         fleet_slo = SloTracker((
             SloTarget("olap", p99_s=self.config.olap_p99_s),
             SloTarget("oltp", p99_s=self.config.oltp_p99_s),
@@ -641,4 +869,5 @@ class Cluster:
                     key=lambda f: (f.kill_at_s, f.node),
                 )
             ),
+            execution=self._execution_block(),
         )

@@ -59,6 +59,9 @@ class HashRing:
             for vnode in range(virtual_nodes)
         )
         self._positions = [position for position, _ in self._points]
+        # Key digests are pure and the tenant population is small, so
+        # the SHA-256 per lookup amortizes to one per distinct key.
+        self._digests: dict[str, int] = {}
 
     def owner(
         self, key: str, alive: Iterable[int] | None = None
@@ -69,7 +72,10 @@ class HashRing:
         living = None if alive is None else frozenset(alive)
         if living is not None and not living:
             return None
-        start = bisect_right(self._positions, _digest(key))
+        position = self._digests.get(key)
+        if position is None:
+            position = self._digests[key] = _digest(key)
+        start = bisect_right(self._positions, position)
         count = len(self._points)
         for step in range(count):
             _, node = self._points[(start + step) % count]

@@ -83,15 +83,29 @@ class HashRouter(Router):
         self, nodes: int, virtual_nodes: int = DEFAULT_VIRTUAL_NODES
     ) -> None:
         self.ring = HashRing(nodes, virtual_nodes)
+        # Decisions depend only on (key, alive set) and both
+        # populations are tiny (tenants x topology states), so the
+        # ring walk runs once per pair and every repeat is one dict
+        # hit.  ``RouteDecision`` is frozen — sharing instances is
+        # safe.
+        self._decisions: dict[
+            tuple[str, frozenset[int]], RouteDecision
+        ] = {}
+        self._preferred: dict[str, int] = {}
 
     def route(self, source, key, cls, nodes, alive) -> RouteDecision:
-        preferred = self.ring.owner(key)
-        target = self.ring.owner(key, alive)
-        if target is None:
-            return RouteDecision(target=None, failover=True)
-        return RouteDecision(
-            target=target, failover=target != preferred
-        )
+        decision = self._decisions.get((key, alive))
+        if decision is None:
+            preferred = self._preferred.get(key)
+            if preferred is None:
+                preferred = self._preferred[key] = self.ring.owner(key)
+            target = self.ring.owner(key, alive)
+            decision = RouteDecision(
+                target=target,
+                failover=target is None or target != preferred,
+            )
+            self._decisions[(key, alive)] = decision
+        return decision
 
     def describe(self) -> dict:
         return {

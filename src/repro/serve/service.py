@@ -141,6 +141,20 @@ class RateCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def export(self) -> tuple:
+        """Entries in recency order (oldest first), picklable.
+
+        The cross-process merge format: a worker exports its cache at
+        the end of a node simulation and the parent :meth:`load`\\ s it,
+        reproducing both contents and LRU order.
+        """
+        return tuple(self._entries.items())
+
+    def load(self, entries) -> None:
+        """Replay exported entries into this cache (recency order)."""
+        for key, value in entries:
+            self[key] = value
+
 
 @dataclass(frozen=True)
 class ServiceConfig:

@@ -231,10 +231,15 @@ class TestClusterCommand:
         assert "fleet olap" in first
         path = tmp_path / "cluster-hash-n2-seed7.json"
         first_bytes = path.read_bytes()
-        # Byte-identical on a rerun, and for any --jobs value (the
-        # fleet DES is sequential; --jobs is interface symmetry only).
+        # Byte-identical on a rerun, for any --jobs value, and for any
+        # --fleet-jobs value (the epoch-parallel path must splice back
+        # into exactly the sequential report).
         assert main(argv + ["--jobs", "4"]) == 0
         capsys.readouterr()
+        assert path.read_bytes() == first_bytes
+        assert main(argv + ["--fleet-jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet-jobs=2" in out
         assert path.read_bytes() == first_bytes
         payload = json.loads(first_bytes)
         assert payload["config"]["nodes"] == 2
@@ -243,6 +248,12 @@ class TestClusterCommand:
         tenants = [v["tenant"] for v in payload["fleet_slo"]]
         assert tenants == sorted(tenants)
         assert {"batch", "olap", "oltp"} <= set(tenants)
+
+    def test_rejects_nonpositive_fleet_jobs(self, tmp_path, capsys):
+        code = main(["cluster", "--nodes", "2", "--fleet-jobs", "0",
+                     "--out", str(tmp_path)])
+        capsys.readouterr()
+        assert code == 2
 
     def test_cluster_seed_cleared_after_run(self, tmp_path, capsys):
         from repro import seeding

@@ -76,7 +76,9 @@ class TestConservationAndReport:
     def test_report_structure_roundtrips_as_json(self):
         report = _run()
         payload = json.loads(report.to_json())
-        assert payload["fleet_report_version"] == 2
+        assert payload["fleet_report_version"] == 3
+        assert payload["execution"]["epochs"] == 1
+        assert payload["execution"]["warnings"] == []
         assert len(payload["nodes"]) == 2
         for node in payload["nodes"]:
             # Each node embeds a full v3 single-node service report.
@@ -188,6 +190,20 @@ class TestScalingMachinery:
             return cluster.nodes[0].rate_solves
 
         assert node0_solves(1) == node0_solves(4)
+
+    def test_node_solves_independent_of_fleet_jobs(self):
+        # Workers are pre-warmed from the parent memo snapshot per
+        # wave, so a node's rate_solves counts the same cache misses
+        # whether the fleet runs sequentially or across processes.
+        def solves(fleet_jobs):
+            cluster = Cluster(ClusterConfig(
+                nodes=4, router="hash", policy="none",
+                duration_s=3.0, rate_per_s=6.0, seed=7,
+            ))
+            cluster.run(fleet_jobs=fleet_jobs)
+            return [node.rate_solves for node in cluster.nodes]
+
+        assert solves(1) == solves(4)
 
     def test_frontier_heap_drains_clean(self):
         cluster = Cluster(ClusterConfig(

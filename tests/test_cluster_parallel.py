@@ -1,0 +1,186 @@
+"""Sequential-vs-parallel fleet equivalence (epoch-parallel engine).
+
+The contract: under the stateless ``hash`` router, ``run(fleet_jobs=N)``
+produces a fleet report **byte-identical** to the sequential merged-heap
+loop for any N — same JSON, same node counters, same histograms — with
+or without faults, sampling, or an adaptive controller.  Stateful
+routers degrade gracefully to the sequential path and say so in the
+report's ``execution`` block.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    Cluster,
+    ClusterConfig,
+    FaultSpec,
+    epoch_index_for,
+    expand_schedule,
+    plan_fleet,
+    split_epochs,
+)
+from repro.errors import ClusterError
+
+FAULTS = (FaultSpec(1, 1.0, 2.0), FaultSpec(2, 1.5, None))
+
+
+def _config(**overrides) -> ClusterConfig:
+    defaults = dict(
+        nodes=4, router="hash", policy="none", duration_s=3.0,
+        rate_per_s=6.0, seed=7,
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def _json(fleet_jobs=1, **overrides) -> str:
+    cluster = Cluster(_config(**overrides))
+    return cluster.run(fleet_jobs=fleet_jobs).to_json()
+
+
+class TestJobsEquivalence:
+    @pytest.mark.parametrize(
+        "profile", ["poisson", "bursty", "diurnal"]
+    )
+    def test_profiles_byte_identical_across_jobs(self, profile):
+        sequential = _json(1, profile=profile)
+        for jobs in (2, 4):
+            assert _json(jobs, profile=profile) == sequential
+
+    def test_fault_schedule_byte_identical(self):
+        # Mid-run kill + recover plus an unrecovered kill: the
+        # parallel path must reproduce failovers, shed accounting,
+        # downtime closure and the fault log exactly.
+        sequential = _json(1, faults=FAULTS, rate_per_s=8.0)
+        assert _json(4, faults=FAULTS, rate_per_s=8.0) == sequential
+        payload = json.loads(sequential)
+        # kill@1.0, recover@2.0, kill@1.5 -> three boundaries.
+        assert payload["execution"]["epochs"] == 4
+
+    def test_adaptive_policy_byte_identical(self):
+        # Controllers run full analysis sweeps inside forked workers
+        # (each installs a sequential parallel context); results must
+        # still match the in-process run bit-for-bit.
+        sequential = _json(1, policy="adaptive", nodes=2)
+        assert _json(2, policy="adaptive", nodes=2) == sequential
+
+    def test_sampled_run_byte_identical(self):
+        kwargs = dict(
+            duration_s=6.0, sample_window_s=1.0, sample_period=3,
+        )
+        assert _json(4, **kwargs) == _json(1, **kwargs)
+
+    def test_excess_jobs_clamp_to_fleet_size(self):
+        assert _json(16, nodes=2) == _json(1, nodes=2)
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ClusterError):
+            Cluster(_config()).run(fleet_jobs=0)
+
+
+class TestSeedSweep:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_any_seed_byte_identical(self, seed):
+        kwargs = dict(
+            nodes=3, duration_s=2.0, rate_per_s=5.0, seed=seed,
+        )
+        assert _json(3, **kwargs) == _json(1, **kwargs)
+
+
+class TestEpochSplitting:
+    def test_boundary_fault_opens_exactly_one_epoch(self):
+        events = expand_schedule((FaultSpec(1, 1.0, 2.0),))
+        epochs = split_epochs(events, nodes=3)
+        assert [e.start_s for e in epochs] == [0.0, 1.0, 2.0]
+        # Each fault event belongs to exactly one epoch.
+        placed = [ev for epoch in epochs for ev in epoch.events]
+        assert placed == list(events)
+        assert epochs[0].alive == frozenset({0, 1, 2})
+        assert epochs[1].alive == frozenset({0, 2})
+        assert epochs[2].alive == frozenset({0, 1, 2})
+
+    def test_simultaneous_events_share_one_epoch(self):
+        events = expand_schedule((
+            FaultSpec(0, 1.0, 2.0), FaultSpec(1, 1.0, 2.0),
+        ))
+        epochs = split_epochs(events, nodes=3)
+        assert [e.start_s for e in epochs] == [0.0, 1.0, 2.0]
+        assert len(epochs[1].events) == 2  # both kills at t=1.0
+        assert epochs[1].alive == frozenset({2})
+        assert len(epochs[2].events) == 2  # both recoveries
+        assert epochs[2].alive == frozenset({0, 1, 2})
+
+    def test_boundary_arrival_lands_post_fault(self):
+        # The heap orders lane 0 (faults) before lane 2 (arrivals) at
+        # equal times, so an arrival exactly at a boundary belongs to
+        # the post-fault epoch.
+        events = expand_schedule((FaultSpec(0, 1.0, 2.0),))
+        epochs = split_epochs(events, nodes=2)
+        assert epoch_index_for(epochs, 0.999999) == 0
+        assert epoch_index_for(epochs, 1.0) == 1
+        assert epoch_index_for(epochs, 1.5) == 1
+        assert epoch_index_for(epochs, 2.0) == 2
+        assert epoch_index_for(epochs, 99.0) == 2
+
+    def test_empty_schedule_is_one_epoch(self):
+        epochs = split_epochs((), nodes=4)
+        assert len(epochs) == 1
+        assert epochs[0].start_s == 0.0
+        assert epochs[0].alive == frozenset(range(4))
+
+
+class TestPlanConsistency:
+    def test_plan_counters_match_sequential_report(self):
+        config = _config(faults=FAULTS, rate_per_s=8.0)
+        planned = Cluster(config)
+        plan = plan_fleet(
+            config, planned._sources, planned._fault_events,
+            planned.router,
+        )
+        report = Cluster(config).run()
+        assert plan.generated == report.generated
+        assert plan.forwarded == report.forwarded
+        assert plan.failovers == report.failovers
+        assert plan.shed_no_node == report.shed_no_node
+        for index, stats in enumerate(report.node_stats):
+            assert plan.routed_in[index] == stats["routed_in"]
+            assert plan.sourced[index] == stats["sourced"]
+
+    def test_plan_rejects_stateful_router(self):
+        config = _config(router="least-loaded")
+        cluster = Cluster(config)
+        with pytest.raises(ClusterError):
+            plan_fleet(
+                config, cluster._sources, cluster._fault_events,
+                cluster.router,
+            )
+
+
+class TestStatefulFallback:
+    @pytest.mark.parametrize("router", ["least-loaded", "affinity"])
+    def test_fallback_records_warning(self, router):
+        report = Cluster(_config(router=router)).run(fleet_jobs=4)
+        warnings = report.execution["warnings"]
+        assert len(warnings) == 1
+        assert "fleet_jobs=4" in warnings[0]
+        assert router in warnings[0]
+        assert "ran sequentially" in warnings[0]
+        assert report.generated > 0  # the run still completed
+
+    def test_hash_parallel_report_has_no_warnings(self):
+        report = Cluster(_config()).run(fleet_jobs=4)
+        assert report.execution["warnings"] == []
+
+    def test_single_node_fleet_stays_sequential(self):
+        # Nothing to fan out; no warning either (not a degradation).
+        report = Cluster(_config(nodes=1)).run(fleet_jobs=4)
+        assert report.execution["warnings"] == []
