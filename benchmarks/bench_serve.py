@@ -364,6 +364,74 @@ def test_cluster_epoch_parallel_scaling():
         )
 
 
+# Planned-vs-reactive row: the ext-planner scenario (diurnal
+# OLAP->OLTP shift) under the forecast-driven planner and the
+# reactive adaptive controller.  Gate: planned never does worse than
+# reactive on fleet OLAP p99 (and the reconfiguration counts are
+# recorded alongside — the planner should pay far fewer transitions).
+PLANNED_BASE = dict(
+    nodes=4,
+    profile="diurnal",
+    mix="shift",
+    duration_s=6.0,
+    rate_per_s=16.0,
+    seed=0xA11CE,
+)
+
+
+def test_cluster_planned_vs_reactive():
+    from repro.planner import training_from_report
+
+    training_report = Cluster(ClusterConfig(
+        router="hash", policy="none", **PLANNED_BASE
+    )).run()
+    training = training_from_report(training_report.to_dict())
+
+    started = time.perf_counter()
+    planned = Cluster(ClusterConfig(
+        router="planned", policy="planned", plan_training=training,
+        **PLANNED_BASE
+    )).run()
+    planned_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    reactive = Cluster(ClusterConfig(
+        router="hash", policy="adaptive", **PLANNED_BASE
+    )).run()
+    reactive_s = time.perf_counter() - started
+
+    planned_p99 = planned.fleet_verdict_for("olap").p99_s
+    reactive_p99 = reactive.fleet_verdict_for("olap").p99_s
+    planned_reconfigs = planned.planner["reconfigurations"]
+    reactive_reconfigs = sum(
+        r.controller.get("reconfigurations", 0)
+        for r in reactive.node_reports
+    )
+
+    record = {
+        "created_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "config": {k: PLANNED_BASE[k] for k in sorted(PLANNED_BASE)},
+        "planned_vs_reactive": {
+            "planned_p99_olap_s": round(planned_p99, 4),
+            "reactive_p99_olap_s": round(reactive_p99, 4),
+            "planned_reconfigurations": planned_reconfigs,
+            "reactive_reconfigurations": reactive_reconfigs,
+            "planned_wall_s": round(planned_s, 4),
+            "reactive_wall_s": round(reactive_s, 4),
+        },
+    }
+    _append_trajectory(record)
+    print(f"bench_serve planned: {json.dumps(record)}")
+
+    assert planned.completed > 0 and reactive.completed > 0
+    assert planned_p99 <= reactive_p99, (
+        f"planned fleet OLAP p99 regressed past reactive: "
+        f"{planned_p99:.3f}s vs {reactive_p99:.3f}s"
+    )
+
+
 SAMPLED_SMOKE = dict(
     profile="poisson",
     policy="none",

@@ -31,6 +31,7 @@ the sequential run — parallelism only changes wall-clock time (see
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -51,6 +52,7 @@ from .parallel.worker import run_experiment_task
 from .experiments import (
     ext_baselines,
     ext_cluster,
+    ext_planner,
     ext_scheduling,
     ext_service,
     ext_skew,
@@ -82,6 +84,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., object], str]] = {
         "sharded fleet: routing policy x node count x load",
     ),
     "ext-coloring": (ext_baselines.main, "CAT vs page coloring"),
+    "ext-planner": (
+        ext_planner.main,
+        "forecast-driven blueprint planning vs reactive adaptation",
+    ),
     "ext-service": (
         ext_service.main,
         "open-loop query service: load sweep + adaptive mix shift",
@@ -288,12 +294,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet size (default: 2)",
     )
     cluster.add_argument(
-        "--router", choices=("hash", "least-loaded", "affinity"),
+        "--router",
+        choices=("hash", "least-loaded", "affinity", "planned"),
         default="hash",
         help=(
             "routing policy: consistent hashing on tenant id, "
-            "shortest admission queue, or cache-affinity placement "
-            "(default: hash)"
+            "shortest admission queue, cache-affinity placement, or "
+            "planner-installed blueprint homes (default: hash; "
+            "--policy planned implies planned)"
         ),
     )
     cluster.add_argument(
@@ -302,15 +310,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-node arrival process (default: poisson)",
     )
     cluster.add_argument(
-        "--policy", choices=("none", "static", "adaptive"),
+        "--policy",
+        choices=("none", "static", "adaptive", "planned"),
         default="adaptive",
-        help="per-node CAT partitioning policy (default: adaptive)",
+        help=(
+            "per-node CAT partitioning policy; 'planned' hands "
+            "partitioning and placement to the fleet planner "
+            "(default: adaptive)"
+        ),
     )
     cluster.add_argument(
-        "--mix", choices=("olap", "oltp"), default="olap",
+        "--mix", choices=("olap", "oltp", "shift"), default="olap",
         help=(
-            "fleet workload mix over the three tenant groups "
-            "(default: olap)"
+            "fleet workload mix over the three tenant groups; "
+            "'shift' starts OLAP-heavy and flips to OLTP-heavy at "
+            "--shift-at (default: olap)"
+        ),
+    )
+    cluster.add_argument(
+        "--shift-at", type=float, default=None, metavar="SECONDS",
+        help=(
+            "with --mix shift: the flip time in simulated seconds "
+            "(default: half the duration)"
         ),
     )
     cluster.add_argument(
@@ -380,6 +401,62 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "leading fraction of each simulated window treated as "
             "warmup (default: 0.5)"
+        ),
+    )
+    cluster.add_argument(
+        "--plan-interval", type=float, default=2.0,
+        metavar="SECONDS",
+        help=(
+            "planned policy: replanning tick period in simulated "
+            "seconds (default: 2)"
+        ),
+    )
+    cluster.add_argument(
+        "--plan-horizon", type=float, default=4.0,
+        metavar="SECONDS",
+        help=(
+            "planned policy: forecast look-ahead in simulated "
+            "seconds (default: 4)"
+        ),
+    )
+    cluster.add_argument(
+        "--plan-downtime", type=float, default=0.25,
+        metavar="SECONDS",
+        help=(
+            "planned policy: per-migration tenant blackout in "
+            "simulated seconds (default: 0.25)"
+        ),
+    )
+    cluster.add_argument(
+        "--plan-forecaster", choices=("ewma", "seasonal"),
+        default="seasonal",
+        help=(
+            "planned policy: per-tenant arrival forecaster "
+            "(default: seasonal)"
+        ),
+    )
+    cluster.add_argument(
+        "--plan-margin", type=float, default=0.1,
+        metavar="FRACTION",
+        help=(
+            "planned policy: hysteresis — a candidate blueprint must "
+            "beat the incumbent's predicted score by this relative "
+            "margin to trigger a transition (default: 0.1)"
+        ),
+    )
+    cluster.add_argument(
+        "--plan-period", type=float, default=None,
+        metavar="SECONDS",
+        help=(
+            "planned policy: seasonal period in simulated seconds "
+            "(default: the run duration)"
+        ),
+    )
+    cluster.add_argument(
+        "--plan-train", default=None, metavar="REPORT",
+        help=(
+            "planned policy: warm-start the forecasters from a "
+            "recorded fleet report's arrival_windows block"
         ),
     )
     cluster.add_argument(
@@ -610,7 +687,8 @@ def _run_serve(args: argparse.Namespace) -> int:
 def _run_cluster(args: argparse.Namespace) -> int:
     """Run one fleet simulation and write its report."""
     from .cluster import Cluster, ClusterConfig, seeded_faults
-    from .errors import ClusterError
+    from .errors import ClusterError, PlannerError
+    from .planner import training_from_report
     from .serve.arrivals import DEFAULT_ARRIVAL_SEED
 
     if args.jobs < 1:
@@ -624,6 +702,26 @@ def _run_cluster(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    # The planned policy and the planned router are one feature; let
+    # `--policy planned` alone select both rather than demanding the
+    # redundant `--router planned`.
+    if args.policy == "planned" and args.router == "hash":
+        args.router = "planned"
+    training: tuple = ()
+    if args.plan_train is not None:
+        try:
+            with open(args.plan_train, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            training = training_from_report(payload)
+        except OSError as error:
+            print(
+                f"error: cannot read --plan-train report: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        except (json.JSONDecodeError, PlannerError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     seeding.set_seed(args.seed)
     try:
         fleet_seed = seeding.derive("cluster", DEFAULT_ARRIVAL_SEED)
@@ -648,6 +746,14 @@ def _run_cluster(args: argparse.Namespace) -> int:
                 sample_window_s=args.sample_window,
                 sample_period=args.sample_period,
                 sample_warmup=args.sample_warmup,
+                shift_at_s=args.shift_at,
+                plan_interval_s=args.plan_interval,
+                plan_horizon_s=args.plan_horizon,
+                plan_downtime_s=args.plan_downtime,
+                plan_forecaster=args.plan_forecaster,
+                plan_period_s=args.plan_period,
+                plan_margin=args.plan_margin,
+                plan_training=training,
             )
         except ClusterError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -684,6 +790,16 @@ def _run_cluster(args: argparse.Namespace) -> int:
             f"failure={report.shed_failure} "
             f"no-node={report.shed_no_node})"
         )
+        if report.planner.get("enabled"):
+            planner = report.planner
+            schemes = ",".join(planner["blueprint"]["schemes"])
+            print(
+                f"  planner: ticks={planner['ticks']} "
+                f"reconfigurations={planner['reconfigurations']} "
+                f"migrated={planner['migrated_tenants']} "
+                f"deferred={planner['deferred_requests']} "
+                f"schemes=[{schemes}]"
+            )
         for verdict in report.fleet_slo:
             status = "OK" if verdict.ok else "VIOLATED"
             print(

@@ -24,6 +24,7 @@ from .faults import (
 )
 from .fleet import (
     CLUSTER_MIXES,
+    CLUSTER_POLICIES,
     CLUSTER_PROFILES,
     FLEET_REPORT_VERSION,
     Cluster,
@@ -37,6 +38,7 @@ from .router import (
     AffinityRouter,
     HashRouter,
     LeastLoadedRouter,
+    PlannedRouter,
     RouteDecision,
     Router,
     make_router,
@@ -53,6 +55,7 @@ __all__ = [
     "AffinityRouter",
     "BATCH_TENANT",
     "CLUSTER_MIXES",
+    "CLUSTER_POLICIES",
     "CLUSTER_PROFILES",
     "Cluster",
     "ClusterConfig",
@@ -67,6 +70,7 @@ __all__ = [
     "HashRing",
     "HashRouter",
     "LeastLoadedRouter",
+    "PlannedRouter",
     "ROUTERS",
     "RouteDecision",
     "Router",

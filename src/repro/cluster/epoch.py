@@ -30,6 +30,7 @@ stay on the sequential path.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass
 
@@ -40,6 +41,7 @@ from ..errors import ClusterError
 from ..obs.runtime import observing
 from ..parallel.executor import parallel_context
 from ..serve.events import EventKind
+from ..serve.service import ARRIVAL_WINDOW_S
 from .faults import FaultEvent
 from .workload import tenant_id
 
@@ -130,6 +132,10 @@ class FleetPlan:
     forwarded_in: list[int]
     failover_in: list[int]
     sourced: list[int]
+    #: Fleet-level per-window arrival counts (same layout the
+    #: sequential loop accumulates — one dict per ARRIVAL_WINDOW_S).
+    class_windows: list[dict]
+    tenant_windows: list[dict]
 
 
 def plan_fleet(config, sources, fault_events, router) -> FleetPlan:
@@ -156,6 +162,9 @@ def plan_fleet(config, sources, fault_events, router) -> FleetPlan:
     key_codes: list[int] = []
     interned: dict[str, int] = {}
     sourced = [0] * config.nodes
+    window_count = max(1, math.ceil(horizon / ARRIVAL_WINDOW_S))
+    class_windows: list[dict] = [{} for _ in range(window_count)]
+    tenant_windows: list[dict] = [{} for _ in range(window_count)]
     for index, source in enumerate(sources):
         source.pull(0.0, horizon, grid)
         tenant_rng = source.tenant_rng
@@ -174,6 +183,13 @@ def plan_fleet(config, sources, fault_events, router) -> FleetPlan:
             key_codes.append(code)
             sourced[index] += 1
             source.generated += 1
+            window = min(
+                int(timestamp / ARRIVAL_WINDOW_S), window_count - 1
+            )
+            counts = class_windows[window]
+            counts[cls.name] = counts.get(cls.name, 0) + 1
+            counts = tenant_windows[window]
+            counts[cls.tenant] = counts.get(cls.tenant, 0) + 1
             source.pull(timestamp, horizon, grid)
 
     generated = len(times)
@@ -252,6 +268,8 @@ def plan_fleet(config, sources, fault_events, router) -> FleetPlan:
         forwarded_in=forwarded_in,
         failover_in=failover_in,
         sourced=sourced,
+        class_windows=class_windows,
+        tenant_windows=tenant_windows,
     )
 
 

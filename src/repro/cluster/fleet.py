@@ -85,6 +85,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter_ns
@@ -93,10 +94,16 @@ import numpy as np
 
 from .. import seeding
 from ..config import SystemSpec
-from ..errors import ClusterError
+from ..errors import ClusterError, PlannerError
 from ..model.calibration import DEFAULT_CALIBRATION, Calibration
 from ..obs import runtime
 from ..parallel import executor as parallel_executor
+from ..planner import (
+    BLUEPRINT_SCHEMES,
+    BlueprintScorer,
+    FleetPlanner,
+    PlannerConfig,
+)
 from ..serve.admission import AdmissionDecision
 from ..serve.arrivals import (
     DEFAULT_ARRIVAL_SEED,
@@ -104,7 +111,12 @@ from ..serve.arrivals import (
     build_arrivals,
 )
 from ..serve.events import EventKind
-from ..serve.service import POLICIES, SERVE_ENGINES, ServiceConfig
+from ..serve.service import (
+    ARRIVAL_WINDOW_S,
+    POLICIES,
+    SERVE_ENGINES,
+    ServiceConfig,
+)
 from ..serve.slo import SloTarget, SloTracker
 from .epoch import plan_fleet, simulate_node_task, split_epochs
 from .faults import FaultSpec, expand_schedule, validate_schedule
@@ -112,13 +124,20 @@ from .node import ClusterNode
 from .ring import DEFAULT_VIRTUAL_NODES
 from .router import ROUTERS, Router, make_router
 from .workload import (
+    cluster_classes,
     cluster_olap_mix,
     cluster_oltp_mix,
     tenant_id,
 )
 
-CLUSTER_MIXES = ("olap", "oltp")
+CLUSTER_MIXES = ("olap", "oltp", "shift")
 CLUSTER_PROFILES = ("poisson", "bursty", "diurnal")
+
+#: Fleet-level policies: the per-node serve policies plus ``planned``
+#: — nodes run the static scheme while the fleet planner
+#: (:mod:`repro.planner`) re-derives placement and CAT blueprints from
+#: arrival forecasts on a timer.
+CLUSTER_POLICIES = POLICIES + ("planned",)
 
 #: Fleet report schema version (independent of the per-node
 #: ``serve.service.REPORT_VERSION`` embedded inside it).  Version 2
@@ -127,7 +146,11 @@ CLUSTER_PROFILES = ("poisson", "bursty", "diurnal")
 #: warnings (e.g. a stateful router degrading ``fleet_jobs`` to the
 #: sequential path).  The block is a pure function of the config, so
 #: reports stay byte-identical across ``fleet_jobs`` values.
-FLEET_REPORT_VERSION = 3
+#: Version 4 adds the fleet-level ``arrival_windows`` block (per-window
+#: offered-arrival counts by class and tenant group — forecaster
+#: training data) and the ``planner`` block (the ``planned`` policy's
+#: decision log; ``{"enabled": false}`` otherwise).
+FLEET_REPORT_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -161,6 +184,23 @@ class ClusterConfig:
     sample_window_s: float | None = None
     sample_period: int = 1
     sample_warmup: float = 0.5
+    #: Mix-shift instant for ``mix="shift"`` (None = mid-run).
+    shift_at_s: float | None = None
+    #: Planner knobs (``policy="planned"`` only; see
+    #: :class:`repro.planner.PlannerConfig` and docs/PLANNING.md).
+    plan_interval_s: float = 2.0
+    plan_horizon_s: float = 4.0
+    plan_downtime_s: float = 0.25
+    plan_forecaster: str = "seasonal"
+    #: Seasonal period for the forecaster (None = the run duration,
+    #: i.e. a model trained on one prior "day" of the same scenario).
+    plan_period_s: float | None = None
+    #: Hysteresis: a candidate blueprint must beat the incumbent's
+    #: score by this relative margin to trigger a transition.
+    plan_margin: float = 0.1
+    #: Pre-training windows — ``((class, count), ...)`` per window, the
+    #: output of :func:`repro.planner.training_from_report`.
+    plan_training: tuple = ()
 
     def __post_init__(self) -> None:
         if self.nodes <= 0:
@@ -174,9 +214,10 @@ class ClusterConfig:
                 "cluster profile must be one of "
                 f"{CLUSTER_PROFILES}: {self.profile!r}"
             )
-        if self.policy not in POLICIES:
+        if self.policy not in CLUSTER_POLICIES:
             raise ClusterError(
-                f"policy must be one of {POLICIES}: {self.policy!r}"
+                "policy must be one of "
+                f"{CLUSTER_POLICIES}: {self.policy!r}"
             )
         if self.mix not in CLUSTER_MIXES:
             raise ClusterError(
@@ -188,9 +229,55 @@ class ClusterConfig:
                 "tenants_per_group must be >= 1: "
                 f"{self.tenants_per_group}"
             )
+        # The planned policy and the planned router imply each other:
+        # the planner assumes blueprint routing, and blueprint routing
+        # without a planner would never receive a placement.
+        if (self.policy == "planned") != (self.router == "planned"):
+            raise ClusterError(
+                "policy 'planned' and router 'planned' go together: "
+                f"got policy={self.policy!r}, router={self.router!r}"
+            )
+        if self.policy == "planned":
+            # Delegate the planner-knob checks (intervals, forecaster
+            # name, training-window shape) to the planner config; the
+            # caller sees one error family for one config object.
+            try:
+                self.planner_config()
+            except PlannerError as error:
+                raise ClusterError(str(error)) from error
         validate_schedule(tuple(self.faults), self.nodes)
         # Delegate the shared scalar checks to the node config.
         self.node_config(0)
+
+    def planner_config(self) -> PlannerConfig:
+        """The embedded planner configuration (``planned`` policy)."""
+        period = (
+            self.plan_period_s if self.plan_period_s is not None
+            else self.duration_s
+        )
+        try:
+            training = tuple(
+                tuple(
+                    (str(name), int(count))
+                    for name, count in window
+                )
+                for window in self.plan_training
+            )
+        except (TypeError, ValueError) as error:
+            raise PlannerError(
+                "plan_training must be ((class, count), ...) "
+                f"window tuples: {self.plan_training!r}"
+            ) from error
+        return PlannerConfig(
+            interval_s=self.plan_interval_s,
+            horizon_s=self.plan_horizon_s,
+            downtime_s=self.plan_downtime_s,
+            forecaster=self.plan_forecaster,
+            period_s=period,
+            window_s=ARRIVAL_WINDOW_S,
+            margin=self.plan_margin,
+            training=training,
+        )
 
     def node_config(self, index: int) -> ServiceConfig:
         """The embedded per-node service configuration.
@@ -201,7 +288,9 @@ class ClusterConfig:
         """
         return ServiceConfig(
             profile=self.profile,
-            policy=self.policy,
+            # Planned nodes boot with the statically programmed scheme;
+            # the fleet planner re-programs it from blueprints.
+            policy="static" if self.policy == "planned" else self.policy,
             mix=self.mix,
             duration_s=self.duration_s,
             rate_per_s=self.rate_per_s,
@@ -209,6 +298,7 @@ class ClusterConfig:
             max_concurrency=self.max_concurrency,
             queue_depth=self.queue_depth,
             control_interval_s=self.control_interval_s,
+            shift_at_s=self.shift_at_s,
             olap_p99_s=self.olap_p99_s,
             oltp_p99_s=self.oltp_p99_s,
             sample_window_s=self.sample_window_s,
@@ -241,6 +331,17 @@ class ClusterConfig:
             "sample_window_s": self.sample_window_s,
             "sample_period": self.sample_period,
             "sample_warmup": self.sample_warmup,
+            "shift_at_s": self.shift_at_s,
+            "plan_interval_s": self.plan_interval_s,
+            "plan_horizon_s": self.plan_horizon_s,
+            "plan_downtime_s": self.plan_downtime_s,
+            "plan_forecaster": self.plan_forecaster,
+            "plan_period_s": self.plan_period_s,
+            "plan_margin": self.plan_margin,
+            "plan_training": [
+                [[name, count] for name, count in window]
+                for window in self.plan_training
+            ],
         }
 
 
@@ -267,11 +368,19 @@ class ClusterReport:
     #: requested jobs value only on the degraded stateful-router path,
     #: where cross-jobs byte-identity is not promised).
     execution: dict
+    #: Fleet-level per-window offered-arrival counts (by class and
+    #: tenant group) — what forecasters train on.
+    arrival_windows: dict
+    #: The planner's decision log (``{"enabled": false}`` unless the
+    #: run used the ``planned`` policy).
+    planner: dict
 
     def to_dict(self) -> dict:
         return {
             "fleet_report_version": FLEET_REPORT_VERSION,
             "execution": self.execution,
+            "arrival_windows": self.arrival_windows,
+            "planner": self.planner,
             "config": self.config.to_dict(),
             "generated": self.generated,
             "completed": self.completed,
@@ -370,10 +479,21 @@ class Cluster:
         )
         workers = self.spec.cores
         if config.mix == "oltp":
-            mix = cluster_oltp_mix(workers, calibration)
+            self._mix_schedule = (
+                (0.0, cluster_oltp_mix(workers, calibration)),
+            )
+        elif config.mix == "shift":
+            shift_at = config.shift_at_s
+            if shift_at is None:
+                shift_at = config.duration_s / 2.0
+            self._mix_schedule = (
+                (0.0, cluster_olap_mix(workers, calibration)),
+                (shift_at, cluster_oltp_mix(workers, calibration)),
+            )
         else:
-            mix = cluster_olap_mix(workers, calibration)
-        self._mix_schedule = ((0.0, mix),)
+            self._mix_schedule = (
+                (0.0, cluster_olap_mix(workers, calibration)),
+            )
         self.nodes: list[ClusterNode] = []
         shared_cuids: dict = {}
         shared_reports: dict = {}
@@ -431,14 +551,60 @@ class Cluster:
         self.failovers = 0
         self.shed_no_node = 0
         self._ran = False
+        # Fleet-level arrival windows (always recorded — they are the
+        # report's forecaster-training block), one slot per
+        # ARRIVAL_WINDOW_S of the run; drain-phase times clamp into
+        # the last window.
+        window_count = max(
+            1, math.ceil(config.duration_s / ARRIVAL_WINDOW_S)
+        )
+        self._class_windows: list[dict] = [
+            {} for _ in range(window_count)
+        ]
+        self._tenant_windows: list[dict] = [
+            {} for _ in range(window_count)
+        ]
+        # Planner state (policy "planned" only).
+        self.planner: FleetPlanner | None = None
+        self._next_plan_tick: float | None = None
+        #: tenant id -> blackout end: arrivals inside the window defer.
+        self._blackout: dict[str, float] = {}
+        #: Deferred-arrival heap:
+        #: (inject_at, seq, original_ts, source, cls, key).
+        self._deferred: list[tuple] = []
+        self._deferred_seq = 0
+        self.deferred_requests = 0
+        if config.policy == "planned":
+            scorer = BlueprintScorer(
+                self.spec,
+                calibration,
+                classes=cluster_classes(workers, calibration),
+                targets={
+                    "olap": config.olap_p99_s,
+                    "oltp": config.oltp_p99_s,
+                },
+                max_concurrency=config.max_concurrency,
+                solve_memo=self.solve_memo,
+            )
+            self.planner = FleetPlanner(
+                config.planner_config(),
+                scorer,
+                config.nodes,
+                config.tenants_per_group,
+            )
+            self.router.install(self.planner.current.placement_map())
+            self._next_plan_tick = config.plan_interval_s
 
     # -- lanes ---------------------------------------------------------
     #
     # Lane 0 is the fault schedule, lane 1 the node event queues, lane
-    # 2 the source streams.  Each (lane, index) pair has at most one
-    # *current* heap entry — the one whose version matches
-    # ``_lane_versions`` — so popping the heap yields exactly the
-    # (time, lane, index) minimum the previous O(N) scan computed.
+    # 2 the source streams, lane 3 the planner (index 0: the next plan
+    # tick; index 1: the next deferred-arrival injection).  Each
+    # (lane, index) pair has at most one *current* heap entry — the one
+    # whose version matches ``_lane_versions`` — so popping the heap
+    # yields exactly the (time, lane, index) minimum the previous O(N)
+    # scan computed.  At equal times faults precede node events precede
+    # arrivals precede planner actions.
 
     def _lane_time(self, lane: int, index: int) -> float | None:
         """The lane's current candidate time, or None when idle."""
@@ -449,6 +615,10 @@ class Cluster:
         if lane == 1:
             node = self.nodes[index]
             return node.queue.peek_time() if node.queue else None
+        if lane == 3:
+            if index == 0:
+                return self._next_plan_tick
+            return self._deferred[0][0] if self._deferred else None
         source = self._sources[index]
         return source.pending[0] if source.pending is not None else None
 
@@ -486,6 +656,13 @@ class Cluster:
         node = self.nodes[event.node]
         if event.recover:
             node.recover(event.time_s)
+            if self.planner is not None:
+                # A restarted planned node re-applies its *blueprint*
+                # scheme, not the static boot default recover() set.
+                scheme = self.planner.current.schemes[event.node]
+                node.cache_controller.enable(
+                    BLUEPRINT_SCHEMES[scheme].to_cuid_policy(self.spec)
+                )
             self._alive.add(event.node)
             self._alive_frozen = frozenset(self._alive)
             self._fault_log.append({
@@ -506,16 +683,15 @@ class Cluster:
             "lost": lost,
         })
 
-    def _process_arrival(self, index: int) -> None:
-        source = self._sources[index]
-        assert source.pending is not None
-        timestamp, cls = source.pending
-        tenant_index = int(
-            source.tenant_rng.integers(self.config.tenants_per_group)
-        )
-        key = tenant_id(cls.tenant, tenant_index)
-        self.generated += 1
-        source.generated += 1
+    def _route_and_accept(
+        self,
+        timestamp: float,
+        index: int,
+        cls,
+        key: str,
+        arrived_s: float | None = None,
+    ) -> None:
+        """Route one request and deliver it (or account the shed)."""
         metrics = runtime.metrics
         if metrics.enabled:
             # cluster.route_ns: aggregate time inside the routing
@@ -533,13 +709,13 @@ class Cluster:
             decision = self.router.route(
                 index, key, cls, self.nodes, self._alive_frozen
             )
-        runtime.metrics.counter("cluster.routed").inc()
+        metrics.counter("cluster.routed").inc()
         if decision.failover:
             self.failovers += 1
-            runtime.metrics.counter("cluster.failover").inc()
+            metrics.counter("cluster.failover").inc()
         if decision.target is None:
             self.shed_no_node += 1
-            runtime.metrics.counter("cluster.shed").inc()
+            metrics.counter("cluster.shed").inc()
         else:
             target = self.nodes[decision.target]
             target.routed_in += 1
@@ -548,12 +724,98 @@ class Cluster:
                 target.forwarded_in += 1
             if decision.failover:
                 target.failover_in += 1
-            target.accept(timestamp, cls)
+            target.accept(timestamp, cls, arrived_s=arrived_s)
             self._refresh_lane(1, decision.target)
+
+    def _process_arrival(self, index: int) -> None:
+        source = self._sources[index]
+        assert source.pending is not None
+        timestamp, cls = source.pending
+        tenant_index = int(
+            source.tenant_rng.integers(self.config.tenants_per_group)
+        )
+        key = tenant_id(cls.tenant, tenant_index)
+        self.generated += 1
+        source.generated += 1
+        window = min(
+            int(timestamp / ARRIVAL_WINDOW_S),
+            len(self._class_windows) - 1,
+        )
+        counts = self._class_windows[window]
+        counts[cls.name] = counts.get(cls.name, 0) + 1
+        counts = self._tenant_windows[window]
+        counts[cls.tenant] = counts.get(cls.tenant, 0) + 1
+        until = self._blackout.get(key) if self._blackout else None
+        if until is not None:
+            if timestamp < until:
+                # The tenant is mid-migration: hold the request and
+                # inject it when the blackout ends.  Latency is charged
+                # from ``timestamp`` (the accept backdates arrival), so
+                # the wait lands in the SLO verdicts.
+                self._deferred_seq += 1
+                heapq.heappush(self._deferred, (
+                    until, self._deferred_seq, timestamp,
+                    index, cls, key,
+                ))
+                self.deferred_requests += 1
+                runtime.metrics.counter("planner.deferred").inc()
+                self._refresh_lane(3, 1)
+                source.pull(
+                    timestamp, self.config.duration_s,
+                    self._sample_grid,
+                )
+                self._refresh_lane(2, index)
+                return
+            del self._blackout[key]
+        self._route_and_accept(timestamp, index, cls, key)
         source.pull(
             timestamp, self.config.duration_s, self._sample_grid
         )
         self._refresh_lane(2, index)
+
+    def _process_plan_tick(self) -> None:
+        """One planner pass: forecast, score, maybe transition."""
+        planner = self.planner
+        now = self._next_plan_tick
+        assert planner is not None and now is not None
+        following = now + self.config.plan_interval_s
+        self._next_plan_tick = (
+            following if following < self.config.duration_s else None
+        )
+        self._refresh_lane(3, 0)
+        decision, migration = planner.tick(now, self._class_windows)
+        if not decision.changed:
+            return
+        blueprint = planner.current
+        self.router.install(blueprint.placement_map())
+        for node_index, scheme_name in enumerate(blueprint.schemes):
+            node = self.nodes[node_index]
+            policy = BLUEPRINT_SCHEMES[
+                scheme_name
+            ].to_cuid_policy(self.spec)
+            if not node.alive or node.cache_controller.policy == policy:
+                continue
+            # Same sequence as a controller reconfiguration: program
+            # the masks, re-associate everything running, reflow.
+            node.cache_controller.enable(policy)
+            for request_id in sorted(node.admission.running):
+                node._associate(node._requests[request_id])
+            node._reflow(now)
+            self._refresh_lane(1, node_index)
+        if migration is not None and migration.downtime_s > 0:
+            until = migration.blackout_until_s
+            for move in migration.moves:
+                self._blackout[move.tenant] = until
+
+    def _process_deferred(self) -> None:
+        """Inject the earliest migration-deferred arrival."""
+        inject_at, _, original_s, index, cls, key = heapq.heappop(
+            self._deferred
+        )
+        self._refresh_lane(3, 1)
+        self._route_and_accept(
+            inject_at, index, cls, key, arrived_s=original_s
+        )
 
     # -- the loop ------------------------------------------------------
 
@@ -574,7 +836,20 @@ class Cluster:
             )
         self._ran = True
         config = self.config
-        if fleet_jobs > 1 and config.nodes > 1:
+        if config.policy == "planned":
+            # Recorded unconditionally (a pure function of the config,
+            # never of fleet_jobs) so planned reports stay
+            # byte-identical across --fleet-jobs values.
+            self._warnings.append(
+                "policy 'planned' replans routing and CAT state on a "
+                "timer; fleet execution is sequential for any "
+                "fleet_jobs value"
+            )
+            if fleet_jobs > 1 and config.nodes > 1:
+                runtime.metrics.counter(
+                    "cluster.parallel.fallbacks"
+                ).inc()
+        elif fleet_jobs > 1 and config.nodes > 1:
             if config.router == "hash":
                 return self._run_parallel(
                     min(fleet_jobs, config.nodes)
@@ -610,11 +885,15 @@ class Cluster:
             for index in range(config.nodes):
                 self._refresh_lane(1, index)
                 self._refresh_lane(2, index)
+            self._refresh_lane(3, 0)
+            self._refresh_lane(3, 1)
             # Bound locals: the loop body runs once per fleet event,
             # so attribute lookups on self are paid millions of times.
             pop_candidate = self._pop_candidate
             process_fault = self._process_fault
             process_arrival = self._process_arrival
+            process_plan_tick = self._process_plan_tick
+            process_deferred = self._process_deferred
             refresh_lane = self._refresh_lane
             nodes = self.nodes
             while True:
@@ -628,6 +907,11 @@ class Cluster:
                     node = nodes[index]
                     node.dispatch(node.queue.pop())
                     refresh_lane(1, index)
+                elif lane == 3:
+                    if index == 0:
+                        process_plan_tick()
+                    else:
+                        process_deferred()
                 else:
                     process_arrival(index)
             for node in self.nodes:
@@ -749,6 +1033,8 @@ class Cluster:
         self.forwarded = plan.forwarded
         self.failovers = plan.failovers
         self.shed_no_node = plan.shed_no_node
+        self._class_windows = plan.class_windows
+        self._tenant_windows = plan.tenant_windows
         self._fault_index = len(self._fault_events)
         self._alive = set(plan.epochs[-1].alive)
         self._alive_frozen = frozenset(self._alive)
@@ -846,6 +1132,24 @@ class Cluster:
                 "request conservation violated: generated="
                 f"{self.generated} but completed+shed={balance}"
             )
+        arrival_windows = {
+            "window_s": ARRIVAL_WINDOW_S,
+            "classes": [
+                dict(sorted(window.items()))
+                for window in self._class_windows
+            ],
+            "tenants": [
+                dict(sorted(window.items()))
+                for window in self._tenant_windows
+            ],
+        }
+        planner_block: dict = {"enabled": False}
+        if self.planner is not None:
+            planner_block = {
+                "enabled": True,
+                "deferred_requests": self.deferred_requests,
+                **self.planner.stats(),
+            }
         return ClusterReport(
             config=self.config,
             generated=self.generated,
@@ -870,4 +1174,6 @@ class Cluster:
                 )
             ),
             execution=self._execution_block(),
+            arrival_windows=arrival_windows,
+            planner=planner_block,
         )

@@ -81,19 +81,30 @@ class ClusterNode(QueryService):
         workers = self.spec.cores
         if self.config.mix == "oltp":
             return ((0.0, cluster_oltp_mix(workers, self.calibration)),)
+        if self.config.mix == "shift":
+            shift_at = self.config.shift_at_s
+            if shift_at is None:
+                shift_at = self.config.duration_s / 2.0
+            return (
+                (0.0, cluster_olap_mix(workers, self.calibration)),
+                (shift_at, cluster_oltp_mix(workers, self.calibration)),
+            )
         return ((0.0, cluster_olap_mix(workers, self.calibration)),)
 
     # -- traffic -------------------------------------------------------
 
     def accept(
-        self, now: float, cls: RequestClass
+        self,
+        now: float,
+        cls: RequestClass,
+        arrived_s: float | None = None,
     ) -> AdmissionDecision:
         if not self.alive:
             raise ClusterError(
                 f"node {self.index} is down at t={now}; the router "
                 "must not target dead nodes"
             )
-        return super().accept(now, cls)
+        return super().accept(now, cls, arrived_s=arrived_s)
 
     # -- liveness ------------------------------------------------------
 

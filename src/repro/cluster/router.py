@@ -19,6 +19,11 @@ class, node state):
   traffic is steered to the least-polluted node.  Partitioning inside
   one node caps scan damage; placement across nodes removes it from
   most of the fleet entirely.
+* ``planned`` — blueprint-driven placement.  The fleet planner
+  (:mod:`repro.planner`) installs a tenant-group -> home-nodes map; the
+  router sends each tenant to its deterministic preferred home and
+  fails over within the home set (then the whole live fleet) when the
+  preferred node is down.  Only the ``planned`` cluster policy uses it.
 """
 
 from __future__ import annotations
@@ -30,11 +35,12 @@ from ..config import SystemSpec
 from ..core.online import OnlineClassifier
 from ..errors import ClusterError
 from ..operators.base import CacheUsage
+from ..planner.blueprint import preferred_node
 from ..serve.arrivals import RequestClass
 from .node import ClusterNode
 from .ring import DEFAULT_VIRTUAL_NODES, HashRing
 
-ROUTERS = ("hash", "least-loaded", "affinity")
+ROUTERS = ("hash", "least-loaded", "affinity", "planned")
 
 #: Queue-slack guard for affinity consolidation: a polluted node stays
 #: a valid target only while its queue is within this many requests of
@@ -224,6 +230,73 @@ class AffinityRouter(Router):
         }
 
 
+class PlannedRouter(Router):
+    """Routes tenants to the blueprint homes the planner installs."""
+
+    name = "planned"
+
+    def __init__(self, nodes: int) -> None:
+        if nodes < 1:
+            raise ClusterError(f"nodes must be >= 1: {nodes}")
+        self.nodes = nodes
+        self._all = tuple(range(nodes))
+        #: tenant group -> home node tuple (a blueprint placement map).
+        self._placement: dict[str, tuple[int, ...]] = {}
+        self.installs = 0
+
+    def install(self, placement: dict) -> None:
+        """Adopt a new blueprint's placement map."""
+        self._placement = {
+            group: tuple(homes)
+            for group, homes in sorted(placement.items())
+        }
+        self.installs += 1
+
+    @staticmethod
+    def _tenant_index(key: str) -> int:
+        group, _, index = key.rpartition("-")
+        if not group:
+            raise ClusterError(
+                f"planned routing key {key!r} is not a tenant id "
+                "(<group>-<index>)"
+            )
+        try:
+            return int(index)
+        except ValueError as error:
+            raise ClusterError(
+                f"planned routing key {key!r} is not a tenant id "
+                "(<group>-<index>)"
+            ) from error
+
+    def route(self, source, key, cls, nodes, alive) -> RouteDecision:
+        if not alive:
+            return RouteDecision(target=None, failover=True)
+        group, _, _ = key.rpartition("-")
+        index = self._tenant_index(key)
+        home = self._placement.get(group) or self._all
+        preferred = preferred_node(home, index)
+        if preferred in alive:
+            return RouteDecision(target=preferred, failover=False)
+        # Preferred home is down: stay inside the live part of the home
+        # set if any of it survives, otherwise spill fleet-wide.
+        pool = tuple(i for i in home if i in alive)
+        if not pool:
+            pool = tuple(sorted(alive))
+        return RouteDecision(
+            target=preferred_node(pool, index), failover=True
+        )
+
+    def describe(self) -> dict:
+        return {
+            "policy": self.name,
+            "installs": self.installs,
+            "placement": {
+                group: list(homes)
+                for group, homes in sorted(self._placement.items())
+            },
+        }
+
+
 def make_router(
     name: str,
     nodes: int,
@@ -237,6 +310,8 @@ def make_router(
         return LeastLoadedRouter()
     if name == "affinity":
         return AffinityRouter(spec)
+    if name == "planned":
+        return PlannedRouter(nodes)
     raise ClusterError(
         f"router must be one of {ROUTERS}: {name!r}"
     )

@@ -71,3 +71,8 @@ class ServeError(ReproError):
 
 class ClusterError(ReproError):
     """Invalid operation in the fleet layer (``repro.cluster``)."""
+
+
+class PlannerError(ReproError):
+    """Invalid operation in the forecast/blueprint planning layer
+    (``repro.planner``)."""

@@ -1,0 +1,73 @@
+"""Forecast-driven blueprint planning (``repro.planner``).
+
+The reactive layers (the adaptive CAT controller, the fleet routers)
+only move *after* SLO pressure appears.  This package closes the loop
+proactively: forecast per-class arrival rates from recorded windows
+(:mod:`~repro.planner.forecast`), enumerate and score candidate fleet
+blueprints against the analytic model
+(:mod:`~repro.planner.blueprint`), plan tenant migrations with their
+downtime cost (:mod:`~repro.planner.transition`), and drive the whole
+cycle on a timer inside the fleet's event loop
+(:mod:`~repro.planner.planner`, wired up by the cluster's ``planned``
+policy).  See ``docs/PLANNING.md``.
+"""
+
+from .blueprint import (
+    BLUEPRINT_SCHEMES,
+    Blueprint,
+    BlueprintScore,
+    BlueprintScorer,
+    enumerate_blueprints,
+    preferred_node,
+    spread_blueprint,
+)
+from .forecast import (
+    DEFAULT_ALPHA,
+    FORECASTERS,
+    EwmaForecaster,
+    Forecast,
+    Forecaster,
+    SeasonalWindowForecaster,
+    fit_forecaster,
+    forecaster_from_dict,
+    make_forecaster,
+    training_from_report,
+)
+from .planner import (
+    FleetPlanner,
+    PlanDecision,
+    PlannerConfig,
+)
+from .transition import (
+    MigrationPlan,
+    TenantMove,
+    plan_transition,
+    tenant_key,
+)
+
+__all__ = [
+    "BLUEPRINT_SCHEMES",
+    "Blueprint",
+    "BlueprintScore",
+    "BlueprintScorer",
+    "DEFAULT_ALPHA",
+    "EwmaForecaster",
+    "FORECASTERS",
+    "FleetPlanner",
+    "Forecast",
+    "Forecaster",
+    "MigrationPlan",
+    "PlanDecision",
+    "PlannerConfig",
+    "SeasonalWindowForecaster",
+    "TenantMove",
+    "enumerate_blueprints",
+    "fit_forecaster",
+    "forecaster_from_dict",
+    "make_forecaster",
+    "plan_transition",
+    "preferred_node",
+    "spread_blueprint",
+    "tenant_key",
+    "training_from_report",
+]

@@ -1,0 +1,390 @@
+"""Blueprints: candidate fleet configurations and their model scores.
+
+A :class:`Blueprint` is a value object capturing one way to run the
+fleet — which nodes each tenant group lives on and which CAT scheme
+each node programs.  The planner does not search this space freely: a
+bounded enumerator (:func:`enumerate_blueprints`) generates the
+structurally interesting candidates — everyone-everywhere spreads and
+batch-isolation splits, each under the known partitioning schemes —
+and the :class:`BlueprintScorer` ranks them against the *analytic
+model* under a forecast, never against the live simulation.
+
+Scoring reuses the serving stack's machinery end to end: a node's
+hypothetical composition is expressed as the same
+``(class, mask, count)`` signature the service's rate solver uses, the
+solve goes through :class:`~repro.model.simulator.WorkloadSimulator`
+(one fixed point per distinct signature), and results land in the
+fleet-shared solve memo — so planner probes and node rate solves pay
+for each other.  Per-node latency is an M/G/1-PS style proxy: with
+per-class service time ``s_c`` (from the contention-aware model) and
+utilization ``rho = sum(lambda_c * s_c) / slots``, a class's predicted
+sojourn is ``s_c / (1 - rho)``.  The objective is the worst predicted
+latency-to-SLO ratio across latency tenant groups, plus a heavy
+penalty for overloaded nodes — trading slot count (more nodes per
+group) against cache ways (scheme choice) in one scalar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemSpec
+from ..core.policy import (
+    PartitioningScheme,
+    paper_scheme,
+    unpartitioned_scheme,
+)
+from ..errors import PlannerError
+from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..model.simulator import QuerySpec, WorkloadSimulator
+from ..operators.base import CacheUsage
+
+#: Per-node CAT scheme vocabulary: the unpartitioned baseline and the
+#: paper's 10 % / 100 % / 60 % scheme.
+BLUEPRINT_SCHEMES: dict[str, PartitioningScheme] = {
+    "full": unpartitioned_scheme(),
+    "paper": paper_scheme(),
+}
+
+#: Utilization above this is treated as overload; the latency proxy's
+#: ``1 - rho`` slack is clamped here so scores stay finite and ordered.
+RHO_CAP = 0.95
+
+#: Weight of the overload penalty relative to the latency objective.
+OVERLOAD_WEIGHT = 10.0
+
+
+def preferred_node(home: tuple[int, ...], index: int) -> int:
+    """The deterministic home of tenant ``index`` within its group's
+    node set — shared by routing and migration planning so both agree
+    on where a tenant lives."""
+    return home[index % len(home)]
+
+
+@dataclass(frozen=True)
+class Blueprint:
+    """One candidate fleet configuration.
+
+    ``placement`` maps tenant groups to the (sorted) node indices that
+    serve them; ``schemes`` names one :data:`BLUEPRINT_SCHEMES` entry
+    per node.  Routing under a blueprint is implied: tenant ``g-i``
+    lives on ``preferred_node(placement[g], i)``.
+    """
+
+    nodes: int
+    placement: tuple[tuple[str, tuple[int, ...]], ...]
+    schemes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise PlannerError(f"nodes must be >= 1: {self.nodes}")
+        if len(self.schemes) != self.nodes:
+            raise PlannerError(
+                f"{len(self.schemes)} schemes for {self.nodes} nodes"
+            )
+        for scheme in self.schemes:
+            if scheme not in BLUEPRINT_SCHEMES:
+                raise PlannerError(
+                    "scheme must be one of "
+                    f"{sorted(BLUEPRINT_SCHEMES)}: {scheme!r}"
+                )
+        groups = [group for group, _ in self.placement]
+        if groups != sorted(groups) or len(set(groups)) != len(groups):
+            raise PlannerError(
+                f"placement groups must be sorted and unique: {groups}"
+            )
+        for group, home in self.placement:
+            if not home:
+                raise PlannerError(f"group {group!r} has no nodes")
+            if list(home) != sorted(set(home)):
+                raise PlannerError(
+                    f"group {group!r} home set must be strictly "
+                    f"increasing: {home}"
+                )
+            if home[0] < 0 or home[-1] >= self.nodes:
+                raise PlannerError(
+                    f"group {group!r} places nodes outside "
+                    f"0..{self.nodes - 1}: {home}"
+                )
+
+    @classmethod
+    def build(
+        cls, nodes: int, placement: dict, schemes
+    ) -> "Blueprint":
+        """Normalizing constructor from a plain mapping."""
+        return cls(
+            nodes=nodes,
+            placement=tuple(
+                (group, tuple(sorted(set(home))))
+                for group, home in sorted(placement.items())
+            ),
+            schemes=tuple(schemes),
+        )
+
+    def placement_map(self) -> dict[str, tuple[int, ...]]:
+        return dict(self.placement)
+
+    def key(self) -> tuple:
+        """Identity for change detection and deterministic ordering."""
+        return (self.placement, self.schemes)
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "placement": {
+                group: list(home) for group, home in self.placement
+            },
+            "schemes": list(self.schemes),
+        }
+
+
+def spread_blueprint(
+    nodes: int, groups, scheme: str = "paper"
+) -> Blueprint:
+    """Every group on every node — the boot configuration (matches a
+    fleet of ``static``-policy nodes under blind hashing)."""
+    all_nodes = tuple(range(nodes))
+    return Blueprint.build(
+        nodes,
+        {group: all_nodes for group in groups},
+        (scheme,) * nodes,
+    )
+
+
+def enumerate_blueprints(
+    nodes: int,
+    groups,
+    batch_group: str = "batch",
+    max_candidates: int = 64,
+) -> tuple[Blueprint, ...]:
+    """The bounded candidate set for one fleet shape.
+
+    Three families, each under both schemes where it matters:
+
+    * **spread** — every group everywhere (scheme full / paper),
+    * **batch isolation** — the batch group alone on the last ``b``
+      nodes (full mask: nothing to protect there), latency groups on
+      the rest (scheme full / paper),
+    * **full split** — batch isolated *and* the two latency groups
+      separated across the remaining nodes (when both fit).
+
+    Output is deduplicated, deterministically ordered, and truncated
+    to ``max_candidates``.
+    """
+    if max_candidates < 1:
+        raise PlannerError(
+            f"max_candidates must be >= 1: {max_candidates}"
+        )
+    groups = tuple(sorted(set(groups)))
+    if not groups:
+        raise PlannerError("no tenant groups to place")
+    service_groups = tuple(g for g in groups if g != batch_group)
+    candidates: list[Blueprint] = []
+    for scheme in sorted(BLUEPRINT_SCHEMES):
+        candidates.append(spread_blueprint(nodes, groups, scheme))
+    if batch_group in groups and nodes > 1 and service_groups:
+        for batch_count in range(1, nodes):
+            service_nodes = tuple(range(nodes - batch_count))
+            batch_nodes = tuple(range(nodes - batch_count, nodes))
+            for scheme in sorted(BLUEPRINT_SCHEMES):
+                schemes = tuple(
+                    scheme if i in service_nodes else "full"
+                    for i in range(nodes)
+                )
+                placement = {batch_group: batch_nodes}
+                for group in service_groups:
+                    placement[group] = service_nodes
+                candidates.append(
+                    Blueprint.build(nodes, placement, schemes)
+                )
+                if (
+                    len(service_groups) == 2
+                    and len(service_nodes) >= 2
+                ):
+                    half = len(service_nodes) // 2
+                    first, second = sorted(service_groups)
+                    split = dict(placement)
+                    split[first] = service_nodes[:half]
+                    split[second] = service_nodes[half:]
+                    candidates.append(
+                        Blueprint.build(nodes, split, schemes)
+                    )
+    unique: dict[tuple, Blueprint] = {}
+    for blueprint in candidates:
+        unique.setdefault(blueprint.key(), blueprint)
+    ordered = sorted(unique.values(), key=lambda b: b.key())
+    return tuple(ordered[:max_candidates])
+
+
+@dataclass(frozen=True)
+class BlueprintScore:
+    """One blueprint's analytic evaluation under a forecast."""
+
+    blueprint: Blueprint
+    #: Worst predicted latency / SLO target across latency groups.
+    objective: float
+    #: Total utilization excess over 1.0 across nodes.
+    overload: float
+    #: ``objective + OVERLOAD_WEIGHT * overload`` — the ranking scalar.
+    score: float
+    utilization: tuple[float, ...]
+    #: Per latency group: worst predicted sojourn time (seconds).
+    predicted_s: tuple[tuple[str, float], ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "blueprint": self.blueprint.to_dict(),
+            "objective": round(self.objective, 9),
+            "overload": round(self.overload, 9),
+            "score": round(self.score, 9),
+            "utilization": [round(u, 9) for u in self.utilization],
+            "predicted_s": {
+                group: round(value, 9)
+                for group, value in self.predicted_s
+            },
+        }
+
+
+class BlueprintScorer:
+    """Ranks blueprints against the analytic model under a forecast.
+
+    Shares the fleet's solve memo: a hypothetical composition solved
+    here is a free rate-cache fill for any node that later runs it,
+    and vice versa.
+    """
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        classes: dict | None = None,
+        targets: dict | None = None,
+        max_concurrency: int = 8,
+        solve_memo: dict | None = None,
+    ) -> None:
+        if not classes:
+            raise PlannerError("scorer needs the request-class catalog")
+        if max_concurrency < 1:
+            raise PlannerError(
+                f"max_concurrency must be >= 1: {max_concurrency}"
+            )
+        self.spec = spec
+        self.classes = dict(classes)
+        self.targets = dict(targets or {})
+        self.max_concurrency = max_concurrency
+        self.simulator = WorkloadSimulator(spec, calibration)
+        self.solve_memo = solve_memo
+        self.solves = 0
+        # Same slot sizing as the service: per-slot cores feed the
+        # model's contention fixed point.
+        self.slot_cores = max(1, round(spec.cores / max_concurrency))
+        self._policies = {
+            name: scheme.to_cuid_policy(spec)
+            for name, scheme in BLUEPRINT_SCHEMES.items()
+        }
+
+    def _mask_for(self, cls, scheme_name: str) -> int:
+        policy = self._policies[scheme_name]
+        if cls.static_cuid is CacheUsage.POLLUTING:
+            return policy.polluting_mask
+        if cls.static_cuid is CacheUsage.SENSITIVE:
+            return policy.sensitive_mask
+        return policy.adaptive_sensitive_mask
+
+    def _solve(self, signature: tuple) -> dict[str, float]:
+        """Per-class per-instance rates for one composition signature
+        (the service's exact signature format, memo-shared)."""
+        memo = self.solve_memo
+        per_class = memo.get(signature) if memo is not None else None
+        if per_class is None:
+            specs = [
+                QuerySpec(
+                    name=name,
+                    profile=self.classes[name].profile,
+                    cores=count * self.slot_cores,
+                    mask=mask,
+                )
+                for name, mask, count in signature
+            ]
+            results = self.simulator.simulate(specs)
+            per_class = {}
+            for name, _, count in signature:
+                throughput = results[name].throughput_tuples_per_s
+                if throughput <= 0.0:
+                    raise PlannerError(
+                        f"non-positive model rate for {name!r}"
+                    )
+                per_class[name] = throughput / count
+            if memo is not None:
+                memo[signature] = per_class
+            self.solves += 1
+        return per_class
+
+    def score(
+        self, blueprint: Blueprint, rates: dict
+    ) -> BlueprintScore:
+        """Evaluate one blueprint under per-class arrival rates
+        (requests/s, fleet-wide)."""
+        placement = blueprint.placement_map()
+        all_nodes = tuple(range(blueprint.nodes))
+        node_load: dict[int, list[tuple[str, float]]] = {
+            index: [] for index in all_nodes
+        }
+        for name in sorted(rates):
+            rate = rates[name]
+            if rate <= 1e-12:
+                continue
+            cls = self.classes.get(name)
+            if cls is None:
+                raise PlannerError(
+                    f"forecast class {name!r} is not in the catalog "
+                    f"({sorted(self.classes)})"
+                )
+            home = placement.get(cls.tenant) or all_nodes
+            share = rate / len(home)
+            for index in home:
+                node_load[index].append((name, share))
+        utilization = []
+        overload = 0.0
+        predicted: dict[str, float] = {}
+        for index in all_nodes:
+            load = node_load[index]
+            if not load:
+                utilization.append(0.0)
+                continue
+            scheme = blueprint.schemes[index]
+            signature = tuple(sorted(
+                (name, self._mask_for(self.classes[name], scheme), 1)
+                for name, _ in load
+            ))
+            per_class = self._solve(signature)
+            service_s = {
+                name: self.classes[name].work_tuples / per_class[name]
+                for name, _ in load
+            }
+            rho = sum(
+                share * service_s[name] for name, share in load
+            ) / self.max_concurrency
+            utilization.append(rho)
+            overload += max(0.0, rho - 1.0)
+            slack = max(1.0 - min(rho, RHO_CAP), 1.0 - RHO_CAP)
+            for name, _ in load:
+                group = self.classes[name].tenant
+                sojourn = service_s[name] / slack
+                if sojourn > predicted.get(group, 0.0):
+                    predicted[group] = sojourn
+        objective = 0.0
+        for group, target in sorted(self.targets.items()):
+            if group in predicted and target > 0:
+                objective = max(
+                    objective, predicted[group] / target
+                )
+        score = objective + OVERLOAD_WEIGHT * overload
+        return BlueprintScore(
+            blueprint=blueprint,
+            objective=objective,
+            overload=overload,
+            score=score,
+            utilization=tuple(utilization),
+            predicted_s=tuple(sorted(predicted.items())),
+        )

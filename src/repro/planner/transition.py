@@ -1,0 +1,117 @@
+"""Transition planning: how the fleet moves between blueprints.
+
+Switching blueprints is not free.  A tenant whose home node changes
+must be *re-homed*: its state drains from the old node and warms on
+the new one, modeled as a per-tenant downtime window of
+``downtime_s`` seconds starting at the transition instant.  During a
+tenant's window the fleet defers its arrivals and injects them at the
+window's end — the wait counts in full toward request latency (and so
+toward the SLO verdicts), which is what makes migration cost *visible*
+to the planner's accounting rather than a free action.
+
+Only moved tenants pay: a transition that changes CAT schemes but
+leaves placement intact migrates nobody, and a placement change
+touches exactly the tenants whose ``preferred_node`` differs between
+the two blueprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlannerError
+from .blueprint import Blueprint, preferred_node
+
+
+def tenant_key(group: str, index: int) -> str:
+    """Canonical tenant id — mirrors
+    :func:`repro.cluster.workload.tenant_id` (the planner cannot
+    import the cluster package: the fleet imports the planner).  A
+    cross-check test pins the two formats together."""
+    return f"{group}-{index:02d}"
+
+
+@dataclass(frozen=True)
+class TenantMove:
+    """One tenant re-homed by a transition."""
+
+    tenant: str
+    source: int
+    target: int
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "source": self.source,
+            "target": self.target,
+        }
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """The tenant moves (and their downtime) of one transition."""
+
+    time_s: float
+    downtime_s: float
+    moves: tuple[TenantMove, ...]
+
+    @property
+    def blackout_until_s(self) -> float:
+        """When moved tenants accept traffic again."""
+        return self.time_s + self.downtime_s
+
+    def to_dict(self) -> dict:
+        return {
+            "time_s": round(self.time_s, 9),
+            "downtime_s": self.downtime_s,
+            "moves": [move.to_dict() for move in self.moves],
+        }
+
+
+def plan_transition(
+    current: Blueprint,
+    target: Blueprint,
+    tenants_per_group: int,
+    time_s: float,
+    downtime_s: float,
+) -> MigrationPlan:
+    """The migration plan from ``current`` to ``target``.
+
+    Deterministic: groups are visited sorted, tenants in index order,
+    and a tenant moves iff its preferred node differs between the two
+    placements.
+    """
+    if current.nodes != target.nodes:
+        raise PlannerError(
+            "blueprints span different fleets: "
+            f"{current.nodes} vs {target.nodes} nodes"
+        )
+    if tenants_per_group < 1:
+        raise PlannerError(
+            f"tenants_per_group must be >= 1: {tenants_per_group}"
+        )
+    if downtime_s < 0:
+        raise PlannerError(
+            f"downtime must be >= 0: {downtime_s}"
+        )
+    all_nodes = tuple(range(current.nodes))
+    old_map = current.placement_map()
+    new_map = target.placement_map()
+    moves = []
+    for group in sorted(set(old_map) | set(new_map)):
+        old_home = old_map.get(group) or all_nodes
+        new_home = new_map.get(group) or all_nodes
+        for index in range(tenants_per_group):
+            source = preferred_node(old_home, index)
+            destination = preferred_node(new_home, index)
+            if source != destination:
+                moves.append(TenantMove(
+                    tenant=tenant_key(group, index),
+                    source=source,
+                    target=destination,
+                ))
+    return MigrationPlan(
+        time_s=time_s,
+        downtime_s=downtime_s,
+        moves=tuple(moves),
+    )

@@ -35,6 +35,7 @@ from .arrivals import (
     RequestClass,
     SampleGrid,
     WorkloadMix,
+    arrival_window_counts,
     build_arrivals,
     olap_heavy_mix,
     oltp_heavy_mix,
@@ -42,8 +43,14 @@ from .arrivals import (
 from .clock import SimulatedClock, TickingClock
 from .controller import AdaptiveController, ControlDecision
 from .events import Event, EventKind, EventQueue
-from .replay import ReplayArrivals, load_trace, trace_config
+from .replay import (
+    REPLAY_MIN_VERSION,
+    ReplayArrivals,
+    load_trace,
+    trace_config,
+)
 from .service import (
+    ARRIVAL_WINDOW_S,
     SERVE_ENGINES,
     QueryService,
     RateCache,
@@ -53,6 +60,7 @@ from .service import (
 from .slo import LatencyHistogram, SloTarget, SloTracker, SloVerdict
 
 __all__ = [
+    "ARRIVAL_WINDOW_S",
     "AdaptiveController",
     "AdmissionController",
     "AdmissionDecision",
@@ -66,6 +74,7 @@ __all__ = [
     "LatencyHistogram",
     "PoissonArrivals",
     "QueryService",
+    "REPLAY_MIN_VERSION",
     "RateCache",
     "ReplayArrivals",
     "Request",
@@ -80,6 +89,7 @@ __all__ = [
     "SloVerdict",
     "TickingClock",
     "WorkloadMix",
+    "arrival_window_counts",
     "build_arrivals",
     "load_trace",
     "trace_config",

@@ -27,6 +27,25 @@ from ..model.calibration import DEFAULT_CALIBRATION, Calibration
 from .arrivals import RequestClass, catalog_classes
 from .service import REPORT_VERSION
 
+#: Oldest report schema replay can drive: version 2 introduced the
+#: ``arrivals`` log.
+REPLAY_MIN_VERSION = 2
+
+#: Config keys a recorded envelope must carry for the CLI to rebuild
+#: the original run around a replay.
+_REPLAY_CONFIG_KEYS = (
+    "mix",
+    "duration_s",
+    "rate_per_s",
+    "seed",
+    "max_concurrency",
+    "queue_depth",
+    "control_interval_s",
+    "shift_at_s",
+    "olap_p99_s",
+    "oltp_p99_s",
+)
+
 
 class ReplayArrivals:
     """An arrival process that replays a recorded sequence.
@@ -81,6 +100,12 @@ def _read_report(target: Path) -> dict:
             f"trace file {target} is not valid JSON: {error}"
         ) from error
     version = payload.get("report_version")
+    if version is None:
+        raise ServeError(
+            f"trace file {target} is not a service report: it has no "
+            "report_version key (either it is some other JSON, or it "
+            "predates schema versioning entirely)"
+        )
     if not isinstance(version, int) or version < 1:
         raise ServeError(
             f"trace file {target} is not a service report "
@@ -91,10 +116,12 @@ def _read_report(target: Path) -> dict:
             f"trace file {target} has report_version {version}, newer "
             f"than this build understands ({REPORT_VERSION})"
         )
-    if "arrivals" not in payload:
+    if version < REPLAY_MIN_VERSION or "arrivals" not in payload:
         raise ServeError(
             f"trace file {target} (report_version {version}) has no "
-            "arrivals log — re-record it with this version to replay"
+            "arrivals log (replay needs schema version "
+            f"{REPLAY_MIN_VERSION}+) — re-record it with this version "
+            "to replay"
         )
     return payload
 
@@ -107,6 +134,14 @@ def trace_config(path: str | Path) -> dict:
     if not isinstance(config, dict):
         raise ServeError(
             f"trace file {path} has no config block to replay against"
+        )
+    missing = [
+        key for key in _REPLAY_CONFIG_KEYS if key not in config
+    ]
+    if missing:
+        raise ServeError(
+            f"trace file {path} config block is missing "
+            f"{sorted(missing)} — not a replayable service report"
         )
     return config
 

@@ -58,6 +58,7 @@ from .arrivals import (
     DEFAULT_ARRIVAL_SEED,
     RequestClass,
     SampleGrid,
+    arrival_window_counts,
     build_arrivals,
     olap_heavy_mix,
     oltp_heavy_mix,
@@ -84,9 +85,16 @@ SERVE_ENGINES = ("scalar", "vector")
 #: (``--profile replay``) re-drives.  Version 3 adds the sampling
 #: knobs (``sample_window_s`` / ``sample_period`` /
 #: ``sample_warmup``) to the config block and the
-#: ``rate_cache_evictions`` counter.  Version-1 reports still load
+#: ``rate_cache_evictions`` counter.  Version 4 adds the
+#: ``arrival_windows`` block — per-window offered-arrival counts
+#: keyed by class and by tenant — the training data for
+#: :mod:`repro.planner.forecast`.  Version-1 reports still load
 #: everywhere except replay, which needs the log.
-REPORT_VERSION = 3
+REPORT_VERSION = 4
+
+#: Width of one arrival-count window in the report's
+#: ``arrival_windows`` block (and the planner's forecast grid).
+ARRIVAL_WINDOW_S = 1.0
 
 #: Default bound on the rate cache (entries, not bytes; one entry is a
 #: small per-class dict).  Long diurnal mix schedules can produce an
@@ -269,6 +277,9 @@ class ServiceReport:
     #: Offered arrival log: one ``(time_s, class name)`` per arrival
     #: (shed ones included) — the sequence replay re-drives.
     arrivals: tuple = ()
+    #: Per-window offered-arrival counts (``window_s`` / ``classes`` /
+    #: ``tenants``) — the forecaster training block.
+    arrival_windows: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -277,6 +288,7 @@ class ServiceReport:
                 [round(time_s, 9), name]
                 for time_s, name in self.arrivals
             ],
+            "arrival_windows": self.arrival_windows,
             "config": self.config.to_dict(),
             "arrived": self.arrived,
             "admitted": self.admitted,
@@ -414,6 +426,10 @@ class QueryService:
         self.queue = EventQueue()
         self._requests: dict[int, Request] = {}
         self._arrival_log: list[tuple[float, str]] = []
+        # class name -> tenant group, learned from the classes actually
+        # offered (covers re-tenanted cluster classes and injected
+        # replay catalogs alike).
+        self._tenant_by_class: dict[str, str] = {}
         self._next_request_id = 0
         self._free_tids = list(
             range(config.max_concurrency - 1, -1, -1)
@@ -605,17 +621,27 @@ class QueryService:
         self.accept(now, payload["cls"])
         self._schedule_next_arrival(now)
 
-    def accept(self, now: float, cls: RequestClass) -> AdmissionDecision:
+    def accept(
+        self,
+        now: float,
+        cls: RequestClass,
+        arrived_s: float | None = None,
+    ) -> AdmissionDecision:
         """Offer one arrival to admission (externally injectable).
 
         The cluster's routing layer calls this directly — a node takes
         traffic from the router exactly as it would from its own
-        arrival process.
+        arrival process.  ``arrived_s`` backdates the request's arrival
+        instant (default: ``now``): a migration-deferred arrival is
+        injected at the blackout's end but its latency — and so its SLO
+        verdict — is charged from the moment it originally arrived.
         """
-        self._arrival_log.append((now, cls.name))
+        arrived = now if arrived_s is None else arrived_s
+        self._arrival_log.append((arrived, cls.name))
+        self._tenant_by_class.setdefault(cls.name, cls.tenant)
         recorded = (
             self._sample_grid is None
-            or self._sample_grid.measured(now)
+            or self._sample_grid.measured(arrived)
         )
         if not recorded:
             runtime.metrics.counter(
@@ -624,7 +650,7 @@ class QueryService:
         request = Request(
             request_id=self._next_request_id,
             cls=cls,
-            arrived_s=now,
+            arrived_s=arrived,
             recorded=recorded,
         )
         self._next_request_id += 1
@@ -747,6 +773,34 @@ class QueryService:
                 ],
             }
         stats = self.cache_controller.stats
+        # Stable-sort by time: identity for a normal run (the clock
+        # never goes backwards), and it re-orders backdated
+        # migration-deferred arrivals so the log stays replayable.
+        arrival_log = sorted(
+            self._arrival_log, key=lambda entry: entry[0]
+        )
+        class_windows = arrival_window_counts(
+            arrival_log, ARRIVAL_WINDOW_S, self.config.duration_s
+        )
+        tenant_windows = arrival_window_counts(
+            (
+                (time_s, self._tenant_by_class[name])
+                for time_s, name in arrival_log
+            ),
+            ARRIVAL_WINDOW_S,
+            self.config.duration_s,
+        )
+        arrival_windows = {
+            "window_s": ARRIVAL_WINDOW_S,
+            "classes": [
+                dict(sorted(window.items()))
+                for window in class_windows
+            ],
+            "tenants": [
+                dict(sorted(window.items()))
+                for window in tenant_windows
+            ],
+        }
         return ServiceReport(
             config=self.config,
             arrived=self._next_request_id,
@@ -772,5 +826,6 @@ class QueryService:
             rate_cache_evictions=getattr(
                 self.rate_cache, "evictions", 0
             ),
-            arrivals=tuple(self._arrival_log),
+            arrivals=tuple(arrival_log),
+            arrival_windows=arrival_windows,
         )

@@ -40,7 +40,7 @@ class TestConfigValidation:
 
     def test_rejects_unknown_mix(self):
         with pytest.raises(ClusterError):
-            ClusterConfig(mix="shift")
+            ClusterConfig(mix="mixed")
 
     def test_rejects_fault_outside_fleet(self):
         with pytest.raises(ClusterError):
@@ -76,13 +76,13 @@ class TestConservationAndReport:
     def test_report_structure_roundtrips_as_json(self):
         report = _run()
         payload = json.loads(report.to_json())
-        assert payload["fleet_report_version"] == 3
+        assert payload["fleet_report_version"] == 4
         assert payload["execution"]["epochs"] == 1
         assert payload["execution"]["warnings"] == []
         assert len(payload["nodes"]) == 2
         for node in payload["nodes"]:
-            # Each node embeds a full v3 single-node service report.
-            assert node["report"]["report_version"] == 3
+            # Each node embeds a full v4 single-node service report.
+            assert node["report"]["report_version"] == 4
             assert node["routed_in"] == node["report"]["arrived"]
         tenants = [v["tenant"] for v in payload["fleet_slo"]]
         assert {"batch", "olap", "oltp"} <= set(tenants)

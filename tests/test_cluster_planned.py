@@ -1,0 +1,181 @@
+"""End-to-end tests for the planned cluster policy
+(repro.cluster.fleet + repro.planner integration)."""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.errors import ClusterError
+
+BATCH_HEAVY_TRAINING = tuple(
+    (("agg", 1), ("join", 1), ("oltp", 1), ("scan", 40))
+    for _ in range(8)
+)
+
+
+def _config(**overrides):
+    defaults = dict(
+        nodes=3, router="planned", policy="planned",
+        duration_s=4.0, rate_per_s=8.0, seed=17,
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def _dumps(report):
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+class TestConfigValidation:
+    def test_planned_policy_requires_planned_router(self):
+        with pytest.raises(ClusterError, match="go together"):
+            ClusterConfig(policy="planned", router="hash")
+
+    def test_planned_router_requires_planned_policy(self):
+        with pytest.raises(ClusterError, match="go together"):
+            ClusterConfig(policy="adaptive", router="planned")
+
+    def test_planner_knobs_are_validated(self):
+        with pytest.raises(ClusterError):
+            _config(plan_interval_s=0.0)
+        with pytest.raises(ClusterError):
+            _config(plan_forecaster="arima")
+        with pytest.raises(ClusterError):
+            _config(plan_margin=-0.5)
+        with pytest.raises(ClusterError):
+            _config(plan_training=(("scan", 1.5),))
+
+    def test_shift_mix_is_accepted(self):
+        config = _config(mix="shift", shift_at_s=1.5)
+        assert config.node_config(0).shift_at_s == 1.5
+
+
+class TestPlannedRun:
+    def test_report_carries_planner_and_windows_blocks(self):
+        report = Cluster(_config()).run()
+        payload = report.to_dict()
+        assert payload["fleet_report_version"] == 4
+        planner = payload["planner"]
+        assert planner["enabled"] is True
+        assert planner["ticks"] >= 1
+        assert planner["candidates"] > 1
+        assert len(planner["decisions"]) == planner["ticks"]
+        windows = payload["arrival_windows"]
+        assert windows["window_s"] == 1.0
+        assert len(windows["classes"]) == 4
+        assert len(windows["tenants"]) == 4
+        total = sum(
+            count
+            for window in windows["classes"]
+            for count in window.values()
+        )
+        assert total == report.generated
+
+    def test_request_conservation_holds(self):
+        report = Cluster(_config()).run()
+        assert report.generated == (
+            report.completed + report.shed_admission
+            + report.shed_failure + report.shed_no_node
+        )
+        assert report.generated > 0
+
+    def test_unplanned_policies_report_planner_disabled(self):
+        report = Cluster(ClusterConfig(
+            nodes=2, duration_s=2.0, rate_per_s=6.0, seed=17,
+            policy="none",
+        )).run()
+        assert report.planner == {"enabled": False}
+
+    def test_sequential_warning_recorded_for_any_jobs_value(self):
+        # The warning is a pure function of the config — recorded for
+        # jobs=1 too, so the execution block stays byte-identical
+        # across --fleet-jobs values.
+        for jobs in (1, 3):
+            report = Cluster(_config()).run(fleet_jobs=jobs)
+            warnings = report.execution["warnings"]
+            assert any("planned" in w for w in warnings)
+            assert any("sequential" in w for w in warnings)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("seed", [0, 17, 0xBEEF])
+    def test_run_vs_run(self, seed):
+        first = Cluster(_config(seed=seed)).run()
+        second = Cluster(_config(seed=seed)).run()
+        assert _dumps(first) == _dumps(second)
+
+    def test_fleet_jobs_do_not_change_bytes(self):
+        sequential = Cluster(_config()).run(fleet_jobs=1)
+        fanned = Cluster(_config()).run(fleet_jobs=4)
+        assert _dumps(sequential) == _dumps(fanned)
+
+    def test_migrating_run_is_byte_stable(self):
+        config = _config(
+            nodes=4, duration_s=6.0,
+            plan_training=BATCH_HEAVY_TRAINING,
+        )
+        first = Cluster(config).run()
+        second = Cluster(config).run(fleet_jobs=2)
+        assert first.planner["reconfigurations"] >= 1
+        assert _dumps(first) == _dumps(second)
+
+
+class TestMigration:
+    @pytest.fixture(scope="class")
+    def migrated(self):
+        # Batch-dominated training makes the first tick's forecast
+        # prefer a batch-isolation blueprint over the boot spread, so
+        # the planner re-homes tenants through a blackout.
+        return Cluster(_config(
+            nodes=4, duration_s=6.0,
+            plan_training=BATCH_HEAVY_TRAINING,
+        )).run()
+
+    def test_migration_happens_and_is_recorded(self, migrated):
+        planner = migrated.planner
+        assert planner["reconfigurations"] >= 1
+        assert planner["migrated_tenants"] > 0
+        changed = [
+            d for d in planner["decisions"] if d["changed"]
+        ]
+        assert changed
+        assert changed[0]["migrations"] > 0
+
+    def test_blackout_defers_arrivals_without_losing_them(
+        self, migrated
+    ):
+        assert migrated.planner["deferred_requests"] > 0
+        assert migrated.generated == (
+            migrated.completed + migrated.shed_admission
+            + migrated.shed_failure + migrated.shed_no_node
+        )
+
+    def test_downtime_lands_in_request_latency(self, migrated):
+        # Deferred arrivals keep their original timestamps, so the
+        # blackout wait is part of measured latency: some tenant's
+        # worst completion must wait at least the downtime window.
+        downtime = migrated.config.plan_downtime_s
+        worst = max(
+            verdict.p99_s for verdict in migrated.fleet_slo
+        )
+        assert worst >= downtime
+
+    def test_scheme_changes_reprogram_nodes(self, migrated):
+        blueprint = migrated.planner["blueprint"]
+        schemes = blueprint["schemes"]
+        assert len(schemes) == migrated.config.nodes
+        # The isolation blueprint runs the batch nodes unpartitioned.
+        assert "full" in schemes
+
+
+class TestShiftMix:
+    def test_shift_run_conserves_and_reports(self):
+        report = Cluster(_config(
+            mix="shift", profile="diurnal", duration_s=4.0,
+        )).run()
+        assert report.generated == (
+            report.completed + report.shed_admission
+            + report.shed_failure + report.shed_no_node
+        )
+        assert report.config.mix == "shift"

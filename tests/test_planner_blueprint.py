@@ -1,0 +1,234 @@
+"""Tests for blueprint enumeration, scoring, and transition planning
+(repro.planner.blueprint / transition)."""
+
+import pytest
+
+from repro.cluster.workload import cluster_classes, tenant_id
+from repro.config import DEFAULT_SYSTEM
+from repro.errors import PlannerError
+from repro.planner import (
+    BLUEPRINT_SCHEMES,
+    Blueprint,
+    BlueprintScorer,
+    enumerate_blueprints,
+    plan_transition,
+    preferred_node,
+    spread_blueprint,
+    tenant_key,
+)
+
+GROUPS = ("batch", "olap", "oltp")
+
+
+def _scorer(solve_memo=None):
+    classes = cluster_classes(DEFAULT_SYSTEM.cores)
+    return BlueprintScorer(
+        DEFAULT_SYSTEM,
+        classes=classes,
+        targets={"olap": 1.2, "oltp": 0.6},
+        max_concurrency=8,
+        solve_memo=solve_memo,
+    )
+
+
+def _rates(batch=8.0, olap=8.0, oltp=8.0):
+    classes = cluster_classes(DEFAULT_SYSTEM.cores)
+    by_tenant: dict = {}
+    for name, cls in classes.items():
+        by_tenant.setdefault(cls.tenant, []).append(name)
+    rates = {}
+    for tenant, total in (
+        ("batch", batch), ("olap", olap), ("oltp", oltp)
+    ):
+        for name in by_tenant[tenant]:
+            rates[name] = total / len(by_tenant[tenant])
+    return rates
+
+
+class TestBlueprintValueObject:
+    def test_build_normalizes_and_keys_deterministically(self):
+        first = Blueprint.build(
+            2, {"olap": [1, 0, 1], "batch": (0,)}, ("paper", "full")
+        )
+        second = Blueprint.build(
+            2, {"batch": [0], "olap": [0, 1]}, ("paper", "full")
+        )
+        assert first.key() == second.key()
+        assert first.placement_map() == {
+            "batch": (0,), "olap": (0, 1)
+        }
+
+    def test_rejects_malformed_blueprints(self):
+        with pytest.raises(PlannerError, match="schemes"):
+            Blueprint.build(2, {"olap": [0]}, ("paper",))
+        with pytest.raises(PlannerError, match="scheme"):
+            Blueprint.build(1, {"olap": [0]}, ("exotic",))
+        with pytest.raises(PlannerError, match="outside"):
+            Blueprint.build(2, {"olap": [5]}, ("paper", "paper"))
+        with pytest.raises(PlannerError, match="no nodes"):
+            Blueprint.build(2, {"olap": []}, ("paper", "paper"))
+
+    def test_preferred_node_cycles_the_home_set(self):
+        home = (1, 3, 4)
+        assert [preferred_node(home, i) for i in range(5)] == [
+            1, 3, 4, 1, 3,
+        ]
+
+
+class TestEnumeration:
+    def test_candidates_are_valid_unique_and_bounded(self):
+        for nodes in (1, 2, 4):
+            candidates = enumerate_blueprints(nodes, GROUPS)
+            assert 0 < len(candidates) <= 64
+            keys = [c.key() for c in candidates]
+            assert len(set(keys)) == len(keys)
+            assert keys == sorted(keys)
+            for candidate in candidates:
+                assert candidate.nodes == nodes
+
+    def test_spread_and_isolation_families_present(self):
+        candidates = enumerate_blueprints(4, GROUPS)
+        placements = {c.key()[0] for c in candidates}
+        spread = spread_blueprint(4, GROUPS, "paper")
+        assert spread.key()[0] in placements
+        isolating = [
+            c for c in candidates
+            if c.placement_map()["batch"] != (0, 1, 2, 3)
+        ]
+        assert isolating
+
+    def test_max_candidates_truncates(self):
+        full = enumerate_blueprints(4, GROUPS)
+        capped = enumerate_blueprints(4, GROUPS, max_candidates=3)
+        assert len(capped) == 3
+        assert capped == full[:3]
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(PlannerError):
+            enumerate_blueprints(2, ())
+        with pytest.raises(PlannerError):
+            enumerate_blueprints(2, GROUPS, max_candidates=0)
+
+
+class TestScoring:
+    def test_scoring_is_deterministic(self):
+        rates = _rates()
+        candidates = enumerate_blueprints(4, GROUPS)
+        first = [
+            _scorer().score(c, rates).to_dict() for c in candidates
+        ]
+        second = [
+            _scorer().score(c, rates).to_dict() for c in candidates
+        ]
+        assert first == second
+
+    def test_batch_heavy_forecast_prefers_isolation(self):
+        scorer = _scorer()
+        rates = _rates(batch=60.0, olap=2.0, oltp=2.0)
+        spread = scorer.score(
+            spread_blueprint(4, GROUPS, "paper"), rates
+        )
+        best = min(
+            (
+                scorer.score(c, rates)
+                for c in enumerate_blueprints(4, GROUPS)
+            ),
+            key=lambda s: (round(s.score, 9), s.blueprint.key()),
+        )
+        assert best.score < spread.score
+        assert best.blueprint.placement_map()["batch"] != (
+            0, 1, 2, 3,
+        )
+
+    def test_overload_penalized(self):
+        scorer = _scorer()
+        calm = scorer.score(
+            spread_blueprint(2, GROUPS, "paper"), _rates(4, 4, 4)
+        )
+        slammed = scorer.score(
+            spread_blueprint(2, GROUPS, "paper"),
+            _rates(400, 400, 400),
+        )
+        assert slammed.overload > 0.0
+        assert slammed.score > calm.score
+
+    def test_solve_memo_is_shared(self):
+        memo: dict = {}
+        rates = _rates()
+        spread = spread_blueprint(2, GROUPS, "paper")
+        first = _scorer(memo)
+        first.score(spread, rates)
+        assert first.solves > 0
+        second = _scorer(memo)
+        second.score(spread, rates)
+        assert second.solves == 0
+
+
+class TestTransition:
+    def test_tenant_key_matches_cluster_tenant_id(self):
+        for group in GROUPS:
+            for index in range(12):
+                assert tenant_key(group, index) == tenant_id(
+                    group, index
+                )
+
+    def test_scheme_only_change_moves_nobody(self):
+        plan = plan_transition(
+            spread_blueprint(3, GROUPS, "paper"),
+            spread_blueprint(3, GROUPS, "full"),
+            tenants_per_group=10,
+            time_s=2.0,
+            downtime_s=0.25,
+        )
+        assert plan.moves == ()
+        assert plan.blackout_until_s == pytest.approx(2.25)
+
+    def test_placement_change_moves_exactly_rehomed_tenants(self):
+        current = spread_blueprint(4, GROUPS, "paper")
+        target = Blueprint.build(
+            4,
+            {
+                "batch": (3,),
+                "olap": (0, 1, 2),
+                "oltp": (0, 1, 2),
+            },
+            ("paper", "paper", "paper", "full"),
+        )
+        tenants = 8
+        plan = plan_transition(current, target, tenants, 4.0, 0.5)
+        moved = {move.tenant for move in plan.moves}
+        for group in GROUPS:
+            old_home = current.placement_map()[group]
+            new_home = target.placement_map()[group]
+            for index in range(tenants):
+                expect = (
+                    preferred_node(old_home, index)
+                    != preferred_node(new_home, index)
+                )
+                key = tenant_key(group, index)
+                assert (key in moved) == expect
+        for move in plan.moves:
+            assert move.source != move.target
+
+    def test_rejects_mismatched_fleets_and_bad_knobs(self):
+        with pytest.raises(PlannerError, match="different fleets"):
+            plan_transition(
+                spread_blueprint(2, GROUPS),
+                spread_blueprint(3, GROUPS),
+                1, 0.0, 0.0,
+            )
+        with pytest.raises(PlannerError):
+            plan_transition(
+                spread_blueprint(2, GROUPS),
+                spread_blueprint(2, GROUPS),
+                0, 0.0, 0.0,
+            )
+        with pytest.raises(PlannerError):
+            plan_transition(
+                spread_blueprint(2, GROUPS),
+                spread_blueprint(2, GROUPS),
+                1, 0.0, -1.0,
+            )
+
+    def test_schemes_registry_has_full_and_paper(self):
+        assert set(BLUEPRINT_SCHEMES) == {"full", "paper"}

@@ -136,4 +136,4 @@ class TestSampledService:
         payload = json.loads(report.to_json())
         assert payload["config"]["sample_window_s"] == 1.0
         assert payload["config"]["sample_period"] == 3
-        assert payload["report_version"] == 3
+        assert payload["report_version"] == 4

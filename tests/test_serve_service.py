@@ -145,7 +145,7 @@ class TestReports:
                                        tmp_path):
         path = baseline_report.write(tmp_path / "report.json")
         payload = json.loads(path.read_text())
-        assert payload["report_version"] == 3
+        assert payload["report_version"] == 4
         assert payload["config"]["seed"] == 7
         assert payload["completed"] == baseline_report.completed
         # v2+: the offered arrival log rides along for trace replay.
