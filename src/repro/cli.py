@@ -460,6 +460,35 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     cluster.add_argument(
+        "--search", choices=("enum", "beam"), default="enum",
+        help=(
+            "planned policy: blueprint candidate generation — score "
+            "the bounded enumerated family, or beam-search the full "
+            "placement space seeded by it (default: enum)"
+        ),
+    )
+    cluster.add_argument(
+        "--beam-width", type=int, default=16, metavar="N",
+        help=(
+            "planned policy: beam frontier kept per search round "
+            "(default: 16)"
+        ),
+    )
+    cluster.add_argument(
+        "--search-steps", type=int, default=4, metavar="N",
+        help=(
+            "planned policy: beam expansion rounds per plan tick "
+            "(default: 4)"
+        ),
+    )
+    cluster.add_argument(
+        "--search-candidates", type=int, default=2000, metavar="N",
+        help=(
+            "planned policy: per-tick candidate scoring budget for "
+            "the beam search (default: 2000)"
+        ),
+    )
+    cluster.add_argument(
         "--out", default="runs", metavar="DIR",
         help="report directory (default: runs/)",
     )
@@ -753,6 +782,10 @@ def _run_cluster(args: argparse.Namespace) -> int:
                 plan_forecaster=args.plan_forecaster,
                 plan_period_s=args.plan_period,
                 plan_margin=args.plan_margin,
+                plan_search=args.search,
+                plan_beam_width=args.beam_width,
+                plan_search_steps=args.search_steps,
+                plan_search_candidates=args.search_candidates,
                 plan_training=training,
             )
         except ClusterError as error:
@@ -793,12 +826,19 @@ def _run_cluster(args: argparse.Namespace) -> int:
         if report.planner.get("enabled"):
             planner = report.planner
             schemes = ",".join(planner["blueprint"]["schemes"])
+            search = planner["search"]
             print(
                 f"  planner: ticks={planner['ticks']} "
                 f"reconfigurations={planner['reconfigurations']} "
                 f"migrated={planner['migrated_tenants']} "
                 f"deferred={planner['deferred_requests']} "
                 f"schemes=[{schemes}]"
+            )
+            print(
+                f"  search: strategy={search['strategy']} "
+                f"scored={search['candidates_scored']} "
+                f"rounds={search['rounds']} "
+                f"improvements={search['frontier_improvements']}"
             )
         for verdict in report.fleet_slo:
             status = "OK" if verdict.ok else "VIOLATED"

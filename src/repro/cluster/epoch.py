@@ -145,10 +145,17 @@ def plan_fleet(config, sources, fault_events, router) -> FleetPlan:
     objects — enumeration advances them exactly as the sequential loop
     would (same arrival draws, same tenant draws, same sample-grid
     jumps), so the plan *consumes* them.
+
+    Besides ``hash``, the ``planned`` router qualifies when its
+    placement is frozen for the whole run (the caller's burden:
+    ``Cluster.run`` only takes this path when the planner lane never
+    fires) — routing is then a pure function of (tenant key, alive
+    set), exactly like the ring.
     """
-    if router.name != "hash":
+    if router.name not in ("hash", "planned"):
         raise ClusterError(
-            "epoch planning requires the stateless 'hash' router: "
+            "epoch planning requires a state-free routing function "
+            f"('hash', or 'planned' with a frozen placement): "
             f"{router.name!r} reads live node state per decision"
         )
     epochs = split_epochs(fault_events, config.nodes)

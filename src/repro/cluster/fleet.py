@@ -150,7 +150,13 @@ CLUSTER_POLICIES = POLICIES + ("planned",)
 #: offered-arrival counts by class and tenant group — forecaster
 #: training data) and the ``planner`` block (the ``planned`` policy's
 #: decision log; ``{"enabled": false}`` otherwise).
-FLEET_REPORT_VERSION = 4
+#: Version 5 adds the blueprint-search knobs to the config block, a
+#: ``search`` sub-block and per-decision ``best_score`` to the
+#: ``planner`` block, and scopes the planned policy's sequential-
+#: execution fallback to runs whose planner lane can actually fire
+#: (``plan_interval_s < duration_s``) — an idle planner is a frozen
+#: placement, which the epoch-parallel path replays exactly.
+FLEET_REPORT_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -198,6 +204,13 @@ class ClusterConfig:
     #: Hysteresis: a candidate blueprint must beat the incumbent's
     #: score by this relative margin to trigger a transition.
     plan_margin: float = 0.1
+    #: Blueprint search strategy: ``enum`` scores the bounded family,
+    #: ``beam`` runs the seeded beam search on top of it
+    #: (:mod:`repro.planner.search`).
+    plan_search: str = "enum"
+    plan_beam_width: int = 16
+    plan_search_steps: int = 4
+    plan_search_candidates: int = 2000
     #: Pre-training windows — ``((class, count), ...)`` per window, the
     #: output of :func:`repro.planner.training_from_report`.
     plan_training: tuple = ()
@@ -276,6 +289,13 @@ class ClusterConfig:
             period_s=period,
             window_s=ARRIVAL_WINDOW_S,
             margin=self.plan_margin,
+            search=self.plan_search,
+            beam_width=self.plan_beam_width,
+            search_steps=self.plan_search_steps,
+            search_candidates=self.plan_search_candidates,
+            # The search's subsampling draws from the run seed: the
+            # beam stays inside the fleet's determinism domain.
+            search_seed=self.seed,
             training=training,
         )
 
@@ -338,6 +358,10 @@ class ClusterConfig:
             "plan_forecaster": self.plan_forecaster,
             "plan_period_s": self.plan_period_s,
             "plan_margin": self.plan_margin,
+            "plan_search": self.plan_search,
+            "plan_beam_width": self.plan_beam_width,
+            "plan_search_steps": self.plan_search_steps,
+            "plan_search_candidates": self.plan_search_candidates,
             "plan_training": [
                 [[name, count] for name, count in window]
                 for window in self.plan_training
@@ -593,7 +617,14 @@ class Cluster:
                 config.tenants_per_group,
             )
             self.router.install(self.planner.current.placement_map())
-            self._next_plan_tick = config.plan_interval_s
+            # Same clamp as the in-run rescheduling: a first tick at or
+            # beyond the run end never fires, so the planner lane is
+            # idle for the whole run and the boot placement is frozen.
+            self._next_plan_tick = (
+                config.plan_interval_s
+                if config.plan_interval_s < config.duration_s
+                else None
+            )
 
     # -- lanes ---------------------------------------------------------
     #
@@ -823,10 +854,13 @@ class Cluster:
         """Run to completion (sources stop at the horizon, then drain).
 
         ``fleet_jobs > 1`` runs the node simulations on worker
-        processes when the router is stateless (``hash``) — the report
-        is byte-identical to the sequential loop for any value.
-        Stateful routers fall back to the sequential path and record a
-        warning in the report's ``execution`` block.
+        processes when routing is epoch-plannable: the stateless
+        ``hash`` router, or a ``planned`` fleet whose planner lane
+        never fires (first tick at or beyond the run end — the boot
+        placement stays frozen).  The report is byte-identical to the
+        sequential loop for any value.  Stateful routers and active
+        planners fall back to the sequential path and record a warning
+        in the report's ``execution`` block.
         """
         if self._ran:
             raise ClusterError("a Cluster instance runs exactly once")
@@ -837,18 +871,29 @@ class Cluster:
         self._ran = True
         config = self.config
         if config.policy == "planned":
-            # Recorded unconditionally (a pure function of the config,
-            # never of fleet_jobs) so planned reports stay
-            # byte-identical across --fleet-jobs values.
-            self._warnings.append(
-                "policy 'planned' replans routing and CAT state on a "
-                "timer; fleet execution is sequential for any "
-                "fleet_jobs value"
-            )
-            if fleet_jobs > 1 and config.nodes > 1:
-                runtime.metrics.counter(
-                    "cluster.parallel.fallbacks"
-                ).inc()
+            if self._next_plan_tick is not None:
+                # The planner lane will fire.  Recorded whenever that
+                # holds (a pure function of the config, never of
+                # fleet_jobs) so planned reports stay byte-identical
+                # across --fleet-jobs values.
+                self._warnings.append(
+                    "policy 'planned' replans routing and CAT state "
+                    "on a timer; fleet execution is sequential for "
+                    "any fleet_jobs value"
+                )
+                if fleet_jobs > 1 and config.nodes > 1:
+                    runtime.metrics.counter(
+                        "cluster.parallel.fallbacks"
+                    ).inc()
+            elif fleet_jobs > 1 and config.nodes > 1:
+                # The first plan tick lands at or beyond the run end:
+                # the planner never acts, the boot placement is frozen,
+                # and the planned router is a pure function of
+                # (tenant key, alive set) — exactly what the
+                # epoch-parallel path requires.
+                return self._run_parallel(
+                    min(fleet_jobs, config.nodes)
+                )
         elif fleet_jobs > 1 and config.nodes > 1:
             if config.router == "hash":
                 return self._run_parallel(
@@ -924,7 +969,8 @@ class Cluster:
         )
 
     def _run_parallel(self, jobs: int) -> ClusterReport:
-        """The epoch-parallel path: plan, fan out, splice (hash only).
+        """The epoch-parallel path: plan, fan out, splice (hash, or
+        planned with an idle planner lane).
 
         Workers are pre-warmed with the parent's solve memo and their
         additions merge back after every wave, so later waves never

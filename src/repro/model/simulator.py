@@ -223,7 +223,52 @@ class WorkloadSimulator:
         ):
             return self._simulate(queries)
 
-    def _simulate(self, queries: list[QuerySpec]) -> dict[str, QueryResult]:
+    def simulate_many(
+        self, compositions: list[list[QuerySpec]]
+    ) -> list[dict[str, QueryResult]]:
+        """Solve several compositions in one batched call.
+
+        Each composition gets exactly the fixed point
+        :meth:`simulate` would have produced (the results are
+        bit-identical), but the per-query preparation constants —
+        latency-model fractions, per-tuple coefficients — are shared
+        across compositions through one prepare memo, so a population
+        of overlapping hypothetical node states (the planner's batch
+        scoring path) pays for each distinct ``(query, cores, mask,
+        smt)`` shape once instead of once per composition.
+        """
+        if not compositions:
+            return []
+        prepare_cache: dict = {}
+        results = []
+        with runtime.tracer.span(
+            "simulate_batch", compositions=len(compositions)
+        ):
+            runtime.metrics.counter(
+                "simulator.batch.compositions"
+            ).inc(len(compositions))
+            for queries in compositions:
+                if not queries:
+                    raise ModelError(
+                        "simulate requires at least one query"
+                    )
+                names = [q.name for q in queries]
+                if len(names) != len(set(names)):
+                    raise ModelError(
+                        f"duplicate query names: {names}"
+                    )
+                results.append(
+                    self._simulate(
+                        queries, prepare_cache=prepare_cache
+                    )
+                )
+        return results
+
+    def _simulate(
+        self,
+        queries: list[QuerySpec],
+        prepare_cache: dict | None = None,
+    ) -> dict[str, QueryResult]:
         # SMT contention: when the workload demands more cores than the
         # socket has, the surplus threads time-share.  A query whose
         # threads all collide (e.g. a 2-core OLTP pool on a machine
@@ -247,9 +292,27 @@ class WorkloadSimulator:
             q.name: bin(q.mask).count("1") * way_lines for q in queries
         }
 
-        prepared = {
-            q.name: self._prepare(q, smt_factors[q.name]) for q in queries
-        }
+        if prepare_cache is None:
+            prepared = {
+                q.name: self._prepare(q, smt_factors[q.name])
+                for q in queries
+            }
+        else:
+            # Batched path: identical (query, cores, mask, smt) shapes
+            # across compositions share one prepared dict.  The dicts
+            # are read-only after _prepare, so sharing is safe.
+            prepared = {}
+            for q in queries:
+                shape = (
+                    q.name, id(q.profile), q.cores, q.mask,
+                    smt_factors[q.name],
+                )
+                entry = prepare_cache.get(shape)
+                if entry is None:
+                    entry = prepare_cache[shape] = self._prepare(
+                        q, smt_factors[q.name]
+                    )
+                prepared[q.name] = entry
         throughput = {
             q.name: q.cores / prepared[q.name]["base_tuple_seconds"]
             for q in queries

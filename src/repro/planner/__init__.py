@@ -14,6 +14,7 @@ policy).  See ``docs/PLANNING.md``.
 
 from .blueprint import (
     BLUEPRINT_SCHEMES,
+    BatchScores,
     Blueprint,
     BlueprintScore,
     BlueprintScorer,
@@ -38,6 +39,15 @@ from .planner import (
     PlanDecision,
     PlannerConfig,
 )
+from .search import (
+    SEARCH_STRATEGIES,
+    ScoredEntry,
+    SearchConfig,
+    SearchResult,
+    SearchStats,
+    beam_search,
+    neighborhood,
+)
 from .transition import (
     MigrationPlan,
     TenantMove,
@@ -47,6 +57,7 @@ from .transition import (
 
 __all__ = [
     "BLUEPRINT_SCHEMES",
+    "BatchScores",
     "Blueprint",
     "BlueprintScore",
     "BlueprintScorer",
@@ -59,9 +70,16 @@ __all__ = [
     "MigrationPlan",
     "PlanDecision",
     "PlannerConfig",
+    "SEARCH_STRATEGIES",
+    "ScoredEntry",
+    "SearchConfig",
+    "SearchResult",
+    "SearchStats",
     "SeasonalWindowForecaster",
     "TenantMove",
+    "beam_search",
     "enumerate_blueprints",
+    "neighborhood",
     "fit_forecaster",
     "forecaster_from_dict",
     "make_forecaster",

@@ -5,8 +5,12 @@ On every planning tick the :class:`FleetPlanner`:
 1. folds the complete arrival windows since the last tick into its
    forecaster,
 2. forecasts per-class arrival rates over the horizon,
-3. scores every candidate blueprint against the analytic model
-   (:class:`~repro.planner.blueprint.BlueprintScorer`),
+3. scores the candidate population against the analytic model in one
+   batched pass
+   (:meth:`~repro.planner.blueprint.BlueprintScorer.score_many`) —
+   either the bounded enumerated family (``search="enum"``) or the
+   beam search seeded by it (``search="beam"``,
+   :mod:`repro.planner.search`),
 4. switches to the best candidate only if it beats the *current*
    blueprint's score by the hysteresis ``margin`` — small forecast
    noise must not thrash placement — and, on a switch, emits the
@@ -23,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import time
+
 from ..errors import PlannerError
 from ..obs import runtime
 from .blueprint import (
@@ -33,6 +39,12 @@ from .blueprint import (
     spread_blueprint,
 )
 from .forecast import FORECASTERS, Forecast, make_forecaster
+from .search import (
+    SEARCH_STRATEGIES,
+    ScoredEntry,
+    SearchConfig,
+    beam_search,
+)
 from .transition import MigrationPlan, plan_transition
 
 #: The batch tenant group name (mirrors
@@ -53,6 +65,15 @@ class PlannerConfig:
     window_s: float = 1.0
     margin: float = 0.1
     max_candidates: int = 64
+    #: Candidate generation: ``enum`` scores the bounded family only,
+    #: ``beam`` runs the seeded beam search on top of it.
+    search: str = "enum"
+    beam_width: int = 16
+    search_steps: int = 4
+    search_candidates: int = 2000
+    #: Seed for the beam search's budget subsampling (the fleet passes
+    #: its run seed through, keeping search in the determinism domain).
+    search_seed: int = 0
     #: Pre-training windows: ``((class, count), ...)`` per window, the
     #: canonical form of
     #: :func:`repro.planner.forecast.training_from_report`.
@@ -88,6 +109,14 @@ class PlannerConfig:
             raise PlannerError(
                 f"switch margin must be >= 0: {self.margin}"
             )
+        if self.search not in SEARCH_STRATEGIES:
+            raise PlannerError(
+                f"search must be one of {SEARCH_STRATEGIES}: "
+                f"{self.search!r}"
+            )
+        # Delegate the remaining search-knob validation (and fail at
+        # config time, not first tick).
+        self.search_config()
         for window in self.training:
             for entry in window:
                 if (
@@ -100,6 +129,15 @@ class PlannerConfig:
                         f"...) tuples: {entry!r}"
                     )
 
+    def search_config(self) -> SearchConfig:
+        return SearchConfig(
+            strategy=self.search,
+            beam_width=self.beam_width,
+            steps=self.search_steps,
+            max_candidates=self.search_candidates,
+            seed=self.search_seed,
+        )
+
     def to_dict(self) -> dict:
         return {
             "interval_s": self.interval_s,
@@ -110,6 +148,7 @@ class PlannerConfig:
             "window_s": self.window_s,
             "margin": self.margin,
             "max_candidates": self.max_candidates,
+            "search": self.search_config().to_dict(),
             "training_windows": len(self.training),
         }
 
@@ -124,6 +163,10 @@ class PlanDecision:
     forecast: Forecast
     chosen: BlueprintScore
     incumbent_score: float
+    #: Best score seen this tick regardless of hysteresis — lets a
+    #: search-quality comparison read "what the planner could have
+    #: had" even on ticks that kept the incumbent.
+    best_score: float
     migrations: int
 
     def to_dict(self) -> dict:
@@ -134,6 +177,7 @@ class PlanDecision:
             "forecast": self.forecast.to_dict(),
             "chosen": self.chosen.to_dict(),
             "incumbent_score": round(self.incumbent_score, 9),
+            "best_score": round(self.best_score, 9),
             "migrations": self.migrations,
         }
 
@@ -193,6 +237,16 @@ class FleetPlanner:
         self.migrated_tenants = 0
         self.decisions: list[PlanDecision] = []
         self._window_cursor = 0
+        self._search_config = config.search_config()
+        # Cumulative search accounting for the report's ``search``
+        # block — counts only; wall time goes to metrics so reports
+        # stay byte-identical across machines and job counts.
+        self.search_totals = {
+            "rounds": 0,
+            "candidates_scored": 0,
+            "frontier_improvements": 0,
+            "truncated": 0,
+        }
 
     def _moves_between(
         self, target: Blueprint
@@ -228,24 +282,75 @@ class FleetPlanner:
             name: forecast.rate_for(name)
             for name in sorted(self.scorer.classes)
         }
-        scored = {
-            candidate.key(): self.scorer.score(candidate, rates)
-            for candidate in self.candidates
-        }
-        metrics.counter("planner.candidates").inc(len(scored))
-        incumbent = scored.get(self.current.key())
-        if incumbent is None:
+        started = time.perf_counter_ns()
+        if self._search_config.strategy == "beam":
+            # Beam search seeded by the enumerated family plus the
+            # incumbent: the winner can never rank worse than either.
+            result = beam_search(
+                self.scorer,
+                rates,
+                self.candidates + (self.current,),
+                self._search_config,
+                min_nodes=self.nodes,
+                max_nodes=self.nodes,
+            )
+            entries = list(result.entries.values())
+            search = result.stats
+            for key, value in search.to_dict().items():
+                self.search_totals[key] += value
+            metrics.counter("planner.search.rounds").inc(
+                search.rounds
+            )
+            metrics.counter("planner.search.improvements").inc(
+                search.frontier_improvements
+            )
+            incumbent_entry = result.get(self.current)
+        else:
+            batch = self.scorer.score_many(self.candidates, rates)
+            entries = [
+                ScoredEntry(
+                    blueprint=candidate,
+                    score=float(batch.scores[row]),
+                    batch=batch,
+                    row=row,
+                )
+                for row, candidate in enumerate(batch.blueprints)
+            ]
+            self.search_totals["candidates_scored"] += len(entries)
+            incumbent_entry = None
+            for entry in entries:
+                if entry.blueprint.key() == self.current.key():
+                    incumbent_entry = entry
+                    break
+        metrics.counter("planner.candidates").inc(len(entries))
+        metrics.counter("planner.search.candidates").inc(
+            len(entries)
+        )
+        if incumbent_entry is not None:
+            incumbent = incumbent_entry.materialize()
+        else:
             incumbent = self.scorer.score(self.current, rates)
         # Rank: model score, then fewer migrations, then canonical key
         # — a full deterministic order with no float ties left to
-        # chance.
+        # chance.  Migration counts are computed lazily, only for the
+        # candidates tied at the lowest rounded score: identical
+        # outcome to ranking every candidate with the full tuple,
+        # without a plan_transition per scored candidate.
+        rounded = [round(entry.score, 9) for entry in entries]
+        lowest = min(rounded)
         best = min(
-            scored.values(),
-            key=lambda s: (
-                round(s.score, 9),
-                self._moves_between(s.blueprint),
-                s.blueprint.key(),
+            (
+                entry
+                for entry, value in zip(entries, rounded)
+                if value == lowest
             ),
+            key=lambda entry: (
+                self._moves_between(entry.blueprint),
+                entry.blueprint.key(),
+            ),
+        ).materialize()
+        metrics.counter("planner.search.tick_ns").inc(
+            time.perf_counter_ns() - started
         )
         changed = (
             best.blueprint.key() != self.current.key()
@@ -275,6 +380,7 @@ class FleetPlanner:
             forecast=forecast,
             chosen=best if changed else incumbent,
             incumbent_score=incumbent.score,
+            best_score=best.score,
             migrations=len(migration.moves) if migration else 0,
         )
         self.decisions.append(decision)
@@ -290,5 +396,9 @@ class FleetPlanner:
             "reconfigurations": self.reconfigurations,
             "migrated_tenants": self.migrated_tenants,
             "blueprint": self.current.to_dict(),
+            "search": {
+                "strategy": self._search_config.strategy,
+                **self.search_totals,
+            },
             "decisions": [d.to_dict() for d in self.decisions],
         }

@@ -46,6 +46,16 @@ class TestConfigValidation:
         with pytest.raises(ClusterError):
             _config(plan_training=(("scan", 1.5),))
 
+    def test_search_knobs_are_validated(self):
+        with pytest.raises(ClusterError):
+            _config(plan_search="anneal")
+        with pytest.raises(ClusterError):
+            _config(plan_beam_width=0)
+        with pytest.raises(ClusterError):
+            _config(plan_search_steps=0)
+        with pytest.raises(ClusterError):
+            _config(plan_search_candidates=0)
+
     def test_shift_mix_is_accepted(self):
         config = _config(mix="shift", shift_at_s=1.5)
         assert config.node_config(0).shift_at_s == 1.5
@@ -55,12 +65,19 @@ class TestPlannedRun:
     def test_report_carries_planner_and_windows_blocks(self):
         report = Cluster(_config()).run()
         payload = report.to_dict()
-        assert payload["fleet_report_version"] == 4
+        assert payload["fleet_report_version"] == 5
         planner = payload["planner"]
         assert planner["enabled"] is True
         assert planner["ticks"] >= 1
         assert planner["candidates"] > 1
         assert len(planner["decisions"]) == planner["ticks"]
+        search = planner["search"]
+        assert search["strategy"] == "enum"
+        assert search["candidates_scored"] >= planner["candidates"]
+        for decision in planner["decisions"]:
+            assert decision["best_score"] <= (
+                decision["incumbent_score"] + 1e-9
+            )
         windows = payload["arrival_windows"]
         assert windows["window_s"] == 1.0
         assert len(windows["classes"]) == 4
@@ -98,6 +115,44 @@ class TestPlannedRun:
             assert any("sequential" in w for w in warnings)
 
 
+class TestIdlePlannerLane:
+    # First plan tick at or beyond the run end: the planner never
+    # acts, so the run must not warn about sequential execution and
+    # may use the epoch-parallel path.
+
+    def test_no_tick_and_no_warning_when_interval_exceeds_duration(
+        self,
+    ):
+        report = Cluster(
+            _config(plan_interval_s=99.0)
+        ).run(fleet_jobs=1)
+        assert report.planner["ticks"] == 0
+        assert report.planner["decisions"] == []
+        assert report.execution["warnings"] == []
+
+    def test_interval_equal_to_duration_never_ticks(self):
+        report = Cluster(_config(plan_interval_s=4.0)).run()
+        assert report.planner["ticks"] == 0
+        assert report.execution["warnings"] == []
+
+    def test_idle_lane_jobs_do_not_change_bytes(self):
+        sequential = Cluster(
+            _config(plan_interval_s=99.0)
+        ).run(fleet_jobs=1)
+        fanned = Cluster(
+            _config(plan_interval_s=99.0)
+        ).run(fleet_jobs=3)
+        assert _dumps(sequential) == _dumps(fanned)
+
+    def test_active_lane_still_warns(self):
+        report = Cluster(_config()).run(fleet_jobs=3)
+        assert report.planner["ticks"] >= 1
+        assert any(
+            "sequential" in w
+            for w in report.execution["warnings"]
+        )
+
+
 class TestByteIdentity:
     @pytest.mark.parametrize("seed", [0, 17, 0xBEEF])
     def test_run_vs_run(self, seed):
@@ -119,6 +174,41 @@ class TestByteIdentity:
         second = Cluster(config).run(fleet_jobs=2)
         assert first.planner["reconfigurations"] >= 1
         assert _dumps(first) == _dumps(second)
+
+    @pytest.mark.parametrize("seed", [17, 0xBEEF])
+    def test_beam_search_is_byte_stable(self, seed):
+        config = _config(seed=seed, plan_search="beam")
+        first = Cluster(config).run(fleet_jobs=1)
+        second = Cluster(config).run(fleet_jobs=4)
+        assert first.planner["search"]["strategy"] == "beam"
+        assert first.planner["search"]["candidates_scored"] > 0
+        assert _dumps(first) == _dumps(second)
+
+    def test_beam_never_scores_worse_than_enum(self):
+        # Beam seeds its frontier with the full enumerated family, so
+        # tick-by-tick the best score it sees can only be <= enum's
+        # (offered arrival windows — hence forecasts — are identical
+        # across the two runs).
+        enum_run = Cluster(_config(
+            nodes=4, duration_s=6.0,
+            plan_training=BATCH_HEAVY_TRAINING,
+        )).run()
+        beam_run = Cluster(_config(
+            nodes=4, duration_s=6.0,
+            plan_training=BATCH_HEAVY_TRAINING,
+            plan_search="beam",
+        )).run()
+        enum_best = [
+            d["best_score"]
+            for d in enum_run.planner["decisions"]
+        ]
+        beam_best = [
+            d["best_score"]
+            for d in beam_run.planner["decisions"]
+        ]
+        assert len(enum_best) == len(beam_best) >= 1
+        for beam, enum in zip(beam_best, enum_best):
+            assert beam <= enum + 1e-12
 
 
 class TestMigration:

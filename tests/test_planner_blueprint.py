@@ -164,6 +164,165 @@ class TestScoring:
         assert second.solves == 0
 
 
+class TestBatchScoring:
+    # score_many is the batched twin of score(): same arithmetic,
+    # same floats, bit for bit — satellite guarantee for the search.
+
+    def test_batch_matches_scalar_exactly_on_the_family(self):
+        memo: dict = {}
+        scorer = _scorer(memo)
+        rates = _rates(batch=12.0, olap=20.0, oltp=30.0)
+        candidates = enumerate_blueprints(4, GROUPS)
+        batch = scorer.score_many(candidates, rates)
+        assert len(batch) == len(candidates)
+        for index, candidate in enumerate(candidates):
+            scalar = scorer.score(candidate, rates)
+            materialized = batch.materialize(index)
+            assert materialized.score == scalar.score
+            assert materialized.objective == scalar.objective
+            assert materialized.overload == scalar.overload
+            assert materialized.utilization == scalar.utilization
+            assert materialized.predicted_s == scalar.predicted_s
+            assert materialized.to_dict() == scalar.to_dict()
+
+    def test_batch_handles_mixed_node_counts(self):
+        scorer = _scorer({})
+        rates = _rates()
+        population = (
+            enumerate_blueprints(2, GROUPS)
+            + enumerate_blueprints(3, GROUPS)
+            + enumerate_blueprints(4, GROUPS)
+        )
+        batch = scorer.score_many(population, rates)
+        for index, candidate in enumerate(population):
+            scalar = scorer.score(candidate, rates)
+            assert batch.materialize(index).to_dict() == (
+                scalar.to_dict()
+            )
+
+    def test_zero_rates_score_zero_everywhere(self):
+        scorer = _scorer({})
+        candidates = enumerate_blueprints(3, GROUPS)
+        zero = {name: 0.0 for name in _rates()}
+        batch = scorer.score_many(candidates, zero)
+        for index, candidate in enumerate(candidates):
+            materialized = batch.materialize(index)
+            scalar = scorer.score(candidate, zero)
+            assert materialized.to_dict() == scalar.to_dict()
+            assert materialized.score == 0.0
+        assert scorer.solves == 0
+
+    def test_batch_feeds_the_shared_memo(self):
+        memo: dict = {}
+        rates = _rates()
+        candidates = enumerate_blueprints(4, GROUPS)
+        first = _scorer(memo)
+        first.score_many(candidates, rates)
+        assert first.solves > 0
+        assert len(memo) == first.solves
+        # A scalar scorer (and a second batch) hit the memo cold.
+        second = _scorer(memo)
+        for candidate in candidates:
+            second.score(candidate, rates)
+        assert second.solves == 0
+        third = _scorer(memo)
+        third.score_many(candidates, rates)
+        assert third.solves == 0
+
+    def test_unknown_forecast_class_is_rejected(self):
+        scorer = _scorer({})
+        rates = dict(_rates())
+        rates["mystery"] = 5.0
+        with pytest.raises(PlannerError, match="catalog"):
+            scorer.score_many(
+                enumerate_blueprints(2, GROUPS), rates
+            )
+
+    def test_empty_population_is_fine(self):
+        batch = _scorer({}).score_many((), _rates())
+        assert len(batch) == 0
+        assert batch.materialize_all() == []
+
+
+class TestBatchScalarEquivalenceProperties:
+    # Satellite: hypothesis sweep over random placements, schemes and
+    # rate mixes — batch and scalar must agree bit for bit, so the
+    # family ranking (score, then canonical key) is identical too.
+
+    hypothesis = pytest.importorskip("hypothesis")
+
+    def test_random_populations_rank_identically(self):
+        from hypothesis import given, settings, strategies as st
+
+        schemes = st.sampled_from(sorted(BLUEPRINT_SCHEMES))
+        nodes_st = st.integers(min_value=1, max_value=5)
+
+        @st.composite
+        def blueprints(draw):
+            nodes = draw(nodes_st)
+            placement = {}
+            for group in GROUPS:
+                home = draw(st.sets(
+                    st.integers(0, nodes - 1),
+                    min_size=1, max_size=nodes,
+                ))
+                placement[group] = tuple(sorted(home))
+            return Blueprint.build(
+                nodes,
+                placement,
+                tuple(
+                    draw(schemes) for _ in range(nodes)
+                ),
+            )
+
+        rate_st = st.floats(
+            min_value=0.0, max_value=200.0,
+            allow_nan=False, allow_infinity=False,
+        )
+
+        memo: dict = {}
+        scorer = _scorer(memo)
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            population=st.lists(
+                blueprints(), min_size=1, max_size=6
+            ),
+            batch=rate_st, olap=rate_st, oltp=rate_st,
+        )
+        def check(population, batch, olap, oltp):
+            rates = _rates(batch=batch, olap=olap, oltp=oltp)
+            scored = scorer.score_many(population, rates)
+            scalar = [
+                scorer.score(candidate, rates)
+                for candidate in population
+            ]
+            for index in range(len(population)):
+                assert scored.materialize(index).to_dict() == (
+                    scalar[index].to_dict()
+                )
+                assert float(scored.scores[index]) == (
+                    scalar[index].score
+                )
+            rank = sorted(
+                range(len(population)),
+                key=lambda i: (
+                    round(float(scored.scores[i]), 9),
+                    population[i].key(),
+                ),
+            )
+            scalar_rank = sorted(
+                range(len(population)),
+                key=lambda i: (
+                    round(scalar[i].score, 9),
+                    population[i].key(),
+                ),
+            )
+            assert rank == scalar_rank
+
+        check()
+
+
 class TestTransition:
     def test_tenant_key_matches_cluster_tenant_id(self):
         for group in GROUPS:
