@@ -52,6 +52,7 @@ from .parallel.worker import run_experiment_task
 from .experiments import (
     ext_baselines,
     ext_cluster,
+    ext_defense,
     ext_planner,
     ext_scheduling,
     ext_service,
@@ -84,6 +85,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., object], str]] = {
         "sharded fleet: routing policy x node count x load",
     ),
     "ext-coloring": (ext_baselines.main, "CAT vs page coloring"),
+    "ext-defense": (
+        ext_defense.main,
+        "adversarial tenants: detection + CAT quarantine",
+    ),
     "ext-planner": (
         ext_planner.main,
         "forecast-driven blueprint planning vs reactive adaptation",
@@ -348,6 +353,49 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "inject N seeded node kills (with recovery) drawn from "
             "the run seed (default: 0)"
+        ),
+    )
+    cluster.add_argument(
+        "--attack", action="append", default=None,
+        metavar="PROFILE[:START[:STOP[:RATE]]]",
+        help=(
+            "schedule one adversarial tenant stream (thrash, "
+            "saturate, or probe); repeatable.  START/STOP are "
+            "simulated seconds, RATE requests/s (see docs/DEFENSE.md)"
+        ),
+    )
+    cluster.add_argument(
+        "--attacks", type=int, default=0, metavar="N",
+        help=(
+            "draw N seeded attack schedules from the run seed "
+            "(default: 0)"
+        ),
+    )
+    cluster.add_argument(
+        "--defense", choices=("off", "jail", "evict"), default="off",
+        help=(
+            "contention defense: detect adversarial tenant groups "
+            "and jail them in a minimal CAT partition; 'evict' also "
+            "re-routes convicted groups onto a sacrificial node "
+            "(default: off)"
+        ),
+    )
+    cluster.add_argument(
+        "--defense-interval", type=float, default=1.0,
+        metavar="SECONDS",
+        help="detector judgement period (default: 1)",
+    )
+    cluster.add_argument(
+        "--defense-convict", type=int, default=2, metavar="N",
+        help=(
+            "suspect windows before conviction (default: 2)"
+        ),
+    )
+    cluster.add_argument(
+        "--defense-release", type=int, default=3, metavar="N",
+        help=(
+            "clean windows before a convicted group is released "
+            "(default: 3)"
         ),
     )
     cluster.add_argument(
@@ -713,10 +761,41 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_attack(text: str):
+    """Parse one ``--attack PROFILE[:START[:STOP[:RATE]]]`` spec.
+
+    Empty fields keep their defaults, so ``thrash:1::30`` schedules an
+    open-ended thrasher from t=1s at 30 requests/s.
+    """
+    from .defense import DEFAULT_ATTACK_RATE, AttackSpec
+    from .errors import DefenseError
+
+    fields = text.split(":")
+    if len(fields) > 4:
+        raise DefenseError(
+            f"attack spec {text!r} has too many fields "
+            "(PROFILE[:START[:STOP[:RATE]]])"
+        )
+    fields += [""] * (4 - len(fields))
+    profile, start, stop, rate = fields
+    try:
+        return AttackSpec(
+            profile=profile,
+            start_s=float(start) if start else 0.0,
+            stop_s=float(stop) if stop else None,
+            rate_per_s=float(rate) if rate else DEFAULT_ATTACK_RATE,
+        )
+    except ValueError as error:
+        raise DefenseError(
+            f"attack spec {text!r}: {error}"
+        ) from error
+
+
 def _run_cluster(args: argparse.Namespace) -> int:
     """Run one fleet simulation and write its report."""
     from .cluster import Cluster, ClusterConfig, seeded_faults
-    from .errors import ClusterError, PlannerError
+    from .defense import seeded_attacks
+    from .errors import ClusterError, DefenseError, PlannerError
     from .planner import training_from_report
     from .serve.arrivals import DEFAULT_ARRIVAL_SEED
 
@@ -762,6 +841,13 @@ def _run_cluster(args: argparse.Namespace) -> int:
                 )
                 if args.faults else ()
             )
+            attacks = tuple(
+                _parse_attack(text) for text in (args.attack or ())
+            )
+            if args.attacks:
+                attacks += seeded_attacks(
+                    args.attacks, args.duration, fleet_seed
+                )
             config = ClusterConfig(
                 nodes=args.nodes,
                 router=args.router,
@@ -787,8 +873,13 @@ def _run_cluster(args: argparse.Namespace) -> int:
                 plan_search_steps=args.search_steps,
                 plan_search_candidates=args.search_candidates,
                 plan_training=training,
+                attacks=attacks,
+                defense=args.defense,
+                defense_interval_s=args.defense_interval,
+                defense_convict_windows=args.defense_convict,
+                defense_release_windows=args.defense_release,
             )
-        except ClusterError as error:
+        except (ClusterError, DefenseError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         with observing() as (tracer, _):
@@ -840,6 +931,28 @@ def _run_cluster(args: argparse.Namespace) -> int:
                 f"rounds={search['rounds']} "
                 f"improvements={search['frontier_improvements']}"
             )
+        defense = report.defense
+        if defense.get("enabled") or defense.get("attacks"):
+            arrivals = sum(
+                defense.get("attack_arrivals", {}).values()
+            )
+            line = (
+                f"  defense: mode={defense['mode']} "
+                f"attacks={len(defense['attacks'])} "
+                f"attack-arrivals={arrivals}"
+            )
+            if defense.get("enabled"):
+                jailed = sum(
+                    defense.get("jail_seconds", {}).values()
+                )
+                line += (
+                    f" convictions={len(defense['convictions'])} "
+                    f"false-positives="
+                    f"{len(defense['false_positives'])} "
+                    f"missed={len(defense['missed'])} "
+                    f"jailed={jailed:.2f}s"
+                )
+            print(line)
         for verdict in report.fleet_slo:
             status = "OK" if verdict.ok else "VIOLATED"
             print(

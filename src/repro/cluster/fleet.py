@@ -94,8 +94,16 @@ import numpy as np
 
 from .. import seeding
 from ..config import SystemSpec
-from ..errors import ClusterError, PlannerError
+from ..defense.attacks import (
+    AttackSpec,
+    attack_classes,
+    validate_attacks,
+)
+from ..defense.detector import ContentionDetector, DefenseConfig
+from ..errors import ClusterError, DefenseError, PlannerError
+from ..hardware.cat import contiguous_mask
 from ..model.calibration import DEFAULT_CALIBRATION, Calibration
+from ..model.latency import LatencyModel
 from ..obs import runtime
 from ..parallel import executor as parallel_executor
 from ..planner import (
@@ -107,7 +115,9 @@ from ..planner import (
 from ..serve.admission import AdmissionDecision
 from ..serve.arrivals import (
     DEFAULT_ARRIVAL_SEED,
+    PoissonArrivals,
     SampleGrid,
+    WorkloadMix,
     build_arrivals,
 )
 from ..serve.events import EventKind
@@ -156,7 +166,13 @@ CLUSTER_POLICIES = POLICIES + ("planned",)
 #: execution fallback to runs whose planner lane can actually fire
 #: (``plan_interval_s < duration_s``) — an idle planner is a frozen
 #: placement, which the epoch-parallel path replays exactly.
-FLEET_REPORT_VERSION = 5
+#: Version 6 adds the defense layer (:mod:`repro.defense`): the
+#: attack-schedule and ``defense_*`` knobs in the config block and the
+#: ``defense`` report block — scheduled attacks, ground-truth attack
+#: labels, detector convictions/releases vs false positives, jail
+#: occupancy, and the serialized detector state.  The block is
+#: ``{"enabled": false, ...}`` on undefended runs.
+FLEET_REPORT_VERSION = 6
 
 
 @dataclass(frozen=True)
@@ -214,6 +230,20 @@ class ClusterConfig:
     #: Pre-training windows — ``((class, count), ...)`` per window, the
     #: output of :func:`repro.planner.training_from_report`.
     plan_training: tuple = ()
+    #: Adversarial tenants and contention defense (see
+    #: :mod:`repro.defense` and docs/DEFENSE.md).  ``attacks`` holds
+    #: :class:`~repro.defense.attacks.AttackSpec` schedules;
+    #: ``defense`` picks the response — ``off`` (no monitoring),
+    #: ``jail`` (CAT jail masks on conviction), or ``evict`` (jail
+    #: plus sacrificial-node routing).
+    attacks: tuple = ()
+    defense: str = "off"
+    defense_interval_s: float = 1.0
+    defense_convict_windows: int = 2
+    defense_release_windows: int = 3
+    defense_bandwidth_share: float = 0.50
+    defense_occupancy_share: float = 0.85
+    defense_duty_threshold: float = 2.0
 
     def __post_init__(self) -> None:
         if self.nodes <= 0:
@@ -259,6 +289,21 @@ class ClusterConfig:
             except PlannerError as error:
                 raise ClusterError(str(error)) from error
         validate_schedule(tuple(self.faults), self.nodes)
+        # Delegate the defense-knob checks to the defense config (one
+        # error family for one config object, like the planner's).
+        try:
+            validate_attacks(tuple(self.attacks))
+            self.defense_config()
+        except DefenseError as error:
+            raise ClusterError(str(error)) from error
+        for attack in self.attacks:
+            if attack.start_s >= self.duration_s:
+                raise ClusterError(
+                    f"attack {attack.profile!r} starts at "
+                    f"{attack.start_s}s, at or beyond the "
+                    f"{self.duration_s}s horizon — it would never "
+                    "fire"
+                )
         # Delegate the shared scalar checks to the node config.
         self.node_config(0)
 
@@ -297,6 +342,18 @@ class ClusterConfig:
             # beam stays inside the fleet's determinism domain.
             search_seed=self.seed,
             training=training,
+        )
+
+    def defense_config(self) -> DefenseConfig:
+        """The embedded defense configuration."""
+        return DefenseConfig(
+            mode=self.defense,
+            interval_s=self.defense_interval_s,
+            convict_windows=self.defense_convict_windows,
+            release_windows=self.defense_release_windows,
+            bandwidth_share=self.defense_bandwidth_share,
+            occupancy_share=self.defense_occupancy_share,
+            duty_threshold=self.defense_duty_threshold,
         )
 
     def node_config(self, index: int) -> ServiceConfig:
@@ -366,6 +423,14 @@ class ClusterConfig:
                 [[name, count] for name, count in window]
                 for window in self.plan_training
             ],
+            "attacks": [attack.to_dict() for attack in self.attacks],
+            "defense": self.defense,
+            "defense_interval_s": self.defense_interval_s,
+            "defense_convict_windows": self.defense_convict_windows,
+            "defense_release_windows": self.defense_release_windows,
+            "defense_bandwidth_share": self.defense_bandwidth_share,
+            "defense_occupancy_share": self.defense_occupancy_share,
+            "defense_duty_threshold": self.defense_duty_threshold,
         }
 
 
@@ -398,6 +463,11 @@ class ClusterReport:
     #: The planner's decision log (``{"enabled": false}`` unless the
     #: run used the ``planned`` policy).
     planner: dict
+    #: The defense layer's outcome: scheduled attacks, ground-truth
+    #: labels, convictions vs false positives, jail occupancy, and the
+    #: serialized detector state (``"enabled": false`` when the run
+    #: had no attacks and defense was off).
+    defense: dict
 
     def to_dict(self) -> dict:
         return {
@@ -405,6 +475,7 @@ class ClusterReport:
             "execution": self.execution,
             "arrival_windows": self.arrival_windows,
             "planner": self.planner,
+            "defense": self.defense,
             "config": self.config.to_dict(),
             "generated": self.generated,
             "completed": self.completed,
@@ -476,6 +547,43 @@ class _Source:
                 )
         self.pending = (
             (timestamp, cls) if timestamp < horizon_s else None
+        )
+
+
+@dataclass
+class _AttackStream:
+    """One scheduled hostile tenant stream (event lane 4).
+
+    Mirrors :class:`_Source` but carries a single attack class, its
+    own seeded Poisson process (``derive_from(seed, "attack/<i>")``),
+    and a private horizon — the spec's stop instant clipped to the run
+    end — so attack timing never perturbs any node's arrival stream.
+    """
+
+    spec: AttackSpec
+    cls: object
+    key: str
+    process: object
+    horizon_s: float
+    pending: tuple | None = None
+    generated: int = 0
+
+    def pull(
+        self, after_s: float, grid: SampleGrid | None = None
+    ) -> None:
+        timestamp, cls = self.process.next_arrival(after_s)
+        if grid is not None:
+            while timestamp < self.horizon_s and not grid.simulated(
+                timestamp
+            ):
+                runtime.metrics.counter(
+                    "serve.sample.window_jumps"
+                ).inc()
+                timestamp, cls = self.process.next_arrival(
+                    grid.next_simulated_start(timestamp)
+                )
+        self.pending = (
+            (timestamp, cls) if timestamp < self.horizon_s else None
         )
 
 
@@ -625,17 +733,107 @@ class Cluster:
                 if config.plan_interval_s < config.duration_s
                 else None
             )
+        # Defense layer (adversarial tenants + contention detector;
+        # see repro.defense and docs/DEFENSE.md).
+        self._attacks = validate_attacks(tuple(config.attacks))
+        self._defense_config = config.defense_config()
+        self._attack_streams: list[_AttackStream] = []
+        self.detector: ContentionDetector | None = None
+        self._next_defense_tick: float | None = None
+        #: The jail: the narrowest CAT mask that keeps hardware
+        #: prefetching alive.  A sub-prefetch-width jail would defeat
+        #: the convict's streaming and stretch its requests — the jail
+        #: exists to protect the victims' ways, not to slow the
+        #: attacker, and slower convict requests hold worker slots
+        #: longer, hurting the very tenants the jail protects.
+        self._jail_mask = contiguous_mask(
+            max(self.spec.cat_min_bits, LatencyModel.min_prefetch_ways)
+        )
+        #: tenant group -> conviction instant of the open jail term.
+        self._jail_open: dict[str, float] = {}
+        #: tenant group -> total seconds spent jailed (closed terms).
+        self.jail_seconds: dict[str, float] = {}
+        #: Sacrificial node for ``evict`` quarantine: the last node —
+        #: hash/least-loaded traffic is index-agnostic, so any fixed
+        #: choice is equally deterministic.
+        self._sacrificial_node = config.nodes - 1
+        attack_catalog = (
+            attack_classes(workers, calibration, self.spec)
+            if self._attacks else {}
+        )
+        for index, attack in enumerate(self._attacks):
+            cls = attack_catalog[attack.profile]
+            self._attack_streams.append(_AttackStream(
+                spec=attack,
+                cls=cls,
+                key=tenant_id(attack.profile, index),
+                process=PoissonArrivals(
+                    attack.rate_per_s,
+                    ((0.0, WorkloadMix(
+                        name=f"attack_{attack.profile}",
+                        classes=(cls,),
+                        weights=(1.0,),
+                    )),),
+                    seed=seeding.derive_from(
+                        config.seed, f"attack/{index}"
+                    ),
+                ),
+                horizon_s=(
+                    min(attack.stop_s, config.duration_s)
+                    if attack.stop_s is not None
+                    else config.duration_s
+                ),
+            ))
+        #: tenant group -> class names, for jail installation.
+        self._group_class_names: dict[str, tuple[str, ...]] = {}
+        if self._defense_config.mode != "off":
+            detector_classes = {
+                cls.name: cls
+                for cls in cluster_classes(
+                    workers, calibration
+                ).values()
+            }
+            for cls in attack_classes(
+                workers, calibration, self.spec
+            ).values():
+                detector_classes[cls.name] = cls
+            groups: dict[str, list[str]] = {}
+            for name, cls in detector_classes.items():
+                groups.setdefault(cls.tenant, []).append(name)
+            self._group_class_names = {
+                group: tuple(sorted(names))
+                for group, names in groups.items()
+            }
+            self.detector = ContentionDetector(
+                self.spec,
+                self._defense_config,
+                detector_classes,
+                config.nodes,
+                window_s=ARRIVAL_WINDOW_S,
+                calibration=calibration,
+                # The controllers' fleet-shared classification cache:
+                # detector and controllers memoize the same pure
+                # probes, so sharing changes cost, never results.
+                shared_cuids=shared_cuids,
+            )
+            self._next_defense_tick = min(
+                self._defense_config.interval_s, config.duration_s
+            )
 
     # -- lanes ---------------------------------------------------------
     #
     # Lane 0 is the fault schedule, lane 1 the node event queues, lane
     # 2 the source streams, lane 3 the planner (index 0: the next plan
-    # tick; index 1: the next deferred-arrival injection).  Each
-    # (lane, index) pair has at most one *current* heap entry — the one
-    # whose version matches ``_lane_versions`` — so popping the heap
-    # yields exactly the (time, lane, index) minimum the previous O(N)
-    # scan computed.  At equal times faults precede node events precede
-    # arrivals precede planner actions.
+    # tick; index 1: the next deferred-arrival injection), lane 4 the
+    # attack streams (one index per AttackSpec), lane 5 the defense
+    # tick (index 0).  Each (lane, index) pair has at most one
+    # *current* heap entry — the one whose version matches
+    # ``_lane_versions`` — so popping the heap yields exactly the
+    # (time, lane, index) minimum the previous O(N) scan computed.  At
+    # equal times faults precede node events precede arrivals precede
+    # planner actions precede attacks precede defense ticks (so
+    # same-instant completions land in their window before the
+    # detector reads it).
 
     def _lane_time(self, lane: int, index: int) -> float | None:
         """The lane's current candidate time, or None when idle."""
@@ -650,6 +848,14 @@ class Cluster:
             if index == 0:
                 return self._next_plan_tick
             return self._deferred[0][0] if self._deferred else None
+        if lane == 4:
+            stream = self._attack_streams[index]
+            return (
+                stream.pending[0] if stream.pending is not None
+                else None
+            )
+        if lane == 5:
+            return self._next_defense_tick
         source = self._sources[index]
         return source.pending[0] if source.pending is not None else None
 
@@ -730,14 +936,14 @@ class Cluster:
             # up here.  The clock reads are gated on observability so
             # the silent hot path stays two calls cheaper.
             route_started = perf_counter_ns()
-            decision = self.router.route(
+            decision = self.router.dispatch_route(
                 index, key, cls, self.nodes, self._alive_frozen
             )
             metrics.counter("cluster.route_ns").inc(
                 perf_counter_ns() - route_started
             )
         else:
-            decision = self.router.route(
+            decision = self.router.dispatch_route(
                 index, key, cls, self.nodes, self._alive_frozen
             )
         metrics.counter("cluster.routed").inc()
@@ -848,6 +1054,119 @@ class Cluster:
             inject_at, index, cls, key, arrived_s=original_s
         )
 
+    # -- defense -------------------------------------------------------
+
+    def _process_attack_arrival(self, index: int) -> None:
+        """Deliver one hostile arrival (lane 4).
+
+        Attack traffic flows through the same routing, admission and
+        window accounting as legitimate traffic — the fleet cannot
+        tell them apart a priori, which is the point — but it ignores
+        migration blackouts (an attacker does not respect maintenance
+        windows).
+        """
+        stream = self._attack_streams[index]
+        assert stream.pending is not None
+        timestamp, cls = stream.pending
+        self.generated += 1
+        stream.generated += 1
+        runtime.metrics.counter("defense.attack.arrivals").inc()
+        window = min(
+            int(timestamp / ARRIVAL_WINDOW_S),
+            len(self._class_windows) - 1,
+        )
+        counts = self._class_windows[window]
+        counts[cls.name] = counts.get(cls.name, 0) + 1
+        counts = self._tenant_windows[window]
+        counts[cls.tenant] = counts.get(cls.tenant, 0) + 1
+        self._route_and_accept(
+            timestamp, index % self.config.nodes, cls, stream.key
+        )
+        stream.pull(timestamp, self._sample_grid)
+        self._refresh_lane(4, index)
+
+    def _reassociate_group(
+        self, group: str, now: float
+    ) -> None:
+        """Re-derive masks for running members of ``group`` fleet-wide.
+
+        Same sequence as a controller reconfiguration: re-associate
+        everything running on an affected node, then reflow its rates.
+        Nodes with no running member of the group are left untouched
+        so their event streams don't shift.
+        """
+        names = self._group_class_names.get(group, ())
+        for node in self.nodes:
+            if not node.alive:
+                continue
+            if not any(
+                request.cls.name in names
+                for request in node.admission.running.values()
+            ):
+                continue
+            for request_id in sorted(node.admission.running):
+                node._associate(node._requests[request_id])
+            node._reflow(now)
+            self._refresh_lane(1, node.index)
+
+    def _apply_conviction(self, group: str, now: float) -> None:
+        """Jail a convicted group (and pin it under ``evict``)."""
+        self._jail_open[group] = now
+        runtime.metrics.counter("defense.jailed").inc()
+        for name in self._group_class_names.get(group, ()):
+            for node in self.nodes:
+                node.set_jail(name, self._jail_mask)
+        for node in self.nodes:
+            if node.alive:
+                # The cell has no waiting room: backlog the group
+                # parked while it still looked legitimate is shed,
+                # not left to delay the victims.  Queued requests
+                # hold no completion events, so no reflow is needed
+                # for nodes with no running member.
+                node.purge_jailed()
+        if self._defense_config.mode == "evict":
+            self.router.install_quarantine(
+                group, self._sacrificial_node
+            )
+        self._reassociate_group(group, now)
+
+    def _apply_release(self, group: str, now: float) -> None:
+        """Lift a reformed group's jail (release-on-reform)."""
+        runtime.metrics.counter("defense.released").inc()
+        for name in self._group_class_names.get(group, ()):
+            for node in self.nodes:
+                node.clear_jail(name)
+        if self._defense_config.mode == "evict":
+            self.router.install_quarantine(group, None)
+        opened = self._jail_open.pop(group, None)
+        if opened is not None:
+            self.jail_seconds[group] = (
+                self.jail_seconds.get(group, 0.0) + (now - opened)
+            )
+        self._reassociate_group(group, now)
+
+    def _process_defense_tick(self) -> None:
+        """One detector pass over the fully-elapsed arrival windows."""
+        detector = self.detector
+        now = self._next_defense_tick
+        assert detector is not None and now is not None
+        duration = self.config.duration_s
+        following = now + self._defense_config.interval_s
+        if following <= duration:
+            self._next_defense_tick = following
+        elif now < duration:
+            # One final clamped tick at the horizon so the last
+            # windows are judged even when the interval overshoots.
+            self._next_defense_tick = duration
+        else:
+            self._next_defense_tick = None
+        self._refresh_lane(5, 0)
+        for action in detector.tick(now, self._class_windows):
+            if action["action"] == "convict":
+                self._apply_conviction(action["group"], now)
+            else:
+                self._apply_release(action["group"], now)
+
     # -- the loop ------------------------------------------------------
 
     def run(self, fleet_jobs: int = 1) -> ClusterReport:
@@ -870,7 +1189,27 @@ class Cluster:
             )
         self._ran = True
         config = self.config
-        if config.policy == "planned":
+        defended = (
+            bool(self._attacks)
+            or self._defense_config.mode != "off"
+        )
+        if defended:
+            # Attack streams and detector ticks interleave with node
+            # events, and convictions mutate masks and routing
+            # mid-run.  Recorded whenever the config is defended (a
+            # pure function of the config, never of fleet_jobs) so
+            # defended reports stay byte-identical across
+            # --fleet-jobs values.
+            self._warnings.append(
+                "attack streams and the contention detector "
+                "interleave with node events; fleet execution is "
+                "sequential for any fleet_jobs value"
+            )
+            if fleet_jobs > 1 and config.nodes > 1:
+                runtime.metrics.counter(
+                    "cluster.parallel.fallbacks"
+                ).inc()
+        elif config.policy == "planned":
             if self._next_plan_tick is not None:
                 # The planner lane will fire.  Recorded whenever that
                 # holds (a pure function of the config, never of
@@ -932,6 +1271,10 @@ class Cluster:
                 self._refresh_lane(2, index)
             self._refresh_lane(3, 0)
             self._refresh_lane(3, 1)
+            for index, stream in enumerate(self._attack_streams):
+                stream.pull(stream.spec.start_s, self._sample_grid)
+                self._refresh_lane(4, index)
+            self._refresh_lane(5, 0)
             # Bound locals: the loop body runs once per fleet event,
             # so attribute lookups on self are paid millions of times.
             pop_candidate = self._pop_candidate
@@ -939,6 +1282,8 @@ class Cluster:
             process_arrival = self._process_arrival
             process_plan_tick = self._process_plan_tick
             process_deferred = self._process_deferred
+            process_attack = self._process_attack_arrival
+            process_defense_tick = self._process_defense_tick
             refresh_lane = self._refresh_lane
             nodes = self.nodes
             while True:
@@ -957,6 +1302,10 @@ class Cluster:
                         process_plan_tick()
                     else:
                         process_deferred()
+                elif lane == 4:
+                    process_attack(index)
+                elif lane == 5:
+                    process_defense_tick()
                 else:
                     process_arrival(index)
             for node in self.nodes:
@@ -1196,6 +1545,70 @@ class Cluster:
                 "deferred_requests": self.deferred_requests,
                 **self.planner.stats(),
             }
+        attack_arrivals: dict[str, int] = {}
+        for stream in self._attack_streams:
+            group = stream.cls.tenant
+            attack_arrivals[group] = (
+                attack_arrivals.get(group, 0) + stream.generated
+            )
+        ground_truth = sorted(
+            {attack.profile for attack in self._attacks}
+        )
+        defense_block: dict = {
+            "enabled": self.detector is not None,
+            "mode": self._defense_config.mode,
+            "attacks": [
+                attack.to_dict() for attack in self._attacks
+            ],
+            "attack_arrivals": dict(
+                sorted(attack_arrivals.items())
+            ),
+            "ground_truth": ground_truth,
+        }
+        if self.detector is not None:
+            # Open jail terms close at the drain horizon — the same
+            # instant the downtime closure uses.
+            horizon = max(
+                self.config.duration_s,
+                *(node.clock.now for node in self.nodes),
+            )
+            jail_seconds = dict(self.jail_seconds)
+            for group, opened in self._jail_open.items():
+                jail_seconds[group] = (
+                    jail_seconds.get(group, 0.0)
+                    + (horizon - opened)
+                )
+            convicted_ever = sorted({
+                conviction["group"]
+                for conviction in self.detector.convictions
+            })
+            defense_block.update({
+                "convictions": list(self.detector.convictions),
+                "releases": list(self.detector.releases),
+                "convicted_groups": list(
+                    self.detector.convicted_groups
+                ),
+                "false_positives": [
+                    group for group in convicted_ever
+                    if group not in ground_truth
+                ],
+                "missed": [
+                    group for group in ground_truth
+                    if group not in convicted_ever
+                ],
+                "jail_seconds": {
+                    group: round(seconds, 9)
+                    for group, seconds in sorted(
+                        jail_seconds.items()
+                    )
+                },
+                "sacrificial_node": (
+                    self._sacrificial_node
+                    if self._defense_config.mode == "evict"
+                    else None
+                ),
+                "detector": self.detector.to_dict(),
+            })
         return ClusterReport(
             config=self.config,
             generated=self.generated,
@@ -1222,4 +1635,5 @@ class Cluster:
             execution=self._execution_block(),
             arrival_windows=arrival_windows,
             planner=planner_block,
+            defense=defense_block,
         )

@@ -62,9 +62,45 @@ class RouteDecision:
 
 
 class Router:
-    """Base: a routing policy over a fixed node population."""
+    """Base: a routing policy over a fixed node population.
+
+    Every policy supports a *quarantine* overlay (the defense layer's
+    ``evict`` mode): a convicted tenant group is pinned to one
+    sacrificial node, overriding the policy's own choice while the
+    pin is installed.  The overlay lives on the base class so the
+    dispatch path (:meth:`dispatch_route`) is policy-agnostic.
+    """
 
     name = "base"
+
+    def __init__(self) -> None:
+        #: tenant group -> sacrificial node (defense ``evict`` pins).
+        self._quarantine: dict[str, int] = {}
+
+    def install_quarantine(self, group: str, node: int | None) -> None:
+        """Pin a tenant group to one node (``None`` lifts the pin)."""
+        if node is None:
+            self._quarantine.pop(group, None)
+        else:
+            self._quarantine[group] = node
+
+    def dispatch_route(
+        self,
+        source: int,
+        key: str,
+        cls: RequestClass,
+        nodes: Sequence[ClusterNode],
+        alive: frozenset[int],
+    ) -> RouteDecision:
+        """The fleet's entry point: quarantine overlay, then policy."""
+        if self._quarantine:
+            group, _, _ = key.rpartition("-")
+            pinned = self._quarantine.get(group)
+            if pinned is not None and pinned in alive:
+                return RouteDecision(target=pinned, failover=False)
+            # Pinned node down: fall through to the policy, which
+            # routes over the live fleet like any failover.
+        return self.route(source, key, cls, nodes, alive)
 
     def route(
         self,
@@ -77,7 +113,12 @@ class Router:
         raise NotImplementedError
 
     def describe(self) -> dict:
-        return {"policy": self.name}
+        description = {"policy": self.name}
+        if self._quarantine:
+            description["quarantine"] = dict(
+                sorted(self._quarantine.items())
+            )
+        return description
 
 
 class HashRouter(Router):
@@ -88,6 +129,7 @@ class HashRouter(Router):
     def __init__(
         self, nodes: int, virtual_nodes: int = DEFAULT_VIRTUAL_NODES
     ) -> None:
+        super().__init__()
         self.ring = HashRing(nodes, virtual_nodes)
         # Decisions depend only on (key, alive set) and both
         # populations are tiny (tenants x topology states), so the
@@ -115,7 +157,7 @@ class HashRouter(Router):
 
     def describe(self) -> dict:
         return {
-            "policy": self.name,
+            **super().describe(),
             "virtual_nodes": self.ring.virtual_nodes,
         }
 
@@ -152,6 +194,7 @@ class AffinityRouter(Router):
         classifier: OnlineClassifier | None = None,
         queue_slack: int = AFFINITY_QUEUE_SLACK,
     ) -> None:
+        super().__init__()
         if queue_slack < 0:
             raise ClusterError(
                 f"queue slack must be >= 0: {queue_slack}"
@@ -221,7 +264,7 @@ class AffinityRouter(Router):
 
     def describe(self) -> dict:
         return {
-            "policy": self.name,
+            **super().describe(),
             "queue_slack": self.queue_slack,
             "classifications": {
                 name: cuid.value
@@ -236,6 +279,7 @@ class PlannedRouter(Router):
     name = "planned"
 
     def __init__(self, nodes: int) -> None:
+        super().__init__()
         if nodes < 1:
             raise ClusterError(f"nodes must be >= 1: {nodes}")
         self.nodes = nodes
@@ -288,7 +332,7 @@ class PlannedRouter(Router):
 
     def describe(self) -> dict:
         return {
-            "policy": self.name,
+            **super().describe(),
             "installs": self.installs,
             "placement": {
                 group: list(homes)

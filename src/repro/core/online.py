@@ -106,10 +106,17 @@ class OnlineClassifier:
                        self._probe_mask)]
         )[profile.name]
         if full.throughput_tuples_per_s <= 0.0:
-            raise ModelError(
-                f"probe of {profile.name!r} produced non-positive "
-                "full-cache throughput: "
-                f"{full.throughput_tuples_per_s}"
+            # A starved tenant (e.g. under a contention attack) can
+            # post zero completions in a window; there is no throughput
+            # signal to classify from.  Return a stable UNKNOWN verdict
+            # rather than dividing by zero — repeated probes of the
+            # same dead profile must not flap between categories.
+            return OnlineClassification(
+                operator=profile.name,
+                cuid=CacheUsage.UNKNOWN,
+                restricted_ratio=0.0,
+                full_sample=self._sample(full, rmid=1),
+                restricted_sample=self._sample(restricted, rmid=1),
             )
         ratio = (
             restricted.throughput_tuples_per_s

@@ -76,3 +76,8 @@ class ClusterError(ReproError):
 class PlannerError(ReproError):
     """Invalid operation in the forecast/blueprint planning layer
     (``repro.planner``)."""
+
+
+class DefenseError(ReproError):
+    """Invalid operation in the contention-defense layer
+    (``repro.defense``)."""

@@ -247,6 +247,11 @@ def solve_characteristic_time_arrays(
         # scan starts at that grid index and walks forward in chunks —
         # usually one chunk — instead of evaluating all candidates.
         demand_rate = float(per_line @ lines) + streaming
+        if demand_rate <= 0.0:
+            # Zero demand (including denormal per-line rates whose
+            # product underflows to 0.0): no insertions ever fill the
+            # cache, at any characteristic time.
+            return math.inf
         start = int(
             _BRACKET_GRID.searchsorted(capacity_lines / demand_rate)
         )

@@ -21,11 +21,20 @@ from ..model.streams import AccessProfile
 
 
 class CacheUsage(enum.Enum):
-    """The paper's three-way operator classification (Sec. V-C)."""
+    """The paper's three-way operator classification (Sec. V-C).
+
+    ``UNKNOWN`` extends the taxonomy for online monitoring: a tenant
+    that posted no completions in a window (e.g. starved by a
+    contention attack) has no throughput signal to classify from, and
+    the online classifier returns a stable ``UNKNOWN`` verdict rather
+    than dividing by zero or flapping between categories.  Consumers
+    treat it like the sensitive default (no mask restriction).
+    """
 
     POLLUTING = "polluting"
     SENSITIVE = "sensitive"
     ADAPTIVE = "adaptive"
+    UNKNOWN = "unknown"
 
 
 @dataclass

@@ -152,6 +152,37 @@ class AdmissionController:
         self._admit(promoted, now)
         return promoted
 
+    def purge_queued(
+        self, names: frozenset[str]
+    ) -> list[Request]:
+        """Shed every parked request of the named classes.
+
+        The defense layer calls this at conviction: a jailed group
+        holds at most one slot and no queue space, so its backlog —
+        accepted while the group still looked legitimate — is shed
+        rather than left to delay the victims.  Running requests are
+        untouched.  Returns the removed requests in FIFO order.
+        """
+        if not names:
+            return []
+        removed = [
+            request
+            for request in self._queue
+            if request.cls.name in names
+        ]
+        if removed:
+            self._queue = deque(
+                request
+                for request in self._queue
+                if request.cls.name not in names
+            )
+            self.shed += len(removed)
+            runtime.metrics.counter("serve.admission.shed").inc(
+                len(removed)
+            )
+            self._publish_depth()
+        return removed
+
     def evacuate(self) -> tuple[list[Request], list[Request]]:
         """Remove every running and queued request at once.
 

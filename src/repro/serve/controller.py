@@ -53,6 +53,31 @@ from .arrivals import RequestClass
 DEFAULT_SWEEP_WAYS = (2, 8, 14, 20)
 
 
+def classify_cached(
+    classifier: OnlineClassifier,
+    cls: RequestClass,
+    cuids: dict[str, str],
+) -> str:
+    """Classify a request class with a shared per-class-name cache.
+
+    The memoized probe behind both the adaptive controller and the
+    contention detector: the first caller pays the model probe, every
+    later lookup (on any node, from either consumer) is a dict hit.
+    """
+    cuid = cuids.get(cls.name)
+    if cuid is None:
+        with runtime.tracer.span(
+            "serve.controller.classify", cls=cls.name
+        ):
+            outcome = classifier.classify(cls.profile)
+        cuid = outcome.cuid.value
+        cuids[cls.name] = cuid
+        runtime.metrics.counter(
+            "serve.controller.classifications"
+        ).inc()
+    return cuid
+
+
 @dataclass(frozen=True)
 class ControlDecision:
     """One control tick's outcome."""
@@ -163,18 +188,7 @@ class AdaptiveController:
         return report
 
     def _cuid_for(self, cls: RequestClass) -> str:
-        cuid = self._cuids.get(cls.name)
-        if cuid is None:
-            with runtime.tracer.span(
-                "serve.controller.classify", cls=cls.name
-            ):
-                outcome = self.classifier.classify(cls.profile)
-            cuid = outcome.cuid.value
-            self._cuids[cls.name] = cuid
-            runtime.metrics.counter(
-                "serve.controller.classifications"
-            ).inc()
-        return cuid
+        return classify_cached(self.classifier, cls, self._cuids)
 
     @staticmethod
     def _fraction_for(

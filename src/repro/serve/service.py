@@ -79,6 +79,13 @@ MIXES = ("olap", "oltp", "shift")
 #: part of :class:`ServiceConfig` — it changes cost, never results.
 SERVE_ENGINES = ("scalar", "vector")
 
+#: In-flight budget (running + queued) shared by every jailed class
+#: on a node.  One slot: a convicted group keeps exactly one request
+#: in service and parks nothing — queue space it occupied would still
+#: delay the victims the jail exists to protect.  Excess arrivals are
+#: shed at admission and counted in the normal shed accounting.
+JAIL_SLOTS = 1
+
 #: Report schema version (bump when the JSON layout changes).
 #: Version 2 adds the ``arrivals`` log — the offered
 #: ``[time_s, class]`` sequence — which is what trace replay
@@ -398,6 +405,14 @@ class QueryService:
         self.admission = AdmissionController(
             config.max_concurrency, config.queue_depth
         )
+        #: Defense jail: class name -> forced CAT mask.  Takes
+        #: precedence over every policy's mask choice while installed
+        #: (see repro.defense); empty outside defended fleet runs.
+        #: Jailed classes are also throttled to ``JAIL_SLOTS``
+        #: in-flight requests — CAT confines an aggressor's cache
+        #: footprint but not its worker slots or bus time, so a jail
+        #: that only reprograms masks leaves the node saturated.
+        self._jail_masks: dict[str, int] = {}
         self.slo = SloTracker(
             (
                 SloTarget("olap", p99_s=config.olap_p99_s),
@@ -457,7 +472,38 @@ class QueryService:
     def _static_policy(self) -> CuidPolicy:
         return self.cache_controller.policy
 
+    def set_jail(self, cls_name: str, mask: int) -> None:
+        """Confine a request class to ``mask`` (defense quarantine)."""
+        self._jail_masks[cls_name] = mask
+
+    def clear_jail(self, cls_name: str) -> None:
+        """Lift a class's jail mask (release-on-reform)."""
+        self._jail_masks.pop(cls_name, None)
+
+    def purge_jailed(self) -> int:
+        """Shed the queued backlog of every jailed class.
+
+        Called once per conviction, after the jail masks are set: the
+        backlog was accepted while the group still looked legitimate,
+        and leaving it parked would keep delaying the victims.  The
+        caller reflows afterwards.  Returns the number shed.
+        """
+        removed = self.admission.purge_queued(
+            frozenset(self._jail_masks)
+        )
+        for request in removed:
+            del self._requests[request.request_id]
+        if removed:
+            runtime.metrics.counter("defense.purged").inc(
+                len(removed)
+            )
+        return len(removed)
+
     def _mask_for(self, cls: RequestClass) -> int:
+        if self._jail_masks:
+            jailed = self._jail_masks.get(cls.name)
+            if jailed is not None:
+                return jailed
         if self.config.policy == "none":
             return self.spec.full_mask
         if self.config.policy == "static":
@@ -656,6 +702,22 @@ class QueryService:
         self._next_request_id += 1
         self._requests[request.request_id] = request
         runtime.metrics.counter("serve.requests.arrived").inc()
+        if self._jail_masks and cls.name in self._jail_masks:
+            in_cell = sum(
+                1
+                for held in self.admission.running.values()
+                if held.cls.name in self._jail_masks
+            ) + sum(
+                1
+                for held in self.admission.queued_requests
+                if held.cls.name in self._jail_masks
+            )
+            if in_cell >= JAIL_SLOTS:
+                self.admission.shed += 1
+                runtime.metrics.counter("serve.admission.shed").inc()
+                runtime.metrics.counter("defense.throttled").inc()
+                del self._requests[request.request_id]
+                return AdmissionDecision.SHED
         decision = self.admission.offer(request, now)
         if decision is AdmissionDecision.ADMITTED:
             self._admit_bookkeeping(request)

@@ -48,8 +48,8 @@ class TestExecution:
         expected = {
             "fig1", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11",
             "fig12", "ext-sched", "ext-cluster", "ext-coloring",
-            "ext-planner", "ext-service", "ext-sort", "ext-trace",
-            "ext-skew", "report",
+            "ext-defense", "ext-planner", "ext-service", "ext-sort",
+            "ext-trace", "ext-skew", "report",
         }
         assert set(EXPERIMENTS) == expected
 

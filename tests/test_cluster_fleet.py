@@ -76,7 +76,7 @@ class TestConservationAndReport:
     def test_report_structure_roundtrips_as_json(self):
         report = _run()
         payload = json.loads(report.to_json())
-        assert payload["fleet_report_version"] == 5
+        assert payload["fleet_report_version"] == 6
         assert payload["execution"]["epochs"] == 1
         assert payload["execution"]["warnings"] == []
         assert len(payload["nodes"]) == 2

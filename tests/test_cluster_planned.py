@@ -65,7 +65,7 @@ class TestPlannedRun:
     def test_report_carries_planner_and_windows_blocks(self):
         report = Cluster(_config()).run()
         payload = report.to_dict()
-        assert payload["fleet_report_version"] == 5
+        assert payload["fleet_report_version"] == 6
         planner = payload["planner"]
         assert planner["enabled"] is True
         assert planner["ticks"] >= 1

@@ -149,7 +149,34 @@ class TestClassificationBoundary:
         assert outcome.full_sample.llc_occupancy_bytes == 0.0
         assert outcome.restricted_sample.llc_occupancy_bytes == 0.0
 
-    def test_non_positive_full_throughput_rejected(self):
-        classifier = _scripted(0.0, 0.0)
-        with pytest.raises(ModelError):
-            classifier.classify(query1().profile(name="dead"))
+    def test_zero_full_throughput_is_stable_unknown(self):
+        """A starved tenant posts zero completions; the probe has no
+        throughput signal and must return a stable UNKNOWN verdict
+        rather than dividing by zero."""
+        outcome = _scripted(0.0, 0.0).classify(
+            query1().profile(name="dead")
+        )
+        assert outcome.cuid is CacheUsage.UNKNOWN
+        assert outcome.restricted_ratio == 0.0
+        assert outcome.cache_benefit == 1.0
+
+    def test_zero_full_throughput_does_not_flap(self):
+        """Re-probing the same dead profile yields the identical
+        verdict every time — no flapping between categories."""
+        outcomes = [
+            _scripted(0.0, 0.0).classify(
+                query1().profile(name="dead")
+            )
+            for _ in range(3)
+        ]
+        assert all(o.cuid is CacheUsage.UNKNOWN for o in outcomes)
+        assert all(o.restricted_ratio == 0.0 for o in outcomes)
+
+    def test_negative_full_throughput_is_unknown(self):
+        """The non-positive guard covers the pathological negative
+        case too, on the same boundary."""
+        outcome = _scripted(-1.0, 0.0).classify(
+            query1().profile(name="negative")
+        )
+        assert outcome.cuid is CacheUsage.UNKNOWN
+        assert outcome.restricted_ratio == 0.0
